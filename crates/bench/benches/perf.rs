@@ -1,0 +1,90 @@
+//! Criterion performance benches: the computational kernels of the
+//! reproduction.
+//!
+//! * D/E_K/1 pole + weight solve as K grows (the eq.-26 fixed point),
+//! * the full RTT-quantile pipeline per scenario (what a capacity
+//!   planner would run in an inner loop),
+//! * the Appendix-A Erlang-mix product,
+//! * discrete-event simulator throughput (events/second),
+//! * synthetic LAN-party trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpsping::{RttModel, Scenario};
+use fpsping_dist::Deterministic;
+use fpsping_queue::{DEk1, PositionDelay};
+use fpsping_sim::{NetworkConfig, SimTime};
+use fpsping_traffic::LanPartyConfig;
+use std::hint::black_box;
+
+fn bench_dek1_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dek1_solve");
+    for &k in &[2u32, 9, 20, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| DEk1::new(black_box(k), 0.6 * 0.04, 0.04).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtt_quantile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtt_quantile");
+    for &(k, rho) in &[(9u32, 0.5), (20, 0.5), (9, 0.05)] {
+        let name = format!("k{k}_rho{}", (rho * 100.0) as u32);
+        g.bench_function(&name, |b| {
+            let s = Scenario::paper_default().with_erlang_order(k).with_load(rho);
+            b.iter(|| {
+                let m = RttModel::build(black_box(&s)).unwrap();
+                black_box(m.rtt_quantile_ms())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_erlang_mix_product(c: &mut Criterion) {
+    let dek1 = DEk1::new(20, 0.6 * 0.04, 0.04).unwrap();
+    let pos = PositionDelay::uniform(20, 20.0 / (0.6 * 0.04)).unwrap();
+    let w = dek1.to_mix();
+    let p = pos.to_mix().unwrap();
+    c.bench_function("erlang_mix_product_k20", |b| {
+        b.iter(|| black_box(&w).product(black_box(&p)))
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.bench_function("n40_5s", |b| {
+        b.iter(|| {
+            let mut cfg = NetworkConfig::paper_scenario(
+                40,
+                Box::new(Deterministic::new(125.0)),
+                40.0,
+                7,
+            );
+            cfg.duration = SimTime::from_secs(5.0);
+            cfg.warmup = SimTime::from_secs(0.5);
+            black_box(cfg.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.bench_function("lan_party_6min", |b| {
+        b.iter(|| black_box(LanPartyConfig::default().generate(11)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dek1_solve,
+    bench_rtt_quantile,
+    bench_erlang_mix_product,
+    bench_sim_throughput,
+    bench_trace_generation
+);
+criterion_main!(benches);

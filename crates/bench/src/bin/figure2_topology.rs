@@ -1,0 +1,30 @@
+//! **Figure 2** is the architecture diagram; it has no data series. This
+//! binary prints the topology, instantiates it in the simulator, and runs
+//! a smoke-test session so the figure's architecture is demonstrably the
+//! one every other experiment uses.
+
+use fpsping_dist::Deterministic;
+use fpsping_sim::{NetworkConfig, SimTime};
+
+fn main() {
+    println!("Figure 2 — client-server architecture for interactive gaming");
+    println!();
+    println!("  client 1 ──128kbps──┐                              ┌──1024kbps── client 1");
+    println!("  client 2 ──128kbps──┤                              ├──1024kbps── client 2");
+    println!("     ⋮                ├─[agg node]══5Mbps══[server]══┤                ⋮");
+    println!("  client N ──128kbps──┘        (bottleneck C)        └──1024kbps── client N");
+    println!();
+    let n = 12;
+    let mut cfg =
+        NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), 40.0, 0xF1_62);
+    cfg.duration = SimTime::from_secs(30.0);
+    let rep = cfg.run();
+    println!("smoke run: N = {n}, T = 40 ms, P_S = 125 B, 30 simulated seconds");
+    println!("  events processed      : {}", rep.events);
+    println!("  upstream packets      : {}", rep.packets_upstream);
+    println!("  downstream packets    : {}", rep.packets_downstream);
+    println!("  bottleneck util ↑/↓   : {:.3} / {:.3}", rep.up_utilization, rep.down_utilization);
+    println!("  mean upstream delay   : {:.3} ms", rep.upstream_delay.mean_s * 1e3);
+    println!("  mean downstream delay : {:.3} ms", rep.downstream_delay.mean_s * 1e3);
+    println!("  mean application ping : {:.3} ms", rep.ping_rtt.mean_s * 1e3);
+}

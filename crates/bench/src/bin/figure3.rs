@@ -1,0 +1,60 @@
+//! Reproduces **Figure 3**: 99.999 % RTT quantile vs downlink load for
+//! P_S = 125 B, IAT = 60 ms and Erlang orders K = 2, 9, 20 — the strong
+//! K-sensitivity that drives the paper's dimensioning conclusion.
+//!
+//! Also runs the robustness variants mentioned in §4 (P_S = 100 B and
+//! 75 B), writing one CSV per packet size.
+
+use fpsping_bench::write_csv;
+use fpsping::{rtt_vs_load, Scenario};
+
+fn main() {
+    let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    for &ps in &[125.0, 100.0, 75.0] {
+        println!("Figure 3 — P_S = {ps} B, IAT = 60 ms, 99.999% RTT quantile [ms]");
+        println!("{:>8} {:>12} {:>12} {:>12}", "load", "K=2", "K=9", "K=20");
+        let mut by_k = Vec::new();
+        for &k in &[2u32, 9, 20] {
+            let base = Scenario::paper_default()
+                .with_tick_ms(60.0)
+                .with_server_packet(ps)
+                .with_erlang_order(k);
+            by_k.push(rtt_vs_load(&base, &loads));
+        }
+        let mut csv = Vec::new();
+        for (i, &rho) in loads.iter().enumerate() {
+            let fmt = |p: &fpsping::LoadPoint| match p.rtt_ms {
+                Some(v) => format!("{v:>12.1}"),
+                None => format!("{:>12}", "uplink-sat"),
+            };
+            println!(
+                "{:>7.0}% {} {} {}",
+                100.0 * rho,
+                fmt(&by_k[0][i]),
+                fmt(&by_k[1][i]),
+                fmt(&by_k[2][i])
+            );
+            let val = |p: &fpsping::LoadPoint| {
+                p.rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "".into())
+            };
+            csv.push(format!(
+                "{rho:.2},{},{},{}",
+                val(&by_k[0][i]),
+                val(&by_k[1][i]),
+                val(&by_k[2][i])
+            ));
+        }
+        write_csv(
+            &format!("figure3_rtt_vs_load_ps{}.csv", ps as u32),
+            "load,rtt_k2_ms,rtt_k9_ms,rtt_k20_ms",
+            &csv,
+        );
+        println!();
+    }
+    println!("Shape checks vs the paper:");
+    println!("  • linear in load at low load (position delay ∝ ρ·T),");
+    println!("  • blow-up toward ρ_d → 1,");
+    println!("  • K = 2 ≫ K = 9 ≫ K = 20 at every load,");
+    println!("  • behaviour robust across P_S = 125/100/75 B (uplink saturates");
+    println!("    first for 75 B once ρ_d > 0.9375).");
+}

@@ -1,0 +1,71 @@
+//! Jitter and the §2.2 measurement caveat.
+//!
+//! The paper's UT2003 trace came from the jitter-injection experiments of
+//! reference [23], and §2.2 warns: *"Because jitter was artificially
+//! introduced in this experiment we have to be careful in interpreting
+//! the inter-arrival time measurements."* This experiment quantifies the
+//! caution: the same simulated gaming session is captured under
+//! increasing downlink jitter and pushed through the burst-detection
+//! pipeline — showing how measured burst statistics (and hence any
+//! Erlang-order fit!) degrade even though the server's true behaviour
+//! never changes.
+
+use fpsping_bench::write_csv;
+use fpsping_dist::fit::erlang_order_from_cov;
+use fpsping_dist::{Distribution, Exponential, Uniform};
+use fpsping_sim::{BurstSizing, NetworkConfig, SimTime};
+use fpsping_traffic::TraceStats;
+
+fn main() {
+    println!("Jitter vs measured traffic statistics (true: 12 players, T = 40 ms,");
+    println!("burst sizes Erlang K = 9 — every row measures the SAME server)");
+    println!();
+    println!(
+        "{:<22} | {:>8} {:>10} {:>10} {:>11} {:>8}",
+        "downlink jitter", "bursts", "IAT mean", "IAT CoV", "size CoV", "K(CoV)"
+    );
+    let run = |jitter: Option<Box<dyn Distribution>>| {
+        let mut cfg = NetworkConfig::paper_scenario(
+            12,
+            Box::new(fpsping_dist::Deterministic::new(150.0)),
+            40.0,
+            0x11778,
+        );
+        cfg.burst_sizing = BurstSizing::ErlangBurst { k: 9 };
+        cfg.capture_trace = true;
+        cfg.downlink_jitter_ms = jitter;
+        cfg.duration = SimTime::from_secs(240.0);
+        let rep = cfg.run();
+        TraceStats::compute(&rep.trace.unwrap(), 5.0)
+    };
+    let cases: Vec<(String, Option<Box<dyn Distribution>>)> = vec![
+        ("none".into(), None),
+        ("U(0, 2 ms)".into(), Some(Box::new(Uniform::new(0.0, 2.0)))),
+        ("U(0, 4 ms)".into(), Some(Box::new(Uniform::new(0.0, 4.0)))),
+        ("Exp(mean 3 ms)".into(), Some(Box::new(Exponential::with_mean(3.0)))),
+        ("Exp(mean 8 ms)".into(), Some(Box::new(Exponential::with_mean(8.0)))),
+    ];
+    let mut csv = Vec::new();
+    for (name, jitter) in cases {
+        let st = run(jitter);
+        let k_fit = erlang_order_from_cov(st.burst_size.1.max(1e-6));
+        println!(
+            "{name:<22} | {:>8} {:>10.2} {:>10.4} {:>11.4} {:>8}",
+            st.n_bursts, st.burst_iat.0, st.burst_iat.1, st.burst_size.1, k_fit
+        );
+        csv.push(format!(
+            "{name},{},{:.4},{:.5},{:.5},{k_fit}",
+            st.n_bursts, st.burst_iat.0, st.burst_iat.1, st.burst_size.1
+        ));
+    }
+    write_csv(
+        "jitter_effect.csv",
+        "jitter,bursts,burst_iat_mean_ms,burst_iat_cov,burst_size_cov,erlang_k_from_cov",
+        &csv,
+    );
+    println!();
+    println!("True values at the server: IAT CoV = 0, burst-size CoV = 1/3 (K = 9).");
+    println!("Bounded jitter inflates the IAT CoV; heavy unbounded jitter splits");
+    println!("bursts at the detection gap, corrupting every downstream statistic —");
+    println!("including the fitted Erlang order that drives the §4 dimensioning.");
+}

@@ -1,0 +1,92 @@
+//! Validation of eq. (13): heterogeneous gamer classes on the upstream
+//! bottleneck collapse into one M/G/1 whose service law is the λ-weighted
+//! mixture.
+//!
+//! Two client populations (fast senders with small packets, slow senders
+//! with large packets) share the aggregation link in the packet-level
+//! simulator; the measured aggregation wait is compared with the
+//! multi-class M/G/1 of `Mg1::multi_class`.
+
+use fpsping_bench::write_csv;
+use fpsping_dist::{Deterministic, Distribution};
+use fpsping_queue::Mg1;
+use fpsping_sim::{NetworkConfig, SimTime};
+
+fn main() {
+    let c_bps = 5_000_000.0;
+    // Class A: 60 clients, 80 B every 40 ms. Class B: 20 clients, 200 B
+    // every 25 ms.
+    let (n_a, size_a, int_a) = (60usize, 80.0, 40.0);
+    let (n_b, size_b, int_b) = (20usize, 200.0, 25.0);
+    let tau = |bytes: f64| bytes * 8.0 / c_bps;
+    let lambda_a = n_a as f64 / (int_a / 1e3);
+    let lambda_b = n_b as f64 / (int_b / 1e3);
+    let analytic = Mg1::multi_class(vec![
+        (lambda_a, Box::new(Deterministic::new(tau(size_a))) as Box<dyn Distribution>),
+        (lambda_b, Box::new(Deterministic::new(tau(size_b)))),
+    ])
+    .expect("stable multi-class");
+    println!("Eq. (13) — two gamer classes on the upstream bottleneck (C = 5 Mbps)");
+    println!(
+        "class A: {n_a} × {size_a} B / {int_a} ms; class B: {n_b} × {size_b} B / {int_b} ms"
+    );
+    println!("aggregate load ρ_u = {:.3}", analytic.load());
+    println!();
+
+    // Simulate with per-client overrides; average several phase draws.
+    let mut overrides: Vec<(f64, f64)> = Vec::new();
+    overrides.extend(std::iter::repeat_n((int_a, size_a), n_a));
+    overrides.extend(std::iter::repeat_n((int_b, size_b), n_b));
+    let mut mean_acc = 0.0;
+    let mut tails_acc: Vec<(f64, f64)> = Vec::new();
+    let seeds = [1u64, 2, 3, 4, 5, 6];
+    for &seed in &seeds {
+        let mut cfg = NetworkConfig::paper_scenario(
+            n_a + n_b,
+            Box::new(Deterministic::new(125.0)),
+            40.0,
+            seed,
+        );
+        cfg.client_overrides = Some(overrides.clone());
+        cfg.tail_thresholds_s = vec![0.0005, 0.001, 0.002];
+        cfg.duration = SimTime::from_secs(90.0);
+        let rep = cfg.run();
+        mean_acc += rep.agg_wait.mean_s;
+        if tails_acc.is_empty() {
+            tails_acc = rep.agg_wait.tails.clone();
+        } else {
+            for (acc, t) in tails_acc.iter_mut().zip(&rep.agg_wait.tails) {
+                acc.1 += t.1;
+            }
+        }
+    }
+    let sim_mean = mean_acc / seeds.len() as f64;
+    println!(
+        "mean aggregation wait : sim {:.4} ms | M/G/1 (eq. 13) {:.4} ms",
+        sim_mean * 1e3,
+        analytic.mean_wait() * 1e3
+    );
+    let mut csv = vec![format!(
+        "mean,{:.6},{:.6}",
+        sim_mean * 1e3,
+        analytic.mean_wait() * 1e3
+    )];
+    for (thr, acc) in &tails_acc {
+        let sim_p = acc / seeds.len() as f64;
+        let a_p = analytic.wait_tail_exact(*thr);
+        println!(
+            "P(W > {:>4.1} ms)       : sim {:.4e} | M/G/1 exact {:.4e} | eq.-14 approx {:.4e}",
+            thr * 1e3,
+            sim_p,
+            a_p,
+            analytic.wait_tail_approx(*thr).unwrap()
+        );
+        csv.push(format!("tail_{},{sim_p:.6e},{a_p:.6e}", thr * 1e3));
+    }
+    write_csv("multi_class_upstream.csv", "quantity,sim,analytic", &csv);
+    println!();
+    println!("The mixture M/G/1 of eq. (13) tracks the heterogeneous simulation —");
+    println!("'at any arrival one could flip a coin to decide from which class");
+    println!("the arrival is.' (Finite-N periodic streams sit slightly below the");
+    println!("Poisson-limit prediction, as in the single-class case.)");
+}

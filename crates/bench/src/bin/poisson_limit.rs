@@ -1,0 +1,60 @@
+//! Demonstrates eq. (11) — the Poisson limit of superposed periodic
+//! streams: as N grows with the load fixed, the N·D/D/1 tail estimates
+//! converge to the M/D/1 expressions, and the simulated aggregation-node
+//! wait approaches the M/D/1 prediction.
+
+use fpsping_bench::write_csv;
+use fpsping_dist::Deterministic;
+use fpsping_queue::nddd1::NDdd1;
+use fpsping_queue::mg1::mdd1;
+use fpsping_sim::{NetworkConfig, SimTime};
+
+fn main() {
+    let tau = 0.000_128; // 80 B on 5 Mbps
+    let rho = 0.5;
+    let w = 0.001; // 1 ms
+    println!("Poisson limit (eq. 11): P(W > {} ms) at fixed load ρ = {rho}", w * 1e3);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "N", "binom-sup", "chernoff", "M/D/1-LD", "M/D/1 exact"
+    );
+    let md1 = mdd1(rho / tau, tau).unwrap();
+    let exact = md1.wait_tail_exact(w);
+    let mut csv = Vec::new();
+    for &n in &[8u64, 16, 32, 64, 128, 256] {
+        let d = n as f64 * tau / rho;
+        let q = NDdd1::new(n, d, tau).unwrap();
+        let b = q.tail_binomial_sup(w);
+        let c = q.tail_chernoff(w);
+        let m = q.tail_mdd1_limit(w);
+        println!("{n:>6} {b:>14.4e} {c:>14.4e} {m:>14.4e} {exact:>14.4e}");
+        csv.push(format!("{n},{b:.6e},{c:.6e},{m:.6e},{exact:.6e}"));
+    }
+    write_csv(
+        "poisson_limit.csv",
+        "n,binomial_sup,chernoff,mdd1_ld,mdd1_exact",
+        &csv,
+    );
+
+    // Simulation cross-check at one population size.
+    println!();
+    println!("Simulated aggregation wait vs M/D/1 (N = 100 gamers):");
+    let n = 100usize;
+    let t_ms = n as f64 * tau * 1e3 / rho;
+    let mut cfg = NetworkConfig::paper_scenario(
+        n,
+        Box::new(Deterministic::new(125.0)),
+        t_ms,
+        0x90155,
+    );
+    cfg.duration = SimTime::from_secs(120.0);
+    let rep = cfg.run();
+    println!(
+        "  sim mean wait  : {:.4} ms | M/D/1 mean: {:.4} ms",
+        rep.agg_wait.mean_s * 1e3,
+        md1.mean_wait() * 1e3
+    );
+    println!("  (the simulated N·D/D/1 wait sits below its Poisson limit at finite N,");
+    println!("   and the per-user access links stagger arrivals further — eq. 11 is an");
+    println!("   upper envelope approached from below)");
+}

@@ -1,0 +1,51 @@
+//! Ablation of the §3.2.2 packet-position law: the paper carries the
+//! uniform-position case through §4, noting that the fixed-spot law with
+//! θ = 1 (the last packet of every burst) is the worst case. This binary
+//! quantifies the spread between the position assumptions.
+
+use fpsping_bench::write_csv;
+use fpsping_queue::{DEk1, ErlangMix, Position, PositionDelay, TotalDelay};
+
+fn main() {
+    let t = 0.040;
+    let k = 9u32;
+    println!("Position-law ablation — K = {k}, T = 40 ms, 99.999% stochastic quantile [ms]");
+    println!();
+    println!(
+        "{:>6} | {:>10} {:>12} {:>12} {:>12}",
+        "rho", "uniform", "spot θ=0.5", "spot θ=1.0", "first (θ→0)"
+    );
+    let mut csv = Vec::new();
+    for &rho in &[0.2, 0.4, 0.6, 0.8] {
+        let dek1 = DEk1::new(k, rho * t, t).unwrap();
+        let beta = k as f64 / (rho * t);
+        let q_for = |position: Position| -> f64 {
+            let pos = PositionDelay::new(k, beta, position).unwrap();
+            let td = TotalDelay::from_mixes(
+                ErlangMix::unit(),
+                dek1.to_mix(),
+                pos.to_mix().unwrap(),
+            );
+            td.quantile(0.99999) * 1e3
+        };
+        let uniform = {
+            let pos = PositionDelay::uniform(k, beta).unwrap();
+            let td = TotalDelay::new(None, &dek1, &pos).unwrap();
+            td.quantile(0.99999) * 1e3
+        };
+        let mid = q_for(Position::Spot(0.5));
+        let last = q_for(Position::Spot(1.0));
+        let first = q_for(Position::Spot(1e-6));
+        println!("{rho:>6.2} | {uniform:>10.2} {mid:>12.2} {last:>12.2} {first:>12.2}");
+        csv.push(format!("{rho},{uniform:.4},{mid:.4},{last:.4},{first:.4}"));
+    }
+    write_csv(
+        "position_ablation.csv",
+        "rho,uniform_ms,spot_half_ms,spot_last_ms,spot_first_ms",
+        &csv,
+    );
+    println!();
+    println!("θ = 1 (always last in the burst) upper-bounds the uniform case — the");
+    println!("paper's remark that 'even in this worst case, the dominant pole of");
+    println!("W(s) dominates this pole'. θ → 0 isolates the pure burst wait.");
+}

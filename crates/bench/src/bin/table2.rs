@@ -1,0 +1,62 @@
+//! Reproduces **Table 2**: the Half-Life traffic model of Lang et al. —
+//! deterministic burst clock Det(60), deterministic client clock Det(41),
+//! lognormal (map-dependent) server packet sizes, (log-)normal client
+//! sizes in 60–90 B.
+
+use fpsping_bench::write_csv;
+use fpsping_num::stats::{cov, mean};
+use fpsping_traffic::games::half_life;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let g = half_life();
+    let mut rng = StdRng::seed_from_u64(0x7AB1E2);
+    let n = 400_000;
+
+    println!("Table 2 — Half-Life traffic model (Lang et al.)");
+    println!(
+        "{:<26} {:>12} | {:>10} {:>8} | model",
+        "quantity", "paper", "model mean", "CoV"
+    );
+
+    let server_sizes = g.server.packet_size.sample_n(&mut rng, n);
+    let burst_iat = g.server.burst_inter_arrival_ms.sample_n(&mut rng, n);
+    let client_sizes = g.client.packet_size.sample_n(&mut rng, n);
+    let client_iat = g.client.inter_arrival_ms.sample_n(&mut rng, n);
+
+    let rows = [
+        (
+            "server packet size [B]",
+            "map-dep. lognormal",
+            mean(&server_sizes),
+            cov(&server_sizes),
+            "LogNormal(120, 0.4)",
+        ),
+        ("burst inter-arrival [ms]", "Det(60)", mean(&burst_iat), cov(&burst_iat), "Det(60)"),
+        (
+            "client packet size [B]",
+            "60-90 B (log)normal",
+            mean(&client_sizes),
+            cov(&client_sizes),
+            "Normal(75, 7.5)",
+        ),
+        ("client inter-arrival [ms]", "Det(41)", mean(&client_iat), cov(&client_iat), "Det(41)"),
+    ];
+    let mut csv = Vec::new();
+    for (name, paper, m, c, model) in rows {
+        println!("{name:<26} {paper:>12} | {m:>10.1} {c:>8.3} | {model}");
+        csv.push(format!("{name},{paper},{m:.3},{c:.4},{model}"));
+    }
+    // Range check the client sizes against the reported 60–90 B span.
+    let in_range = client_sizes.iter().filter(|&&s| (60.0..=90.0).contains(&s)).count();
+    println!(
+        "client sizes within the reported 60–90 B band: {:.1}%",
+        100.0 * in_range as f64 / client_sizes.len() as f64
+    );
+    write_csv(
+        "table2_half_life.csv",
+        "quantity,paper_value,model_mean,model_cov,model",
+        &csv,
+    );
+}

@@ -1,0 +1,80 @@
+//! Scheduler study (Section 1 of the paper): can the gaming queue really
+//! be "studied in isolation"? Simulates the same gaming population under
+//! FIFO, non-preemptive priority and WFQ while elastic background traffic
+//! loads the bottleneck, and compares against two isolated baselines.
+
+use fpsping_bench::write_csv;
+use fpsping_dist::Deterministic;
+use fpsping_sim::network::BackgroundConfig;
+use fpsping_sim::scheduler::Discipline;
+use fpsping_sim::{NetworkConfig, SimTime};
+
+fn run(disc: Discipline, bg_load: f64, c_bps: f64, seed: u64) -> fpsping_sim::SimReport {
+    let mut cfg = NetworkConfig::paper_scenario(50, Box::new(Deterministic::new(125.0)), 40.0, seed);
+    cfg.c_bps = c_bps;
+    cfg.discipline = disc;
+    if bg_load > 0.0 {
+        cfg.background = Some(BackgroundConfig { load: bg_load, packet_bytes: 1500.0 });
+    }
+    cfg.duration = SimTime::from_secs(120.0);
+    cfg.run()
+}
+
+fn main() {
+    println!("Scheduler isolation study — N = 50 gamers (ρ_game = 0.25 on 5 Mbps),");
+    println!("elastic background at various loads, 1500 B elastic packets.");
+    println!();
+    println!(
+        "{:<26} {:>8} | {:>10} {:>10} {:>10}",
+        "configuration", "bg load", "mean [ms]", "p99 [ms]", "p99.9 [ms]"
+    );
+    let q = |rep: &fpsping_sim::SimReport, p: f64| {
+        rep.downstream_delay
+            .quantiles
+            .iter()
+            .find(|(x, _)| (*x - p).abs() < 1e-9)
+            .map(|(_, v)| v * 1e3)
+            .unwrap_or(f64::NAN)
+    };
+    let mut csv = Vec::new();
+    let mut emit = |name: &str, bg: f64, rep: &fpsping_sim::SimReport| {
+        println!(
+            "{name:<26} {bg:>8.2} | {:>10.3} {:>10.3} {:>10.3}",
+            rep.downstream_delay.mean_s * 1e3,
+            q(rep, 0.99),
+            q(rep, 0.999)
+        );
+        csv.push(format!(
+            "{name},{bg},{:.5},{:.5},{:.5}",
+            rep.downstream_delay.mean_s * 1e3,
+            q(rep, 0.99),
+            q(rep, 0.999)
+        ));
+    };
+
+    let iso_full = run(Discipline::Fifo, 0.0, 5_000_000.0, 1);
+    emit("isolated (full C)", 0.0, &iso_full);
+    let iso_reserved = run(Discipline::Fifo, 0.0, 2_000_000.0, 1);
+    emit("isolated (0.4·C)", 0.0, &iso_reserved);
+    for &bg in &[0.3, 0.5, 0.7] {
+        let fifo = run(Discipline::Fifo, bg, 5_000_000.0, 2);
+        emit("FIFO + elastic", bg, &fifo);
+        let prio = run(Discipline::Priority, bg, 5_000_000.0, 2);
+        emit("HoL priority + elastic", bg, &prio);
+        let wfq = run(Discipline::Wfq { game_weight: 0.4 }, bg, 5_000_000.0, 2);
+        emit("WFQ(0.4) + elastic", bg, &wfq);
+        println!();
+    }
+    write_csv(
+        "wfq_isolation.csv",
+        "configuration,bg_load,mean_ms,p99_ms,p999_ms",
+        &csv,
+    );
+    println!("Reading guide (Section 1 of the paper):");
+    println!("  • FIFO degrades with elastic load — gaming cannot be isolated;");
+    println!("  • HoL priority tracks the isolated-full-C baseline (residual 1500 B");
+    println!("    service ≈ 2.4 ms worst case, 'negligible on moderate-rate links');");
+    println!("  • WFQ tracks the isolated baseline at its *reserved* rate once the");
+    println!("    elastic class saturates its own share — i.e. analyze the gaming");
+    println!("    queue in isolation with C ← w·C, exactly the paper's modeling move.");
+}

@@ -1,0 +1,58 @@
+//! Shared plumbing for the reproduction binaries: locating the `results/`
+//! directory and writing CSV series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The repository-level `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into `results/` and echoes its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("→ wrote {}", path.display());
+    path
+}
+
+/// Formats an `(x, y)` series as CSV rows with fixed precision.
+pub fn series_rows(series: &[(f64, f64)]) -> Vec<String> {
+    series.iter().map(|(x, y)| format!("{x:.6},{y:.6e}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let p = write_csv("unit_test_tmp.csv", "a,b", &["1,2".into(), "3,4".into()]);
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn series_formatting() {
+        let rows = series_rows(&[(0.5, 1e-5)]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].starts_with("0.500000,"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `fpsping-cli` — the command-line front-end to the ping-time model.
+//!
+//! ```text
+//! fpsping-cli quantile  --load 0.4 --k 9
+//! fpsping-cli dimension --budget-ms 50 --k 20
+//! fpsping-cli sweep     --tick-ms 60
+//! ```
+
+use fpsping::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(cmd) => match cli::run(&cmd) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Command-line front-end plumbing for the `fpsping-cli` binary.
+//!
+//! Kept in the library (rather than the binary) so the argument parsing
+//! and command execution are unit-testable. Hand-rolled parsing — the
+//! surface is four subcommands with numeric flags; a dependency would be
+//! heavier than the code.
+
+use crate::{max_load, rtt_vs_load, RttModel, Scenario};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `quantile` — report the RTT quantile (and breakdown) for a scenario.
+    Quantile(Scenario),
+    /// `dimension --budget-ms B` — maximum load / gamers under a budget.
+    Dimension {
+        /// The base scenario.
+        scenario: Scenario,
+        /// RTT budget in ms.
+        budget_ms: f64,
+    },
+    /// `sweep` — RTT across the paper's load grid.
+    Sweep(Scenario),
+    /// `help` — usage text.
+    Help,
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "fpsping-cli — FPS ping-time modeling (Degrande et al., 2006)
+
+USAGE:
+    fpsping-cli <COMMAND> [FLAGS]
+
+COMMANDS:
+    quantile     RTT quantile + per-component breakdown for one scenario
+    dimension    maximum load / gamers under a ping budget (needs --budget-ms)
+    sweep        RTT quantile across the 5%..90% load grid
+    help         this text
+
+FLAGS (all optional; defaults are the paper's §4 scenario):
+    --load <0..1>            downlink load ρ_d              [default 0.4]
+    --gamers <N>             gamer count (overrides --load)
+    --k <K>                  Erlang order of burst sizes    [default 9]
+    --tick-ms <T>            server tick interval            [default 40]
+    --server-packet <B>      P_S in bytes                    [default 125]
+    --client-packet <B>      P_C in bytes                    [default 80]
+    --client-interval-ms <T> client send interval            [default = tick]
+    --c-kbps <C>             bottleneck rate in kbit/s       [default 5000]
+    --rup-kbps <R>           access uplink rate in kbit/s    [default 128]
+    --rdown-kbps <R>         access downlink rate in kbit/s  [default 1024]
+    --quantile <p>           quantile level                  [default 0.99999]
+    --budget-ms <B>          RTT budget (dimension only)
+    --no-upstream            drop the upstream M/G/1 term
+";
+
+fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, ParseError> {
+    let v = value.ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
+    v.parse::<f64>()
+        .map_err(|_| ParseError(format!("flag {flag}: `{v}` is not a number")))
+}
+
+/// Parses the argument vector (without argv[0]).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        return Ok(Command::Help);
+    }
+    let mut scenario = Scenario::paper_default();
+    let mut budget_ms: Option<f64> = None;
+    let mut i = 1usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        let mut consumed = 2;
+        match flag {
+            "--load" => scenario = scenario.with_load(parse_f64(flag, value)?),
+            "--gamers" => {
+                let n = parse_f64(flag, value)?;
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(ParseError(format!("--gamers must be a positive integer, got {n}")));
+                }
+                scenario = scenario.with_gamers(n as u32);
+            }
+            "--k" => {
+                let k = parse_f64(flag, value)?;
+                if k < 1.0 || k.fract() != 0.0 {
+                    return Err(ParseError(format!("--k must be a positive integer, got {k}")));
+                }
+                scenario = scenario.with_erlang_order(k as u32);
+            }
+            "--tick-ms" => scenario = scenario.with_tick_ms(parse_f64(flag, value)?),
+            "--server-packet" => scenario = scenario.with_server_packet(parse_f64(flag, value)?),
+            "--client-packet" => scenario.client_packet_bytes = parse_f64(flag, value)?,
+            "--client-interval-ms" => {
+                scenario = scenario.with_client_interval_ms(parse_f64(flag, value)?)
+            }
+            "--c-kbps" => scenario.c_bps = parse_f64(flag, value)? * 1e3,
+            "--rup-kbps" => scenario.r_up_bps = parse_f64(flag, value)? * 1e3,
+            "--rdown-kbps" => scenario.r_down_bps = parse_f64(flag, value)? * 1e3,
+            "--quantile" => scenario.quantile = parse_f64(flag, value)?,
+            "--budget-ms" => budget_ms = Some(parse_f64(flag, value)?),
+            "--no-upstream" => {
+                scenario.include_upstream = false;
+                consumed = 1;
+            }
+            other => return Err(ParseError(format!("unknown flag `{other}` (try `help`)"))),
+        }
+        i += consumed;
+    }
+    match cmd.as_str() {
+        "quantile" => Ok(Command::Quantile(scenario)),
+        "dimension" => {
+            let budget_ms = budget_ms
+                .ok_or_else(|| ParseError("dimension needs --budget-ms".to_string()))?;
+            Ok(Command::Dimension { scenario, budget_ms })
+        }
+        "sweep" => Ok(Command::Sweep(scenario)),
+        other => Err(ParseError(format!("unknown command `{other}` (try `help`)"))),
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Quantile(s) => {
+            let model = RttModel::build(s).map_err(|e| e.to_string())?;
+            let b = model.breakdown();
+            let _ = writeln!(
+                out,
+                "scenario: ρ_d={:.3} ρ_u={:.3} N={:.1} K={} T={} ms P_S={} B",
+                s.downlink_load(),
+                s.uplink_load(),
+                s.gamer_count(),
+                s.erlang_order,
+                s.t_ms,
+                s.server_packet_bytes
+            );
+            let _ = writeln!(out, "{:.3}% RTT quantile: {:.2} ms", s.quantile * 100.0, b.rtt_ms);
+            let _ = writeln!(out, "  deterministic : {:.3} ms", b.deterministic_ms);
+            let _ = writeln!(out, "  stochastic    : {:.3} ms", b.stochastic_ms);
+            let _ = writeln!(out, "    upstream    : {:.3} ms (alone)", b.upstream_ms);
+            let _ = writeln!(out, "    burst wait  : {:.3} ms (alone)", b.burst_wait_ms);
+            let _ = writeln!(out, "    position    : {:.3} ms (alone)", b.position_ms);
+        }
+        Command::Dimension { scenario, budget_ms } => {
+            let r = max_load(scenario, *budget_ms).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "budget {budget_ms} ms @ {:.3}%: rho_max = {:.1}%, N_max = {}, RTT@max = {:.1} ms",
+                scenario.quantile * 100.0,
+                100.0 * r.rho_max,
+                r.n_max,
+                r.rtt_at_max_ms
+            );
+        }
+        Command::Sweep(s) => {
+            let _ = writeln!(out, "{:>6} {:>8} {:>12}", "load", "gamers", "RTT [ms]");
+            for p in rtt_vs_load(s, &crate::sweep::paper_load_grid()) {
+                match p.rtt_ms {
+                    Some(v) => {
+                        let _ = writeln!(out, "{:>5.0}% {:>8.0} {:>12.2}", p.rho_d * 100.0, p.n_gamers, v);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{:>5.0}% {:>8.0} {:>12}", p.rho_d * 100.0, p.n_gamers, "infeasible");
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn quantile_with_flags() {
+        let cmd = parse(&argv("quantile --load 0.5 --k 20 --tick-ms 60")).unwrap();
+        match cmd {
+            Command::Quantile(s) => {
+                assert!((s.downlink_load() - 0.5).abs() < 1e-12);
+                assert_eq!(s.erlang_order, 20);
+                assert_eq!(s.t_ms, 60.0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gamers_overrides_load() {
+        let cmd = parse(&argv("quantile --gamers 80")).unwrap();
+        match cmd {
+            Command::Quantile(s) => assert!((s.gamer_count() - 80.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_requires_budget() {
+        assert!(parse(&argv("dimension")).is_err());
+        let cmd = parse(&argv("dimension --budget-ms 50 --k 2")).unwrap();
+        match cmd {
+            Command::Dimension { budget_ms, scenario } => {
+                assert_eq!(budget_ms, 50.0);
+                assert_eq!(scenario.erlang_order, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("fly")).is_err());
+        assert!(parse(&argv("quantile --load")).is_err());
+        assert!(parse(&argv("quantile --load abc")).is_err());
+        assert!(parse(&argv("quantile --k 2.5")).is_err());
+        assert!(parse(&argv("quantile --warp 9")).is_err());
+    }
+
+    #[test]
+    fn run_quantile_produces_report() {
+        let cmd = parse(&argv("quantile --load 0.4")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("RTT quantile"), "{out}");
+        assert!(out.contains("burst wait"), "{out}");
+    }
+
+    #[test]
+    fn run_dimension_matches_library() {
+        let cmd = parse(&argv("dimension --budget-ms 50")).unwrap();
+        let out = run(&cmd).unwrap();
+        // K = 9 default → ~41% (paper: ≈40%).
+        assert!(out.contains("rho_max = 41") || out.contains("rho_max = 40"), "{out}");
+    }
+
+    #[test]
+    fn run_sweep_covers_grid() {
+        let cmd = parse(&argv("sweep --k 9 --no-upstream")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert_eq!(out.lines().count(), 19, "{out}"); // header + 18 loads
+        assert!(out.contains("90%"));
+    }
+
+    #[test]
+    fn unstable_scenario_surfaces_error() {
+        let cmd = parse(&argv("quantile --load 1.5")).unwrap();
+        assert!(run(&cmd).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dimensioning: invert the RTT model under a ping budget (§4's
+//! "dimensioning rule").
+//!
+//! Given a target such as "the 99.999 % RTT quantile must stay below
+//! 50 ms" (the paper cites Färber's 'excellent game play' bound), find
+//! the maximum tolerable downlink load `ρ_max` and convert it to gamers
+//! via eq. (37): `N_max = ρ_max·T·C/(8·P_S)`.
+
+use crate::rtt::RttModel;
+use crate::scenario::Scenario;
+use fpsping_queue::QueueError;
+
+/// Result of a dimensioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensioningResult {
+    /// Maximum tolerable downlink load.
+    pub rho_max: f64,
+    /// Maximum number of simultaneous gamers (floor of eq. 37).
+    pub n_max: u32,
+    /// RTT quantile (ms) realized exactly at `rho_max`.
+    pub rtt_at_max_ms: f64,
+}
+
+/// Finds the largest downlink load whose RTT quantile stays within
+/// `rtt_budget_ms`, by bisection over `ρ_d ∈ (lo_load, hi_load)`.
+///
+/// Returns `rho_max = 0` (with `n_max = 0`) when even a vanishing load
+/// breaks the budget — e.g. a budget below the deterministic floor.
+pub fn max_load(base: &Scenario, rtt_budget_ms: f64) -> Result<DimensioningResult, QueueError> {
+    assert!(rtt_budget_ms > 0.0, "budget must be positive");
+    let rtt_at = |rho: f64| -> Result<Option<f64>, QueueError> {
+        let s = base.clone().with_load(rho);
+        match RttModel::build(&s) {
+            Ok(m) => Ok(Some(m.rtt_quantile_ms())),
+            Err(QueueError::UnstableLoad { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+    let lo_probe = 1e-4;
+    match rtt_at(lo_probe)? {
+        Some(r) if r <= rtt_budget_ms => {}
+        _ => {
+            return Ok(DimensioningResult { rho_max: 0.0, n_max: 0, rtt_at_max_ms: f64::NAN });
+        }
+    }
+    // Find the largest feasible probe (uplink may saturate first).
+    let mut lo = lo_probe;
+    let mut hi = 0.999;
+    // Shrink hi until the scenario is at least buildable.
+    let mut hi_val = rtt_at(hi)?;
+    let mut guard = 0;
+    while hi_val.is_none() && guard < 200 {
+        hi = lo + 0.95 * (hi - lo);
+        hi_val = rtt_at(hi)?;
+        guard += 1;
+    }
+    if let Some(r) = hi_val {
+        if r <= rtt_budget_ms {
+            // Budget never binds below saturation.
+            let s = base.clone().with_load(hi);
+            return Ok(DimensioningResult {
+                rho_max: hi,
+                n_max: s.gamer_count().floor() as u32,
+                rtt_at_max_ms: r,
+            });
+        }
+    }
+    // Bisect on feasibility of the budget.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        match rtt_at(mid)? {
+            Some(r) if r <= rtt_budget_ms => lo = mid,
+            _ => hi = mid,
+        }
+    }
+    let s = base.clone().with_load(lo);
+    let rtt = rtt_at(lo)?.unwrap_or(f64::NAN);
+    Ok(DimensioningResult {
+        rho_max: lo,
+        n_max: s.gamer_count().floor() as u32,
+        rtt_at_max_ms: rtt,
+    })
+}
+
+/// Convenience: just the gamer count.
+pub fn max_gamers(base: &Scenario, rtt_budget_ms: f64) -> Result<u32, QueueError> {
+    Ok(max_load(base, rtt_budget_ms)?.n_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §4's worked example: P_S = 125 B, T = 40 ms, C = 5 Mbps, 50 ms
+    /// budget → ρ_max ≈ 20 % / 40 % / 60 % and N_max ≈ 40 / 80 / 120 for
+    /// K = 2 / 9 / 20.
+    #[test]
+    fn paper_dimensioning_example_k9() {
+        let base = Scenario::paper_default(); // K = 9, T = 40
+        let r = max_load(&base, 50.0).unwrap();
+        assert!(
+            (0.30..0.55).contains(&r.rho_max),
+            "paper: ≈40% for K=9; got {}",
+            r.rho_max
+        );
+        assert!((60..110).contains(&r.n_max), "paper: ≈80 gamers; got {}", r.n_max);
+        assert!(r.rtt_at_max_ms <= 50.0 + 0.1);
+    }
+
+    #[test]
+    fn paper_dimensioning_example_k2_and_k20() {
+        let k2 = max_load(&Scenario::paper_default().with_erlang_order(2), 50.0).unwrap();
+        let k20 = max_load(&Scenario::paper_default().with_erlang_order(20), 50.0).unwrap();
+        assert!(
+            (0.12..0.32).contains(&k2.rho_max),
+            "paper: ≈20% for K=2; got {}",
+            k2.rho_max
+        );
+        assert!(
+            (0.48..0.75).contains(&k20.rho_max),
+            "paper: ≈60% for K=20; got {}",
+            k20.rho_max
+        );
+        assert!(k2.n_max < k20.n_max);
+    }
+
+    #[test]
+    fn tighter_budget_means_fewer_gamers() {
+        let base = Scenario::paper_default();
+        let strict = max_load(&base, 30.0).unwrap();
+        let loose = max_load(&base, 100.0).unwrap();
+        assert!(strict.rho_max < loose.rho_max);
+        assert!(strict.n_max <= loose.n_max);
+    }
+
+    #[test]
+    fn impossible_budget_yields_zero() {
+        // Budget below the 6.3 ms deterministic floor.
+        let r = max_load(&Scenario::paper_default(), 5.0).unwrap();
+        assert_eq!(r.rho_max, 0.0);
+        assert_eq!(r.n_max, 0);
+    }
+
+    #[test]
+    fn generous_budget_saturates_at_stability_not_budget() {
+        let r = max_load(&Scenario::paper_default(), 100_000.0).unwrap();
+        assert!(r.rho_max > 0.95);
+    }
+
+    #[test]
+    fn uplink_saturation_caps_ps75() {
+        // P_S = 75: the uplink saturates at ρ_d = 0.9375; a huge budget
+        // must cap there, not at 0.999.
+        let s = Scenario::paper_default().with_server_packet(75.0);
+        let r = max_load(&s, 100_000.0).unwrap();
+        assert!(r.rho_max < 0.9375 + 1e-6, "rho_max {}", r.rho_max);
+        assert!(r.rho_max > 0.85);
+    }
+}

@@ -1,0 +1,114 @@
+//! The deterministic (Dirac) distribution `Det(d)`.
+//!
+//! The paper's client traffic model (§2.3.1) uses deterministic packet
+//! inter-arrival times — Färber's `Det(40)` for Counter-Strike, Lang's
+//! `Det(41)`/`Det(60)` for Half-Life — and the server burst clock is
+//! `Det(T)` (§2.3.2).
+
+use crate::Distribution;
+use fpsping_num::Complex64;
+use rand::RngCore;
+
+/// A point mass at `value`; the paper writes `Det(value)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates `Det(value)`; `value` must be finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "Deterministic: value must be finite");
+        Self { value }
+    }
+
+    /// The atom's location.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Distribution for Deterministic {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn cov(&self) -> f64 {
+        0.0
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.value
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn mgf(&self, s: Complex64) -> Option<Complex64> {
+        Some((s * self.value).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn farber_det40_properties() {
+        let d = Deterministic::new(40.0);
+        assert_eq!(d.mean(), 40.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cov(), 0.0);
+        assert_eq!(d.cdf(39.999), 0.0);
+        assert_eq!(d.cdf(40.0), 1.0);
+        assert_eq!(d.tdf(40.0), 0.0);
+        assert_eq!(d.quantile(0.5), 40.0);
+    }
+
+    #[test]
+    fn samples_are_constant() {
+        let d = Deterministic::new(-3.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), -3.25);
+        }
+    }
+
+    #[test]
+    fn mgf_is_exponential_in_s() {
+        let d = Deterministic::new(2.0);
+        let v = d.mgf(Complex64::from_real(0.5)).unwrap();
+        assert!((v.re - 1.0f64.exp()).abs() < 1e-14);
+        assert!(v.im.abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Deterministic::new(f64::NAN);
+    }
+}

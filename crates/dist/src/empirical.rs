@@ -1,0 +1,114 @@
+//! The empirical distribution of a recorded sample.
+//!
+//! Wraps `fpsping_num::stats::Ecdf` in the common [`Distribution`] trait so
+//! measured traces (e.g. the synthetic Unreal Tournament burst sizes of
+//! §2.2) can be resampled, compared against fitted families, and fed to the
+//! simulator directly.
+
+use crate::{uniform01, Distribution};
+use fpsping_num::stats::Ecdf;
+use rand::RngCore;
+
+/// Empirical distribution: samples uniformly from the recorded
+/// observations; CDF/TDF are the step functions of the sample.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    ecdf: Ecdf,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds the empirical law of `sample` (non-empty, NaN-free).
+    pub fn new(sample: Vec<f64>) -> Self {
+        let mean = fpsping_num::stats::mean(&sample);
+        let variance = if sample.len() >= 2 {
+            fpsping_num::stats::variance(&sample)
+        } else {
+            0.0
+        };
+        Self { ecdf: Ecdf::new(sample), mean, variance }
+    }
+
+    /// The underlying ECDF.
+    pub fn ecdf(&self) -> &Ecdf {
+        &self.ecdf
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// Whether the sample is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ecdf.is_empty()
+    }
+}
+
+impl Distribution for Empirical {
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn pdf(&self, _x: f64) -> f64 {
+        // A discrete sample has no density; callers wanting a density
+        // should histogram (`fpsping_num::stats::Histogram`) instead.
+        0.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.ecdf.cdf(x)
+    }
+
+    fn tdf(&self, x: f64) -> f64 {
+        self.ecdf.tdf(x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.ecdf.quantile(p)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let sorted = self.ecdf.sorted();
+        let idx = (uniform01(rng) * sorted.len() as f64) as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_sample() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+        assert!((e.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn resampling_reproduces_distribution() {
+        let e = Empirical::new(vec![1.0, 1.0, 1.0, 5.0]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = e.sample_n(&mut rng, 20_000);
+        let fives = s.iter().filter(|&&x| x == 5.0).count() as f64 / 20_000.0;
+        assert!((fives - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn tdf_steps() {
+        let e = Empirical::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(e.tdf(5.0), 1.0);
+        assert!((e.tdf(10.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.tdf(30.0), 0.0);
+    }
+}

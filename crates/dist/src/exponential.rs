@@ -1,0 +1,135 @@
+//! The exponential distribution.
+//!
+//! The Poisson-limit argument of §3.1 (eq. (11)) turns the superposition of
+//! many periodic client streams into a Poisson process, whose inter-arrival
+//! times are exponential — the arrival law of the upstream M/G/1 queue.
+
+use crate::{uniform01, Distribution};
+use fpsping_num::Complex64;
+use rand::RngCore;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `λ > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "Exponential: rate must be positive");
+        Self { rate }
+    }
+
+    /// Creates an exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "Exponential: mean must be positive");
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn cov(&self) -> f64 {
+        1.0
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn tdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -uniform01(rng).ln() / self.rate
+    }
+
+    fn mgf(&self, s: Complex64) -> Option<Complex64> {
+        // Finite for Re s < λ.
+        if s.re >= self.rate {
+            return None;
+        }
+        Some(Complex64::from_real(self.rate) / (self.rate - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+
+    #[test]
+    fn moments_and_cov() {
+        let e = Exponential::new(0.5);
+        assert_eq!(e.mean(), 2.0);
+        assert_eq!(e.variance(), 4.0);
+        assert_eq!(e.cov(), 1.0);
+        let m = Exponential::with_mean(2.0);
+        assert_eq!(m.rate(), 0.5);
+    }
+
+    #[test]
+    fn memoryless_tail() {
+        let e = Exponential::new(1.5);
+        let (s, t) = (0.7, 1.1);
+        let lhs = e.tdf(s + t);
+        let rhs = e.tdf(s) * e.tdf(t);
+        assert!((lhs - rhs).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_closed_form() {
+        let e = Exponential::new(2.0);
+        assert!((e.quantile(0.5) - 0.5 * 2.0f64.ln()).abs() < 1e-14);
+        assert!((e.cdf(e.quantile(0.999)) - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mgf_pole_location() {
+        let e = Exponential::new(3.0);
+        assert!(e.mgf(Complex64::from_real(3.0)).is_none());
+        assert!(e.mgf(Complex64::from_real(2.999)).is_some());
+        let v = e.mgf(Complex64::from_real(1.0)).unwrap();
+        assert!((v.re - 1.5).abs() < 1e-14); // 3/(3-1)
+    }
+
+    #[test]
+    fn empirical_checks() {
+        check_distribution(&Exponential::new(0.8), 200_000, 0.02);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Gamma distribution with arbitrary (non-integer) shape.
+//!
+//! The Erlang family of §2.3.2 is the integer-shape special case; the
+//! general Gamma lets the fitting procedures interpolate between orders
+//! (e.g. CoV 0.19 → shape 27.7 before rounding to K = 28) and provides
+//! the Marsaglia–Tsang sampler the Erlang sampler cross-checks against.
+
+use crate::{uniform01, Distribution, Normal};
+use fpsping_num::special::{gamma_p, gamma_q, ln_gamma};
+use fpsping_num::Complex64;
+use rand::RngCore;
+
+/// Gamma distribution with shape `α > 0` and rate `λ > 0`
+/// (mean `α/λ`, variance `α/λ²`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma with the given shape and rate.
+    pub fn new(shape: f64, rate: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "Gamma: shape must be positive");
+        assert!(rate.is_finite() && rate > 0.0, "Gamma: rate must be positive");
+        Self { shape, rate }
+    }
+
+    /// Moment-matched construction from mean and CoV: `shape = 1/CoV²`,
+    /// `rate = shape/mean` — the un-rounded version of the paper's
+    /// Erlang-order rule.
+    pub fn from_mean_cov(mean: f64, cov: f64) -> Self {
+        assert!(mean > 0.0 && cov > 0.0, "Gamma: mean and CoV must be positive");
+        let shape = 1.0 / (cov * cov);
+        Self::new(shape, shape / mean)
+    }
+
+    /// Shape parameter α.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Marsaglia–Tsang sampling for shape ≥ 1; shape < 1 via the boost
+    /// `X_α = X_{α+1}·U^{1/α}`.
+    fn sample_standard(shape: f64, rng: &mut dyn RngCore) -> f64 {
+        if shape < 1.0 {
+            let x = Self::sample_standard(shape + 1.0, rng);
+            return x * uniform01(rng).powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = Normal::sample_standard(rng);
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = uniform01(rng);
+            if u < 1.0 - 0.0331 * z.powi(4)
+                || u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln())
+            {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+
+    fn cov(&self) -> f64 {
+        1.0 / self.shape.sqrt()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.shape {
+                a if a < 1.0 => f64::INFINITY,
+                a if (a - 1.0).abs() < f64::EPSILON => self.rate,
+                _ => 0.0,
+            };
+        }
+        (self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
+            - self.rate * x
+            - ln_gamma(self.shape))
+            .exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, self.rate * x)
+        }
+    }
+
+    fn tdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            gamma_q(self.shape, self.rate * x)
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        Self::sample_standard(self.shape, rng) / self.rate
+    }
+
+    fn mgf(&self, s: Complex64) -> Option<Complex64> {
+        if s.re >= self.rate {
+            return None;
+        }
+        // (λ/(λ-s))^α via the principal branch.
+        Some((Complex64::from_real(self.rate) / (self.rate - s)).powc(
+            Complex64::from_real(self.shape),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+    use crate::Erlang;
+
+    #[test]
+    fn integer_shape_matches_erlang() {
+        let g = Gamma::new(9.0, 0.011);
+        let e = Erlang::new(9, 0.011);
+        for &x in &[100.0, 500.0, 1000.0, 2000.0] {
+            assert!((g.pdf(x) - e.pdf(x)).abs() < 1e-12);
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+        assert!((g.mean() - e.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mean_cov_is_unrounded_paper_rule() {
+        // §2.3.2: CoV 0.19 → 1/0.19² = 27.7 (rounded to 28 for Erlang).
+        let g = Gamma::from_mean_cov(1852.0, 0.19);
+        assert!((g.shape() - 27.70).abs() < 0.01);
+        assert!((g.mean() - 1852.0).abs() < 1e-9);
+        assert!((g.cov() - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mgf_matches_erlang_form_for_integer_shape() {
+        let g = Gamma::new(3.0, 2.0);
+        let v = g.mgf(Complex64::from_real(0.5)).unwrap();
+        assert!((v.re - (2.0f64 / 1.5).powi(3)).abs() < 1e-10);
+        assert!(g.mgf(Complex64::from_real(2.0)).is_none());
+    }
+
+    #[test]
+    fn sampler_handles_small_shape() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = Gamma::new(0.5, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let s = g.sample_n(&mut rng, 100_000);
+        let m = fpsping_num::stats::mean(&s);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(s.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn empirical_checks() {
+        check_distribution(&Gamma::new(27.7, 27.7 / 1852.0), 100_000, 0.03);
+    }
+}

@@ -1,0 +1,108 @@
+//! The normal distribution.
+//!
+//! Lang et al. found that Half-Life client packet sizes are fit equally
+//! well by normal and lognormal laws (Table 2); we provide both.
+
+use crate::{uniform01, Distribution};
+use fpsping_num::special::{std_normal_cdf, std_normal_inv_cdf};
+use fpsping_num::Complex64;
+use rand::RngCore;
+
+/// Normal distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)` with `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma > 0.0, "Normal: need σ > 0");
+        Self { mu, sigma }
+    }
+
+    /// Mean parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard-deviation parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a standard-normal variate (Box–Muller, one branch).
+    pub fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        let u1 = uniform01(rng);
+        let u2 = uniform01(rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.mu + self.sigma * std_normal_inv_cdf(p)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.mu + self.sigma * Self::sample_standard(rng)
+    }
+
+    fn mgf(&self, s: Complex64) -> Option<Complex64> {
+        Some((s * self.mu + s * s * (0.5 * self.sigma * self.sigma)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+
+    #[test]
+    fn standard_normal_values() {
+        let n = Normal::new(0.0, 1.0);
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-13);
+        assert!((n.cdf(1.96) - 0.975_002_104_851_779_7).abs() < 1e-9);
+        assert!((n.pdf(0.0) - 1.0 / (2.0 * std::f64::consts::PI).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_matches_tables() {
+        let n = Normal::new(0.0, 1.0);
+        assert!((n.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((n.quantile(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mgf_real_axis() {
+        // E[e^{sX}] = exp(μs + σ²s²/2).
+        let n = Normal::new(1.0, 2.0);
+        let v = n.mgf(Complex64::from_real(0.3)).unwrap();
+        let expect = (1.0f64 * 0.3 + 4.0 * 0.09 / 2.0).exp();
+        assert!((v.re - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_checks() {
+        check_distribution(&Normal::new(75.0, 8.0), 100_000, 0.03);
+    }
+}

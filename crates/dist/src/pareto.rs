@@ -1,0 +1,149 @@
+//! The Pareto distribution — a heavy-tailed counter-model.
+//!
+//! The paper's concluding remarks stress that the dimensioning results
+//! "depend to some extent on the details of the downstream traffic
+//! characteristics". Pareto burst sizes are the stress case: with a
+//! power-law tail no exponential-tail analysis applies (the MGF does not
+//! exist for `s > 0`), and the sensitivity experiments use it to show how
+//! far a heavy-tailed burst law moves the measured quantiles away from
+//! every Erlang prediction.
+
+use crate::{uniform01, Distribution};
+use rand::RngCore;
+
+/// Pareto (Type I) distribution: `P(X > x) = (x_m/x)^α` for `x ≥ x_m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto with scale `x_m > 0` and tail index `α > 0`.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "Pareto: scale must be positive");
+        assert!(alpha.is_finite() && alpha > 0.0, "Pareto: alpha must be positive");
+        Self { scale, alpha }
+    }
+
+    /// Pareto with a given mean and tail index `α > 1`
+    /// (`x_m = mean·(α-1)/α`).
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "Pareto: finite mean requires alpha > 1");
+        Self::new(mean * (alpha - 1.0) / alpha, alpha)
+    }
+
+    /// Scale (minimum value) `x_m`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Tail index α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Distribution for Pareto {
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.scale / (self.alpha - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.scale * self.scale * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            self.alpha * self.scale.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.alpha)
+        }
+    }
+
+    fn tdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            1.0
+        } else {
+            (self.scale / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.scale / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale / uniform01(rng).powf(1.0 / self.alpha)
+    }
+
+    // No `mgf` override: the Pareto MGF diverges for Re s > 0, which is
+    // exactly why the paper's transform machinery cannot cover it.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+
+    #[test]
+    fn moments() {
+        let p = Pareto::new(1.0, 3.0);
+        assert!((p.mean() - 1.5).abs() < 1e-12);
+        assert!((p.variance() - 3.0 / (4.0 * 1.0)).abs() < 1e-12);
+        assert!(Pareto::new(1.0, 1.0).mean().is_infinite());
+        assert!(Pareto::new(1.0, 1.5).variance().is_infinite());
+    }
+
+    #[test]
+    fn with_mean_round_trip() {
+        let p = Pareto::with_mean(1852.0, 2.5);
+        assert!((p.mean() - 1852.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_tail() {
+        let p = Pareto::new(2.0, 2.0);
+        // Doubling x quarters the tail.
+        assert!((p.tdf(4.0) / p.tdf(8.0) - 4.0).abs() < 1e-12);
+        assert_eq!(p.tdf(1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts() {
+        let p = Pareto::new(1.0, 2.5);
+        for &q in &[0.1, 0.5, 0.99, 0.99999] {
+            assert!((p.cdf(p.quantile(q)) - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mgf_is_unavailable() {
+        let p = Pareto::new(1.0, 3.0);
+        assert!(p.mgf(fpsping_num::Complex64::from_real(0.1)).is_none());
+    }
+
+    #[test]
+    fn empirical_checks() {
+        // α = 4 keeps enough moments for the generic moment checks.
+        check_distribution(&Pareto::new(100.0, 4.0), 200_000, 0.1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The continuous uniform distribution on `[lo, hi]`.
+//!
+//! §3.2.2 of the paper models the position of a tagged packet within a
+//! server burst as uniform on `[0, 1]` ("from burst to burst the packet can
+//! reside anywhere in the burst") — the case the whole downstream analysis
+//! ultimately uses.
+
+use crate::{uniform01, Distribution};
+use fpsping_num::Complex64;
+use rand::RngCore;
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`, `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Uniform: need lo < hi");
+        Self { lo, hi }
+    }
+
+    /// The standard uniform on `[0, 1]` — the packet-position law of
+    /// §3.2.2.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x <= self.hi {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.lo + uniform01(rng) * (self.hi - self.lo)
+    }
+
+    fn mgf(&self, s: Complex64) -> Option<Complex64> {
+        if s == Complex64::ZERO {
+            return Some(Complex64::ONE);
+        }
+        let num = (s * self.hi).exp() - (s * self.lo).exp();
+        Some(num / (s * (self.hi - self.lo)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+
+    #[test]
+    fn standard_uniform_moments() {
+        let u = Uniform::standard();
+        assert_eq!(u.mean(), 0.5);
+        assert!((u.variance() - 1.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_quantile_closed_forms() {
+        let u = Uniform::new(2.0, 6.0);
+        assert_eq!(u.cdf(2.0), 0.0);
+        assert_eq!(u.cdf(4.0), 0.5);
+        assert_eq!(u.cdf(7.0), 1.0);
+        assert_eq!(u.quantile(0.25), 3.0);
+        assert_eq!(u.pdf(3.0), 0.25);
+        assert_eq!(u.pdf(1.0), 0.0);
+    }
+
+    #[test]
+    fn mgf_at_zero_is_one_and_matches_series() {
+        let u = Uniform::new(0.0, 1.0);
+        assert_eq!(u.mgf(Complex64::ZERO).unwrap(), Complex64::ONE);
+        // E[e^{sU}] = (e^s - 1)/s at s=1: e - 1.
+        let v = u.mgf(Complex64::ONE).unwrap();
+        assert!((v.re - (std::f64::consts::E - 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn empirical_checks() {
+        check_distribution(&Uniform::new(-1.0, 3.0), 100_000, 0.02);
+    }
+}

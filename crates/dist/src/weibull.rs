@@ -1,0 +1,128 @@
+//! The Weibull distribution.
+//!
+//! Färber notes that shifted Weibull distributions fit the Counter-Strike
+//! traffic about as well as the extreme distribution; included for the
+//! model-sensitivity studies.
+
+use crate::{uniform01, Distribution};
+use fpsping_num::special::ln_gamma;
+use rand::RngCore;
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull with shape `k` and scale `λ`.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "Weibull: shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "Weibull: scale must be positive");
+        Self { shape, scale }
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn gamma_moment(&self, n: f64) -> f64 {
+        // E[X^n] = λ^n Γ(1 + n/k).
+        (n * self.scale.ln() + ln_gamma(1.0 + n / self.shape)).exp()
+    }
+}
+
+impl Distribution for Weibull {
+    fn mean(&self) -> f64 {
+        self.gamma_moment(1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m1 = self.gamma_moment(1.0);
+        self.gamma_moment(2.0) - m1 * m1
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        if x == 0.0 {
+            return match self.shape {
+                k if k < 1.0 => f64::INFINITY,
+                k if (k - 1.0).abs() < f64::EPSILON => 1.0 / self.scale,
+                _ => 0.0,
+            };
+        }
+        self.shape / self.scale * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn tdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-uniform01(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unnecessary_cast)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_distribution;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        for &x in &[0.5f64, 1.0, 4.0] {
+            assert!((w.tdf(x) - (-x / 2.0).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let w = Weibull::new(2.5, 10.0);
+        for &p in &[0.05, 0.5, 0.99] {
+            assert!((w.cdf(w.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rayleigh_mean() {
+        // k = 2 (Rayleigh-like): mean = λΓ(1.5) = λ√π/2.
+        let w = Weibull::new(2.0, 3.0);
+        let expect = 3.0 * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((w.mean() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empirical_checks() {
+        check_distribution(&Weibull::new(1.8, 60.0), 100_000, 0.03);
+    }
+}

@@ -1,0 +1,49 @@
+//! # fpsping-num
+//!
+//! Numerical substrate for the `fpsping` workspace — the reproduction of
+//! *"Modeling Ping times in First Person Shooter games"* (Degrande, De
+//! Vleeschauwer, Kooij, Mandjes; CWI PNA-R0608, 2006).
+//!
+//! The paper's queueing analysis needs a small but complete numerical
+//! toolkit that the thin Rust numerics ecosystem does not provide offline:
+//!
+//! * [`complex`] — a self-contained `Complex64` (the D/E_K/1 poles of
+//!   eqs. (25)–(26) live in the complex plane),
+//! * [`special`] — log-gamma, regularized incomplete gamma (Erlang CDFs) and
+//!   incomplete beta (binomial tails for the N·D/D/1 analysis of §3.1),
+//! * [`roots`] — bracketed real solvers (bisection / Brent / Newton) for
+//!   dominant poles and quantiles, plus the complex fixed-point iteration
+//!   the paper prescribes for eq. (26),
+//! * [`poly`] — Horner evaluation used throughout the Erlang-mix algebra,
+//! * [`quad`] — adaptive Simpson and Gauss–Legendre quadrature,
+//! * [`laplace`] — Abate–Whitt Euler numerical Laplace inversion, used as an
+//!   independent cross-check of the closed-form tail inversion of eq. (35),
+//! * [`stats`] — descriptive statistics (mean / variance / CoV, quantiles,
+//!   ECDF and tail distribution functions, histograms, online estimators)
+//!   that back the traffic-trace analysis of §2.2 and the simulator probes,
+//! * [`p2`] — the P² streaming quantile estimator for O(1)-memory probes
+//!   on very long simulations.
+//!
+//! Everything is `no_std`-agnostic pure Rust with `f64`; no external
+//! numerics dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod laplace;
+pub mod p2;
+pub mod poly;
+pub mod quad;
+pub mod roots;
+pub mod special;
+pub mod stats;
+
+pub use complex::Complex64;
+
+/// Euler–Mascheroni constant, used for the mean of the extreme-value
+/// (Gumbel) distribution of eq. (1).
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Machine-level tolerance used as a default convergence target.
+pub const DEFAULT_TOL: f64 = 1e-12;

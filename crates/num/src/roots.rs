@@ -1,0 +1,366 @@
+//! Root finding: bracketed real solvers and the complex fixed-point
+//! iteration prescribed by Appendix C of the paper.
+//!
+//! * The dominant pole γ of the M/G/1 waiting-time MGF (eq. (14)) and every
+//!   quantile inversion are one-dimensional real root problems — solved with
+//!   [`brent`] on a bracket (with [`bisection`] as a deliberately simple
+//!   fallback and [`newton`] where the derivative is cheap).
+//! * The D/E_K/1 poles ζ_k of eq. (26) are found with
+//!   [`complex_fixed_point`], iterating `z ← f(z)` from `z = 0` exactly as
+//!   Appendix C proves convergent.
+
+use crate::complex::Complex64;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootResult {
+    /// The located root.
+    pub root: f64,
+    /// Residual `|f(root)|` at termination.
+    pub residual: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Errors from the root-finding routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// The supplied interval does not bracket a sign change.
+    NoBracket {
+        /// f(a) at the left endpoint.
+        fa: f64,
+        /// f(b) at the right endpoint.
+        fb: f64,
+    },
+    /// The iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Best estimate at abort.
+        best: f64,
+        /// Residual at abort.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NoBracket { fa, fb } => {
+                write!(f, "interval does not bracket a root (f(a)={fa}, f(b)={fb})")
+            }
+            RootError::NoConvergence { best, residual } => {
+                write!(f, "no convergence (best={best}, residual={residual})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Plain bisection on `[a, b]`; requires `f(a)·f(b) ≤ 0`.
+pub fn bisection(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+    }
+    if fa * fb > 0.0 {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    for i in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(RootResult { root: m, residual: fm.abs(), iterations: i });
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    let m = 0.5 * (a + b);
+    Err(RootError::NoConvergence { best: m, residual: f(m).abs() })
+}
+
+/// Brent's method on `[a, b]`; requires `f(a)·f(b) ≤ 0`.
+///
+/// Superlinear in practice with the robustness of bisection — the default
+/// solver throughout the workspace.
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let (mut a, mut b) = (a0, b0);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+    }
+    if fa * fb > 0.0 {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for i in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(RootResult { root: b, residual: fb.abs(), iterations: i });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let cond_range = {
+            let lo = (3.0 * a + b) / 4.0;
+            let (lo, hi) = if lo < b { (lo, b) } else { (b, lo) };
+            s < lo || s > hi
+        };
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_noflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_tol_m = mflag && (b - c).abs() < tol;
+        let cond_tol_n = !mflag && (c - d).abs() < tol;
+        if cond_range || cond_mflag || cond_noflag || cond_tol_m || cond_tol_n {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::NoConvergence { best: b, residual: fb.abs() })
+}
+
+/// Newton–Raphson with a fallback bracket check.
+///
+/// `f` returns `(value, derivative)`. Diverging steps abort with
+/// [`RootError::NoConvergence`]; callers should then fall back to a
+/// bracketed method.
+pub fn newton(
+    mut f: impl FnMut(f64) -> (f64, f64),
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let mut x = x0;
+    for i in 0..max_iter {
+        let (v, dv) = f(x);
+        if v == 0.0 {
+            return Ok(RootResult { root: x, residual: 0.0, iterations: i });
+        }
+        if dv == 0.0 || !dv.is_finite() {
+            return Err(RootError::NoConvergence { best: x, residual: v.abs() });
+        }
+        let step = v / dv;
+        x -= step;
+        if !x.is_finite() {
+            return Err(RootError::NoConvergence { best: x0, residual: v.abs() });
+        }
+        if step.abs() < tol {
+            return Ok(RootResult { root: x, residual: f(x).0.abs(), iterations: i + 1 });
+        }
+    }
+    let (v, _) = f(x);
+    Err(RootError::NoConvergence { best: x, residual: v.abs() })
+}
+
+/// Expand a bracket to the right until `f` changes sign, then solve with
+/// Brent. Starts from `[a, a + step]`, doubling `step` up to `max_expand`
+/// times. Used for dominant-pole searches where only a lower bound (0) is
+/// known a priori.
+pub fn brent_expand_right(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    initial_step: f64,
+    tol: f64,
+    max_expand: usize,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let fa = f(a);
+    let mut step = initial_step;
+    let mut lo = a;
+    let mut flo = fa;
+    for _ in 0..max_expand {
+        let hi = lo + step;
+        let fhi = f(hi);
+        if flo == 0.0 {
+            return Ok(RootResult { root: lo, residual: 0.0, iterations: 0 });
+        }
+        if flo * fhi <= 0.0 {
+            return brent(f, lo, hi, tol, max_iter);
+        }
+        lo = hi;
+        flo = fhi;
+        step *= 2.0;
+    }
+    Err(RootError::NoConvergence { best: lo, residual: flo.abs() })
+}
+
+/// Result of a complex fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplexFixedPoint {
+    /// The fixed point.
+    pub point: Complex64,
+    /// Final update magnitude `|z_{n+1} - z_n|`.
+    pub residual: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Iterates `z ← f(z)` from `z0` until `|Δz| < tol`.
+///
+/// Appendix C of the paper proves that iterating eq. (26) from `z = 0`
+/// converges to the unique root with `Re z < 1` for every branch `k`; this
+/// routine is that iteration. Returns `None` if the budget is exhausted or
+/// the iterate leaves the finite plane.
+pub fn complex_fixed_point(
+    mut f: impl FnMut(Complex64) -> Complex64,
+    z0: Complex64,
+    tol: f64,
+    max_iter: usize,
+) -> Option<ComplexFixedPoint> {
+    let mut z = z0;
+    for i in 0..max_iter {
+        let next = f(z);
+        if !next.is_finite() {
+            return None;
+        }
+        let delta = (next - z).abs();
+        z = next;
+        if delta < tol {
+            return Some(ComplexFixedPoint { point: z, residual: delta, iterations: i + 1 });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::unnecessary_cast)] // literal-typing casts keep test formulas readable
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_finds_sqrt2() {
+        let r = bisection(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r.root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisection_rejects_non_bracket() {
+        assert!(matches!(
+            bisection(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_finds_transcendental_root() {
+        // x = e^{-x} → x ≈ 0.5671432904097838 (omega constant).
+        let r = brent(|x| x - (-x as f64).exp(), 0.0, 1.0, 1e-14, 100).unwrap();
+        assert!((r.root - 0.567_143_290_409_783_8).abs() < 1e-12);
+        assert!(r.iterations < 20, "Brent should be fast, took {}", r.iterations);
+    }
+
+    #[test]
+    fn brent_accepts_endpoint_roots() {
+        let r = brent(|x| x, 0.0, 1.0, 1e-14, 100).unwrap();
+        assert_eq!(r.root, 0.0);
+    }
+
+    #[test]
+    fn newton_quadratic_convergence() {
+        let r = newton(|x| (x * x - 2.0, 2.0 * x), 1.0, 1e-14, 50).unwrap();
+        assert!((r.root - std::f64::consts::SQRT_2).abs() < 1e-14);
+        assert!(r.iterations <= 7);
+    }
+
+    #[test]
+    fn newton_reports_divergence() {
+        // f(x) = x^(1/3) has Newton diverging from any x≠0 (overshoots, sign flips,
+        // magnitude doubles) — must not loop forever.
+        let res = newton(
+            |x: f64| (x.signum() * x.abs().powf(1.0 / 3.0), x.abs().powf(-2.0 / 3.0) / 3.0),
+            1.0,
+            1e-14,
+            60,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn expand_right_locates_far_root() {
+        // Root at x = 1000, start at 0 with step 1.
+        let r = brent_expand_right(|x| x - 1000.0, 0.0, 1.0, 1e-10, 60, 200).unwrap();
+        assert!((r.root - 1000.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_point_dm1_root() {
+        // D/M/1 at load ρ: σ = exp((σ-1)/ρ). For ρ = 0.5 the root solves
+        // σ = e^{2(σ-1)}; verify fixed-point result satisfies the equation.
+        let rho = 0.5;
+        let f = |z: Complex64| ((z - 1.0) / rho).exp();
+        let r = complex_fixed_point(f, Complex64::ZERO, 1e-14, 10_000).unwrap();
+        let back = f(r.point);
+        assert!((back - r.point).abs() < 1e-12);
+        assert!(r.point.im.abs() < 1e-12, "k=1 branch is real");
+        assert!(r.point.re > 0.0 && r.point.re < 1.0);
+    }
+
+    #[test]
+    fn fixed_point_complex_branch_stays_in_unit_disk() {
+        // Branch k=2 of K=4 at ρ_d = 0.7 (paper eq. 26).
+        let rho = 0.7;
+        let k = 2usize;
+        let kk = 4usize;
+        let phase = Complex64::new(0.0, 2.0 * std::f64::consts::PI * (k - 1) as f64 / kk as f64);
+        let f = |z: Complex64| (((z - 1.0) / rho) + phase).exp();
+        let r = complex_fixed_point(f, Complex64::ZERO, 1e-14, 100_000).unwrap();
+        assert!(r.point.abs() < 1.0, "|ζ| < 1 per Appendix C, got {}", r.point.abs());
+        assert!((f(r.point) - r.point).abs() < 1e-12);
+        assert!(r.point.im.abs() > 1e-6, "non-principal branch is complex");
+    }
+
+    #[test]
+    fn fixed_point_detects_divergence() {
+        assert!(complex_fixed_point(|z| z * 2.0 + 1.0, Complex64::ONE, 1e-12, 100).is_none());
+    }
+}

@@ -1,0 +1,428 @@
+//! Special functions: log-gamma, regularized incomplete gamma and beta,
+//! error function, factorials and binomial coefficients.
+//!
+//! These back the Erlang distribution (CDF = regularized lower incomplete
+//! gamma, used for the burst-size model of §2.3.2 and the Erlang-term tail
+//! inversion of eq. (35)) and the binomial tail probabilities of the
+//! N·D/D/1 analysis (§3.1, eq. (4)).
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative error for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// ln(n!) for integer n ≥ 0, via `ln_gamma`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as f64 (via log-gamma; exact to ~1e-12
+/// relative for moderate n).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)).exp()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// For integer `a = K` this is the Erlang(K, λ) CDF at `x = λt`. Uses the
+/// series expansion for `x < a + 1` and the continued fraction otherwise
+/// (Numerical-Recipes style), both to ~1e-14.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p: a must be positive, got {a}");
+    assert!(x >= 0.0, "gamma_p: x must be non-negative, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// For integer `a = K` this is the Erlang(K, λ) tail (TDF) at `x = λt`;
+/// this is the quantity plotted in Figure 1 of the paper.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q: a must be positive, got {a}");
+    assert!(x >= 0.0, "gamma_q: x must be non-negative, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Modified Lentz continued fraction for Q(a,x).
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// The binomial tail needed by eq. (4) is
+/// `P(Bin(n, p) ≥ k) = I_p(k, n-k+1)`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc: a,b must be positive");
+    assert!((0.0..=1.0).contains(&x), "beta_inc: x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - beta_inc(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..400 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Tail of the binomial distribution: `P(Bin(n, p) ≥ k)`.
+///
+/// This is the quantity maximized over the window length `t` in the
+/// dominant-term approximation of the N·D/D/1 queue (eq. (4)).
+pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "binomial_tail_ge: p in [0,1]");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    beta_inc(k as f64, (n - k + 1) as f64, p)
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26-style rational approximation
+/// refined by a single series/continued-fraction pass through `gamma_p`.
+///
+/// `erf(x) = sign(x) · P(1/2, x²)`, accurate to ~1e-14.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm, |ε| < 1.15e-9,
+/// then one Newton refinement step → ~1e-15).
+pub fn std_normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "std_normal_inv_cdf: p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+#[allow(clippy::unnecessary_cast)] // literal-typing casts keep test formulas readable
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = xΓ(x) for a range of x.
+        for i in 1..50 {
+            let x = i as f64 * 0.37;
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn factorial_and_binomial() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        assert!((binomial(10, 3) - 120.0).abs() < 1e-9);
+        assert!((binomial(52, 5) - 2_598_960.0).abs() < 1e-3);
+        assert_eq!(binomial(4, 7), 0.0);
+    }
+
+    #[test]
+    fn gamma_p_is_erlang_cdf() {
+        // Erlang(1, λ) = Exponential: P(1, x) = 1 - e^{-x}.
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-13);
+        }
+        // Erlang(2, 1) CDF at x: 1 - e^{-x}(1 + x).
+        for &x in &[0.2f64, 1.0, 2.5, 8.0] {
+            let expect: f64 = 1.0 - (-x).exp() * (1.0 + x);
+            assert!((gamma_p(2.0, x) - expect).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for &a in &[0.5, 1.0, 3.0, 9.0, 20.0, 28.0] {
+            for &x in &[0.01, 0.5, a, 2.0 * a, 5.0 * a] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "a={a} x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_q_deep_tail() {
+        // Erlang(20, 1) tail at large x (the Figure-1 regime, down to 1e-6):
+        // Q(20, x) = e^{-x} Σ_{i<20} x^i/i!.
+        let x = 45.0;
+        let mut sum = 0.0f64;
+        let mut term = 1.0f64;
+        for i in 0..20 {
+            if i > 0 {
+                term *= x / i as f64;
+            }
+            sum += term;
+        }
+        let expect = (-x).exp() * sum;
+        let got = gamma_q(20.0, x);
+        assert!(
+            ((got - expect) / expect).abs() < 1e-10,
+            "got {got:e}, expect {expect:e}"
+        );
+    }
+
+    #[test]
+    fn beta_inc_symmetry_and_bounds() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.0, 0.9)] {
+            let s = beta_inc(a, b, x) + beta_inc(b, a, 1.0 - x);
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // I_x(1, 1) = x (uniform).
+        assert!((beta_inc(1.0, 1.0, 0.42) - 0.42).abs() < 1e-13);
+    }
+
+    #[test]
+    fn binomial_tail_matches_direct_sum() {
+        let (n, p): (u64, f64) = (24, 0.3);
+        for k in 0..=n {
+            let direct: f64 = (k..=n)
+                .map(|j| binomial(n, j) * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32))
+                .sum();
+            let fast = binomial_tail_ge(n, p, k);
+            assert!((direct - fast).abs() < 1e-11, "k={k}: {direct} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn binomial_tail_edge_cases() {
+        assert_eq!(binomial_tail_ge(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail_ge(10, 0.5, 11), 0.0);
+        assert_eq!(binomial_tail_ge(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_ge(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-15);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(-1.0) + 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(3.0) - 0.999_977_909_503_001_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_and_inverse_roundtrip() {
+        for &p in &[1e-6, 0.001, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-6] {
+            let x = std_normal_inv_cdf(p);
+            let back = std_normal_cdf(x);
+            assert!((back - p).abs() < 1e-10, "p={p}: x={x}, back={back}");
+        }
+        assert!(std_normal_inv_cdf(0.5).abs() < 1e-12);
+    }
+}

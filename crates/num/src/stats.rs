@@ -1,0 +1,442 @@
+//! Descriptive statistics: means, variances, coefficients of variation,
+//! quantiles, empirical CDFs / tail distribution functions, histograms and
+//! streaming (Welford) estimators.
+//!
+//! These are the estimators behind §2.2 of the paper (Table 3: mean and CoV
+//! of packet sizes, burst inter-arrival times and burst sizes of the Unreal
+//! Tournament trace; Figure 1: the empirical burst-size TDF) and behind the
+//! delay probes of the discrete-event simulator.
+
+/// Compensated (Kahan–Babuška) summation.
+pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            c += (sum - t) + v;
+        } else {
+            c += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    kahan_sum(values.iter().copied()) / values.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); `NaN` for fewer than two
+/// samples.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    kahan_sum(values.iter().map(|&v| (v - m) * (v - m))) / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Coefficient of variation `σ/μ` — the headline statistic of every traffic
+/// table in the paper (Tables 1–3).
+pub fn cov(values: &[f64]) -> f64 {
+    std_dev(values) / mean(values)
+}
+
+/// Empirical quantile with linear interpolation (type-7, the common
+/// default). `p` in [0, 1]; panics otherwise or on an empty slice.
+pub fn quantile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "quantile: p in [0,1], got {p}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile requires sorted input"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Sorts a copy and takes the [`quantile`].
+pub fn quantile_unsorted(values: &[f64], p: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile(&v, p)
+}
+
+/// An empirical distribution built from a sample; answers CDF/TDF/quantile
+/// queries. This is the estimator that produces the experimental curve of
+/// Figure 1.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF; panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "Ecdf of empty sample");
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P̂(X ≤ x)` — fraction of observations ≤ x.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// `P̂(X > x)` — the tail distribution function of Figure 1.
+    pub fn tdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Empirical quantile (type-7 interpolation).
+    pub fn quantile(&self, p: f64) -> f64 {
+        quantile(&self.sorted, p)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the TDF on a uniform grid — the series plotted in
+    /// Figure 1. Returns `(x, tdf(x))` pairs.
+    pub fn tdf_series(&self, x_min: f64, x_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two grid points");
+        (0..points)
+            .map(|i| {
+                let x = x_min + (x_max - x_min) * i as f64 / (points - 1) as f64;
+                (x, self.tdf(x))
+            })
+            .collect()
+    }
+}
+
+/// A fixed-width histogram on `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        assert!(bins >= 1, "Histogram: need at least one bin");
+        Self { lo, hi, bins: vec![0; bins], below: 0, above: 0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Iterator of `(bin_center, count)`.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = self.bin_width();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+    }
+
+    /// Normalized density estimate `(bin_center, p̂df)` — the histogram
+    /// Färber least-squares-fits the extreme distribution against.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let norm = self.count as f64 * self.bin_width();
+        self.centers().map(|(x, c)| (x, c as f64 / norm)).collect()
+    }
+}
+
+/// Streaming mean/variance/extremes (Welford) — used by the simulator's
+/// delay probes where storing every sample would be wasteful.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Count of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased variance (`NaN` below two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation.
+    pub fn cov(&self) -> f64 {
+        self.std_dev() / self.mean()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        // 1 + 1e-16 added 10^6 times: naive f64 loses the small terms.
+        let vals: Vec<f64> = std::iter::once(1.0)
+            .chain(std::iter::repeat_n(1e-16, 1_000_000))
+            .collect();
+        let k = kahan_sum(vals.iter().copied());
+        assert!((k - (1.0 + 1e-10)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mean_variance_cov_basic() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: Σ(x-5)² = 32, /7.
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((cov(&v) - (32.0f64 / 7.0).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_samples() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert_eq!(mean(&[3.5]), 3.5);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_matches() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile_unsorted(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_cdf_tdf_complement() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0, 10.0]);
+        for &x in &[0.0, 1.0, 2.0, 2.5, 10.0, 11.0] {
+            assert!((e.cdf(x) + e.tdf(x) - 1.0).abs() < 1e-15);
+        }
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.6);
+        assert_eq!(e.cdf(999.0), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 10.0);
+    }
+
+    #[test]
+    fn ecdf_tdf_series_is_monotone_nonincreasing() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let series = e.tdf_series(0.0, 120.0, 25);
+        assert_eq!(series.len(), 25);
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // 0.0 .. 9.9 uniform
+        }
+        h.record(-1.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 102);
+        assert_eq!(h.out_of_range(), (1, 1));
+        let d = h.density();
+        // Uniform density over in-range samples ≈ 10/102 per unit.
+        for &(_, p) in &d {
+            assert!((p - 10.0 / 102.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_batch() {
+        let v: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 31.0).collect();
+        let mut o = OnlineStats::new();
+        for &x in &v {
+            o.record(x);
+        }
+        assert!((o.mean() - mean(&v)).abs() < 1e-10);
+        assert!((o.variance() - variance(&v)).abs() < 1e-8);
+        assert_eq!(o.count(), 1000);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_pass() {
+        let v: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &v[..200] {
+            a.record(x);
+        }
+        for &x in &v[200..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        let mut whole = OnlineStats::new();
+        for &x in &v {
+            whole.record(x);
+        }
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-8);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        a.record(3.0);
+        let b = OnlineStats::new();
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a.mean(), before.mean());
+        let mut c = OnlineStats::new();
+        c.merge(&before);
+        assert_eq!(c.mean(), before.mean());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the numerical substrate.
+
+use fpsping_num::complex::Complex64;
+use fpsping_num::laplace::{tail_from_mgf, DEFAULT_EULER_M};
+use fpsping_num::poly::{partial_exp, rising_factorial};
+use fpsping_num::roots::{bisection, brent};
+use fpsping_num::special::{beta_inc, binomial_tail_ge, gamma_p, gamma_q, ln_gamma};
+use fpsping_num::stats::{Ecdf, OnlineStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn complex_field_axioms(ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+                            br in -1e3f64..1e3, bi in -1e3f64..1e3) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        // Commutativity and distributivity (within fp tolerance).
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-6 * (a.abs() * b.abs()).max(1.0));
+        let c = Complex64::new(0.5, -0.25);
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0));
+        // Multiplicative inverse when well-conditioned.
+        if a.abs() > 1e-6 {
+            prop_assert!((a * a.inv() - Complex64::ONE).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_exp_ln_roundtrip(re in -5.0f64..5.0, im in -3.0f64..3.0) {
+        let z = Complex64::new(re, im);
+        prop_assume!(z.abs() > 1e-6);
+        let back = z.ln().exp();
+        prop_assert!((back - z).abs() < 1e-10 * z.abs().max(1.0));
+    }
+
+    #[test]
+    fn gamma_pq_complement_and_monotonicity(a in 0.1f64..60.0, x in 0.0f64..200.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        // P is nondecreasing in x.
+        let p2 = gamma_p(a, x + 0.5);
+        prop_assert!(p2 >= p - 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds(x in 0.05f64..80.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn beta_inc_is_cdf_like(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0) {
+        let v = beta_inc(a, b, x);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        let v2 = beta_inc(a, b, (x + 0.05).min(1.0));
+        prop_assert!(v2 >= v - 1e-10);
+        // Symmetry identity.
+        let sym = beta_inc(b, a, 1.0 - x);
+        prop_assert!((v + sym - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_tail_bounds_and_monotonicity(n in 1u64..200, k in 0u64..200, p in 0.0f64..1.0) {
+        let t = binomial_tail_ge(n, p, k);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&t));
+        if k > 0 {
+            prop_assert!(binomial_tail_ge(n, p, k - 1) >= t - 1e-10);
+        }
+    }
+
+    #[test]
+    fn partial_exp_bounded_by_exp(x in 0.0f64..30.0, n in 1u32..40) {
+        let v = partial_exp(x, n);
+        prop_assert!(v > 0.0);
+        prop_assert!(v <= x.exp() * (1.0 + 1e-12));
+        // Erlang tail in [0, 1]: e^{-x}·partial_exp(x, n).
+        let tail = (-x).exp() * v;
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&tail));
+    }
+
+    #[test]
+    fn rising_factorial_recurrence(m in 1u32..20, l in 0u32..8) {
+        let a = rising_factorial(m, l + 1);
+        let b = rising_factorial(m, l) * (m + l) as f64;
+        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0));
+    }
+
+    #[test]
+    fn brent_and_bisection_agree(c in -5.0f64..5.0) {
+        // Root of x³ - c on a bracket that always contains it.
+        let f = |x: f64| x * x * x - c;
+        let b1 = brent(f, -10.0, 10.0, 1e-12, 300).unwrap().root;
+        let b2 = bisection(f, -10.0, 10.0, 1e-12, 300).unwrap().root;
+        prop_assert!((b1 - b2).abs() < 1e-8);
+        prop_assert!((b1 - c.cbrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn euler_inversion_recovers_exponential_tails(lambda in 0.2f64..20.0, t in 0.05f64..5.0) {
+        let mgf = move |s: Complex64| Complex64::from_real(lambda) / (lambda - s);
+        let got = tail_from_mgf(mgf, t, DEFAULT_EULER_M);
+        let expect = (-lambda * t).exp();
+        prop_assert!((got - expect).abs() < 1e-7, "lambda={lambda} t={t}: {got} vs {expect}");
+    }
+
+    #[test]
+    fn ecdf_is_valid_distribution(sample in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let e = Ecdf::new(sample.clone());
+        prop_assert_eq!(e.len(), sample.len());
+        prop_assert!(e.cdf(e.min() - 1.0) == 0.0);
+        prop_assert!(e.cdf(e.max()) == 1.0);
+        // Monotone on sample points.
+        let mut sorted = sample;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let c = e.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn online_stats_match_batch(sample in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut o = OnlineStats::new();
+        for &x in &sample {
+            o.record(x);
+        }
+        let m = fpsping_num::stats::mean(&sample);
+        let v = fpsping_num::stats::variance(&sample);
+        prop_assert!((o.mean() - m).abs() < 1e-8 * m.abs().max(1.0));
+        prop_assert!((o.variance() - v).abs() < 1e-6 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn quantile_is_inverse_of_ecdf(sample in prop::collection::vec(0.0f64..1e3, 2..100),
+                                   p in 0.01f64..0.99) {
+        let e = Ecdf::new(sample);
+        let q = e.quantile(p);
+        // At least p of the mass is ≤ q (up to interpolation granularity).
+        prop_assert!(e.cdf(q) >= p - 1.0 / e.len() as f64 - 1e-9);
+    }
+}

@@ -1,0 +1,628 @@
+//! Combining the three delay components (§3.3, eqs. 35–36).
+//!
+//! The total stochastic queueing delay is the independent sum of the
+//! upstream wait (eq. 14), the downstream burst wait (eq. 18) and the
+//! within-burst position delay (eq. 34); its MGF is the product
+//! `D_u(s)·W(s)·P(s)`, re-expanded into a sum of Erlang terms by the
+//! Appendix-A algebra and inverted term by term (eq. 35) — "trivial to
+//! invert".
+//!
+//! Four quantile methods, in the paper's order of preference:
+//!
+//! 1. [`TotalDelay::quantile`] — full Erlang-term expansion (the paper's
+//!    choice: *"In this paper we use the first method"*),
+//! 2. [`TotalDelay::quantile_dominant_pole`] — keep only the dominant pole
+//!    of eq. (35),
+//! 3. [`TotalDelay::quantile_chernoff`] — the Chernoff bound of eq. (36),
+//! 4. [`TotalDelay::quantile_sum_of_quantiles`] — quantile of the sum ≈
+//!    sum of the per-component quantiles.
+//!
+//! Two regimes have no (usable) closed-form expansion and run on
+//! numerical inversion of the unexpanded factor product instead:
+//!
+//! * **ill-conditioned expansions** — at low downstream load (or high K)
+//!   the D/E_K/1 poles collapse onto the position pole β and the eq.-(35)
+//!   coefficients explode while cancelling (detected via the coefficient
+//!   L1 norm),
+//! * **K = 1 with uniform position** — the position transform is the
+//!   *logarithmic* eq. (33), `P(s) = -(β/s)·ln(1-s/β)`, a branch point
+//!   rather than a pole; the paper stops at "we only consider K > 1", we
+//!   carry the case numerically.
+
+use crate::dek1::DEk1;
+use crate::erlang_mix::ErlangMix;
+use crate::mg1::Mg1;
+use crate::position::{Position, PositionDelay};
+use crate::QueueError;
+use fpsping_num::Complex64;
+
+/// The position-delay factor: either a proper Erlang mix (K > 1 uniform,
+/// or any fixed spot) or the K = 1 logarithmic transform of eq. (33).
+#[derive(Debug, Clone)]
+pub enum PositionFactor {
+    /// Rational case — participates in the eq.-(35) expansion.
+    Mix(ErlangMix),
+    /// `K = 1`, uniform position: `P(s) = -(β/s)·ln(1 - s/β)` (eq. 33).
+    LogK1 {
+        /// The (exponential) burst service rate β = 1/b̄.
+        beta: f64,
+    },
+}
+
+impl PositionFactor {
+    /// Evaluates the factor's MGF at `s`.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        match self {
+            PositionFactor::Mix(m) => m.eval(s),
+            PositionFactor::LogK1 { beta } => {
+                let z = s / *beta;
+                if z.abs() < 1e-6 {
+                    // Series Σ zⁿ/(n+1) around the removable singularity.
+                    Complex64::ONE + z / 2.0 + z * z / 3.0 + z * z * z / 4.0
+                } else {
+                    -(Complex64::ONE / z) * (Complex64::ONE - z).ln()
+                }
+            }
+        }
+    }
+
+    /// Mean of the factor's distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            PositionFactor::Mix(m) => m.mean(),
+            // E[u·B] = E[u]·E[B] = 1/(2β).
+            PositionFactor::LogK1 { beta } => 0.5 / beta,
+        }
+    }
+
+    /// Tail `P(X > x)`.
+    pub fn tail(&self, x: f64) -> f64 {
+        match self {
+            PositionFactor::Mix(m) => m.tail(x),
+            PositionFactor::LogK1 { beta } => {
+                if x <= 0.0 {
+                    return 1.0;
+                }
+                // ∫₀¹ e^{-βx/τ} dτ.
+                fpsping_num::quad::gauss_legendre_composite(
+                    |tau| if tau <= 0.0 { 0.0 } else { (-beta * x / tau).exp() },
+                    0.0,
+                    1.0,
+                    64,
+                )
+            }
+        }
+    }
+
+    /// Decay bound: the factor is analytic on `Re s < decay`.
+    pub fn decay_bound(&self) -> Option<f64> {
+        match self {
+            PositionFactor::Mix(m) => m.dominant_decay(),
+            PositionFactor::LogK1 { beta } => Some(*beta),
+        }
+    }
+
+    /// p-quantile of the factor alone.
+    pub fn quantile(&self, p: f64) -> f64 {
+        match self {
+            PositionFactor::Mix(m) => {
+                if m.blocks.is_empty() {
+                    0.0
+                } else {
+                    m.quantile(p)
+                }
+            }
+            PositionFactor::LogK1 { beta } => {
+                let target = 1.0 - p;
+                let mut hi = 1.0 / beta;
+                let mut n = 0;
+                while self.tail(hi) > target && n < 200 {
+                    hi *= 2.0;
+                    n += 1;
+                }
+                fpsping_num::roots::brent(|x| self.tail(x) - target, 0.0, hi, 1e-14 / beta, 300)
+                    .map(|r| r.root)
+                    .unwrap_or(f64::NAN)
+            }
+        }
+    }
+}
+
+/// The total stochastic delay model `D_u·W·P` with all three factors and
+/// (where it exists and is trustworthy) their expanded product.
+#[derive(Debug, Clone)]
+pub struct TotalDelay {
+    upstream: ErlangMix,
+    burst_wait: ErlangMix,
+    position: PositionFactor,
+    product: Option<ErlangMix>,
+    well_conditioned: bool,
+}
+
+/// Expansion coefficients above this L1 norm lose too many of f64's ~16
+/// digits to cancellation for a trustworthy 1e-5 tail.
+const CONDITION_LIMIT: f64 = 1e6;
+
+impl TotalDelay {
+    /// Assembles the model from already-built component mixes.
+    pub fn from_mixes(upstream: ErlangMix, burst_wait: ErlangMix, position: ErlangMix) -> Self {
+        let product = upstream.product(&burst_wait).product(&position);
+        let well_conditioned = product.coeff_l1() < CONDITION_LIMIT
+            && (product.total_mass() - 1.0).abs() < 1e-6;
+        Self {
+            upstream,
+            burst_wait,
+            position: PositionFactor::Mix(position),
+            product: Some(product),
+            well_conditioned,
+        }
+    }
+
+    /// Assembles the paper's model from the upstream M/G/1 (eq. 14
+    /// approximation), the downstream D/E_K/1 and the position law.
+    ///
+    /// Pass `upstream = None` when the uplink is negligible (the paper
+    /// notes `D_up` is negligible whenever `ρ_u ≪ ρ_d`). The K = 1
+    /// uniform-position case is accepted and handled numerically via
+    /// eq. (33).
+    pub fn new(
+        upstream: Option<&Mg1>,
+        downstream: &DEk1,
+        position: &PositionDelay,
+    ) -> Result<Self, QueueError> {
+        let up = match upstream {
+            Some(q) => q.paper_mix()?,
+            None => ErlangMix::unit(),
+        };
+        if position.order() == 1 && matches!(position.position(), Position::Uniform) {
+            let pos = PositionFactor::LogK1 { beta: position.beta() };
+            return Ok(Self {
+                upstream: up,
+                burst_wait: downstream.to_mix(),
+                position: pos,
+                product: None,
+                well_conditioned: false,
+            });
+        }
+        Ok(Self::from_mixes(up, downstream.to_mix(), position.to_mix()?))
+    }
+
+    /// Whether the eq.-(35) expansion exists and is numerically
+    /// trustworthy; when `false`, [`TotalDelay::tail`] and
+    /// [`TotalDelay::quantile`] use numerical inversion of the unexpanded
+    /// product instead.
+    pub fn expansion_well_conditioned(&self) -> bool {
+        self.well_conditioned
+    }
+
+    /// The upstream factor `D_u(s)`.
+    pub fn upstream(&self) -> &ErlangMix {
+        &self.upstream
+    }
+
+    /// The burst-wait factor `W(s)`.
+    pub fn burst_wait(&self) -> &ErlangMix {
+        &self.burst_wait
+    }
+
+    /// The position factor `P(s)`.
+    pub fn position(&self) -> &PositionFactor {
+        &self.position
+    }
+
+    /// The expanded product of eq. (35) (`None` for the K = 1 logarithmic
+    /// case, which has no rational expansion).
+    pub fn product(&self) -> Option<&ErlangMix> {
+        self.product.as_ref()
+    }
+
+    /// Mean total delay — computed as the sum of the three component
+    /// means, which is exact for independent summands and stays
+    /// well-conditioned even when the expanded product does not.
+    pub fn mean(&self) -> f64 {
+        self.upstream.mean() + self.burst_wait.mean() + self.position.mean()
+    }
+
+    /// The unexpanded product MGF.
+    fn eval_factors(&self, s: Complex64) -> Complex64 {
+        self.upstream.eval(s) * self.burst_wait.eval(s) * self.position.eval(s)
+    }
+
+    /// Tail `P(total > x)`: closed-form expansion when well-conditioned,
+    /// numerical inversion of the unexpanded product otherwise.
+    pub fn tail(&self, x: f64) -> f64 {
+        if self.well_conditioned {
+            self.product.as_ref().expect("well-conditioned implies product").tail(x)
+        } else if x == 0.0 {
+            // P(total > 0) ≥ P(position > 0) = 1 (position is a.s.
+            // positive for every supported law).
+            1.0 - self.upstream.constant
+                * self.burst_wait.constant
+                * match &self.position {
+                    PositionFactor::Mix(m) => m.constant,
+                    PositionFactor::LogK1 { .. } => 0.0,
+                }
+        } else {
+            self.tail_numeric(x).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Tail from the eq.-(35) expansion regardless of conditioning —
+    /// exposed for studying exactly where the closed form degrades.
+    /// Panics for the K = 1 case, which has no expansion.
+    pub fn tail_expanded(&self, x: f64) -> f64 {
+        self.product
+            .as_ref()
+            .expect("tail_expanded: no rational expansion exists (K = 1 uniform position)")
+            .tail(x)
+    }
+
+    /// Tail by numerical Laplace inversion of the *unexpanded* product —
+    /// an independent cross-check of the Appendix-A algebra (and the only
+    /// path for K = 1).
+    pub fn tail_numeric(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "tail_numeric: x must be positive");
+        fpsping_num::laplace::tail_from_mgf(
+            |s| self.eval_factors(s),
+            x,
+            fpsping_num::laplace::DEFAULT_EULER_M,
+        )
+    }
+
+    /// Method 1 (the paper's): p-quantile from the full expansion (with
+    /// the numerical-inversion fallback when the expansion is
+    /// ill-conditioned or absent).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.well_conditioned {
+            return self.product.as_ref().unwrap().quantile(p);
+        }
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        let target = 1.0 - p;
+        if self.tail(0.0) <= target {
+            return 0.0;
+        }
+        let scale = self.mean().abs().max(1e-9);
+        let mut hi = scale;
+        let mut expansions = 0;
+        while self.tail(hi) > target && expansions < 200 {
+            hi *= 2.0;
+            expansions += 1;
+        }
+        fpsping_num::roots::brent(|x| self.tail(x.max(1e-15)) - target, 0.0, hi, 1e-10 * scale, 300)
+            .map(|r| r.root)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Method 2: p-quantile keeping only the dominant pole of eq. (35)
+    /// ("a good approximation as long as the residue associated with the
+    /// dominant pole is not too small"). Only meaningful when the
+    /// expansion exists and is well-conditioned.
+    pub fn quantile_dominant_pole(&self, p: f64) -> f64 {
+        match &self.product {
+            Some(prod) => prod.quantile_dominant_pole(p),
+            None => f64::NAN,
+        }
+    }
+
+    /// Chernoff tail of eq. (36), evaluated on the *unexpanded* factor
+    /// product (numerically stable at any conditioning):
+    /// `P(D > d) ≈ inf_{0<s<s_max} e^{-sd}·D_u(s)·W(s)·P(s)`.
+    pub fn tail_chernoff(&self, x: f64) -> f64 {
+        let s_max = [
+            self.upstream.dominant_decay(),
+            self.burst_wait.dominant_decay(),
+            self.position.decay_bound(),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(f64::INFINITY, f64::min);
+        if !s_max.is_finite() {
+            return 0.0;
+        }
+        let s_max = s_max * (1.0 - 1e-9);
+        let obj = |s: f64| {
+            let v = self.eval_factors(Complex64::from_real(s));
+            (-s * x).exp() * v.re
+        };
+        // Golden-section over s.
+        const INV_PHI: f64 = 0.618_033_988_749_894_8;
+        let (mut a, mut b) = (0.0, s_max);
+        let mut c = b - INV_PHI * (b - a);
+        let mut d = a + INV_PHI * (b - a);
+        let (mut fc, mut fd) = (obj(c), obj(d));
+        for _ in 0..200 {
+            if fc < fd {
+                b = d;
+                d = c;
+                fd = fc;
+                c = b - INV_PHI * (b - a);
+                fc = obj(c);
+            } else {
+                a = c;
+                c = d;
+                fc = fd;
+                d = a + INV_PHI * (b - a);
+                fd = obj(d);
+            }
+        }
+        obj(0.5 * (a + b)).min(1.0)
+    }
+
+    /// Method 3: p-quantile from the Chernoff bound of eq. (36).
+    pub fn quantile_chernoff(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        let target = 1.0 - p;
+        if self.tail_chernoff(0.0) <= target {
+            return 0.0;
+        }
+        let scale = self.mean().abs().max(1e-9);
+        let mut hi = scale;
+        let mut expansions = 0;
+        while self.tail_chernoff(hi) > target && expansions < 200 {
+            hi *= 2.0;
+            expansions += 1;
+        }
+        fpsping_num::roots::brent(|x| self.tail_chernoff(x) - target, 0.0, hi, 1e-10 * scale, 300)
+            .map(|r| r.root)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Method 4: sum of the component quantiles ("the quantile of a sum of
+    /// delay contributions can be approximated by the sum of the quantiles
+    /// of the individual delay terms").
+    pub fn quantile_sum_of_quantiles(&self, p: f64) -> f64 {
+        let q_mix = |m: &ErlangMix| if m.blocks.is_empty() { 0.0 } else { m.quantile(p) };
+        q_mix(&self.upstream) + q_mix(&self.burst_wait) + self.position.quantile(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::mdd1;
+    use crate::position::PositionDelay;
+
+    /// A representative paper scenario: T = 60 ms, K = 9, ρ_d = 0.5,
+    /// upstream M/D/1 at ρ_u = 0.32 (P_S = 125 B, P_C = 80 B).
+    fn paper_like_model() -> TotalDelay {
+        let t = 0.06;
+        let rho_d = 0.5;
+        let k = 9u32;
+        let mean_service = rho_d * t;
+        let dek1 = DEk1::new(k, mean_service, t).unwrap();
+        let beta = k as f64 / mean_service;
+        let pos = PositionDelay::uniform(k, beta).unwrap();
+        // Upstream: packets of 80 B on 5 Mbps → τ = 128 µs; ρ_u = ρ_d·80/125.
+        let tau = 80.0 * 8.0 / 5_000_000.0;
+        let rho_u = rho_d * 80.0 / 125.0;
+        let up = mdd1(rho_u / tau, tau).unwrap();
+        TotalDelay::new(Some(&up), &dek1, &pos).unwrap()
+    }
+
+    #[test]
+    fn product_is_a_probability_law() {
+        let m = paper_like_model();
+        assert!((m.product().unwrap().total_mass() - 1.0).abs() < 1e-8);
+        let mut prev = 1.0 + 1e-12;
+        for i in 0..60 {
+            let x = i as f64 * 0.005;
+            let t = m.tail(x);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&t), "tail({x}) = {t}");
+            assert!(t <= prev + 1e-9, "monotone at {x}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_inversion() {
+        let m = paper_like_model();
+        for &x in &[0.005, 0.02, 0.05, 0.1] {
+            let closed = m.tail(x);
+            let numeric = m.tail_numeric(x);
+            assert!(
+                (closed - numeric).abs() < 1e-7,
+                "x={x}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_adds_components() {
+        // When the expansion is well-conditioned, the expanded product's
+        // own mean must agree with the sum of the component means.
+        let m = paper_like_model();
+        assert!(m.expansion_well_conditioned());
+        let sum = m.upstream().mean() + m.burst_wait().mean() + m.position().mean();
+        assert!((m.product().unwrap().mean() - sum).abs() < 1e-8 * sum);
+        assert!((m.mean() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_methods_agree_in_order_of_magnitude() {
+        let m = paper_like_model();
+        let p = 0.99999;
+        let q1 = m.quantile(p);
+        let q2 = m.quantile_dominant_pole(p);
+        let q3 = m.quantile_chernoff(p);
+        let q4 = m.quantile_sum_of_quantiles(p);
+        assert!(q1 > 0.0);
+        for (name, q) in [("dominant", q2), ("chernoff", q3), ("sum-of-q", q4)] {
+            assert!(
+                q > 0.5 * q1 && q < 2.0 * q1,
+                "{name} quantile {q} vs full {q1}"
+            );
+        }
+        // Chernoff tail ≥ exact tail ⇒ Chernoff quantile ≥ exact quantile.
+        assert!(q3 >= q1 - 1e-9);
+        // Sum-of-quantiles over-estimates for independent sums.
+        assert!(q4 >= q1 - 1e-9);
+    }
+
+    #[test]
+    fn without_upstream_matches_downstream_product() {
+        // Load high enough that the expansion is well-conditioned.
+        let t = 0.04;
+        let k = 9u32;
+        let mean_service = 0.6 * t;
+        let dek1 = DEk1::new(k, mean_service, t).unwrap();
+        let pos = PositionDelay::uniform(k, k as f64 / mean_service).unwrap();
+        let m = TotalDelay::new(None, &dek1, &pos).unwrap();
+        assert!(m.expansion_well_conditioned());
+        let direct = dek1.to_mix().product(&pos.to_mix().unwrap());
+        for &x in &[0.001, 0.01, 0.03] {
+            assert!((m.tail(x) - direct.tail(x)).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_expansion_falls_back_to_numeric() {
+        // Low load, K = 9: the D/E_K/1 poles collapse onto β and the
+        // eq.-(35) expansion blows up; the auto tail must stay a valid
+        // probability and match the position-delay tail (which dominates
+        // at low load).
+        let t = 0.06;
+        let k = 9u32;
+        let rho = 0.05;
+        let dek1 = DEk1::new(k, rho * t, t).unwrap();
+        let pos = PositionDelay::uniform(k, k as f64 / (rho * t)).unwrap();
+        let m = TotalDelay::new(None, &dek1, &pos).unwrap();
+        assert!(!m.expansion_well_conditioned());
+        for &x in &[0.001, 0.004, 0.008] {
+            let t_auto = m.tail(x);
+            let t_pos = pos.tail(x);
+            assert!((0.0..=1.0).contains(&t_auto));
+            assert!(
+                (t_auto - t_pos).abs() < 1e-3 * t_pos.max(1e-9) + 1e-9,
+                "x={x}: auto {t_auto:e} vs position {t_pos:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn upstream_only_shifts_tail_up() {
+        // Adding an upstream component can only increase the total delay.
+        let t = 0.06;
+        let k = 9u32;
+        let dek1 = DEk1::new(k, 0.5 * t, t).unwrap();
+        let pos = PositionDelay::uniform(k, k as f64 / (0.5 * t)).unwrap();
+        let without = TotalDelay::new(None, &dek1, &pos).unwrap();
+        let up = mdd1(0.32 / 0.000_128, 0.000_128).unwrap();
+        let with = TotalDelay::new(Some(&up), &dek1, &pos).unwrap();
+        for &x in &[0.005, 0.02, 0.06] {
+            assert!(with.tail(x) >= without.tail(x) - 1e-9, "x={x}");
+        }
+        assert!(with.quantile(0.99999) >= without.quantile(0.99999));
+    }
+
+    #[test]
+    fn low_load_quantile_tracks_position_delay() {
+        // §4: at low load the burst wait is negligible and the packet
+        // position delay dominates, making the quantile ≈ the position
+        // quantile.
+        let t = 0.06;
+        let k = 9u32;
+        let rho = 0.05;
+        let dek1 = DEk1::new(k, rho * t, t).unwrap();
+        let pos = PositionDelay::uniform(k, k as f64 / (rho * t)).unwrap();
+        let m = TotalDelay::new(None, &dek1, &pos).unwrap();
+        let p = 0.99999;
+        let q_total = m.quantile(p);
+        let q_pos = pos.to_mix().unwrap().quantile(p);
+        assert!(
+            (q_total - q_pos).abs() < 0.05 * q_pos,
+            "total {q_total} vs position {q_pos}"
+        );
+    }
+
+    // ---- K = 1 (eq. 33, logarithmic position transform) ----
+
+    fn k1_model(rho: f64, t: f64) -> TotalDelay {
+        let dek1 = DEk1::new(1, rho * t, t).unwrap();
+        let pos = PositionDelay::uniform(1, 1.0 / (rho * t)).unwrap();
+        TotalDelay::new(None, &dek1, &pos).unwrap()
+    }
+
+    #[test]
+    fn k1_model_builds_without_expansion() {
+        let m = k1_model(0.5, 0.06);
+        assert!(m.product().is_none());
+        assert!(!m.expansion_well_conditioned());
+        assert!(matches!(m.position(), PositionFactor::LogK1 { .. }));
+    }
+
+    #[test]
+    fn k1_log_mgf_value_and_series_agree() {
+        let f = PositionFactor::LogK1 { beta: 100.0 };
+        // At s = 0 the MGF is 1.
+        assert!((f.eval(Complex64::ZERO) - Complex64::ONE).abs() < 1e-12);
+        // Series and closed form agree near the seam.
+        let s1 = Complex64::from_real(100.0 * 0.9e-6);
+        let s2 = Complex64::from_real(100.0 * 1.1e-6);
+        let v1 = f.eval(s1);
+        let v2 = f.eval(s2);
+        assert!((v2 - v1).abs() < 1e-7, "seam continuity: {v1} vs {v2}");
+        // Against direct quadrature of E[e^{s·uB}] = ∫₀¹ β/(β-sτ) dτ.
+        let s = Complex64::from_real(-50.0);
+        let direct = fpsping_num::quad::gauss_legendre_composite(
+            |tau| 100.0 / (100.0 - (-50.0f64) * tau),
+            0.0,
+            1.0,
+            32,
+        );
+        assert!((f.eval(s).re - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k1_tail_matches_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let (rho, t) = (0.5, 0.06);
+        let m = k1_model(rho, t);
+        let beta = 1.0 / (rho * t);
+        // Simulate Lindley (D/M/1) + u·Exp(β) position + nothing upstream.
+        let mut rng = StdRng::seed_from_u64(0x4B31);
+        let uni = |rng: &mut StdRng| {
+            ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(1e-300)
+        };
+        let mut w = 0.0f64;
+        let xs = [0.02, 0.05, 0.1];
+        let mut cnt = [0u64; 3];
+        let n = 2_000_000u64;
+        for _ in 0..n {
+            let total = w + uni(&mut rng) * (-uni(&mut rng).ln() / beta);
+            for (c, &x) in cnt.iter_mut().zip(&xs) {
+                if total > x {
+                    *c += 1;
+                }
+            }
+            let b = -uni(&mut rng).ln() / beta;
+            w = (w + b - t).max(0.0);
+        }
+        for (i, &x) in xs.iter().enumerate() {
+            let mc = cnt[i] as f64 / n as f64;
+            let an = m.tail(x);
+            assert!(
+                (an - mc).abs() < 0.05 * mc.max(1e-4),
+                "x={x}: analytic {an:.6} vs MC {mc:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn k1_quantile_and_mean_are_finite_and_sane() {
+        let m = k1_model(0.4, 0.04);
+        let q = m.quantile(0.99999);
+        assert!(q.is_finite() && q > 0.0);
+        // Mean = burst-wait mean + b̄/2.
+        let expected_pos_mean = 0.5 * 0.4 * 0.04;
+        assert!((m.position().mean() - expected_pos_mean).abs() < 1e-12);
+        assert!(m.mean() > expected_pos_mean);
+        // Exponential bursts (K=1) are burstier than Erlang-9 at the same
+        // load: the K=1 quantile must exceed the K=9 quantile.
+        let t = 0.04;
+        let dek9 = DEk1::new(9, 0.4 * t, t).unwrap();
+        let pos9 = PositionDelay::uniform(9, 9.0 / (0.4 * t)).unwrap();
+        let m9 = TotalDelay::new(None, &dek9, &pos9).unwrap();
+        assert!(q > m9.quantile(0.99999), "K=1 must be worse than K=9");
+    }
+}

@@ -1,0 +1,498 @@
+//! The D/E_K/1 queue of §3.2.1 — burst waiting time at the downstream
+//! bottleneck.
+//!
+//! Bursts arrive every `T` seconds; the work each burst brings is
+//! Erlang(K, β) distributed with mean `b̄ = K/β` seconds (burst size over
+//! the link rate). The waiting-time MGF is (eq. 18)
+//!
+//! ```text
+//! W(s) = (1 - Σaⱼ) + Σⱼ aⱼ·αⱼ/(αⱼ - s),
+//! ```
+//!
+//! with K poles `αⱼ = β(1 - ζⱼ)` (eq. 25) where `ζⱼ` is, per branch
+//! `j = 1..K`, the unique root with `Re z < 1` of (eq. 26)
+//!
+//! ```text
+//! z = exp((z-1)/ρ_d + 2πi(j-1)/K),        ρ_d = b̄/T,
+//! ```
+//!
+//! found by the fixed-point iteration from `z = 0` that Appendix C proves
+//! convergent (here polished by a complex Newton step for full double
+//! precision), and weights (eq. 27, the Vandermonde/Lagrange closed form
+//! derived in Appendix D)
+//!
+//! ```text
+//! aⱼ = ζⱼ^K · Π_{k≠j} (1-ζ_k)/(ζⱼ-ζ_k).
+//! ```
+//!
+//! For K = 1 this collapses to the classical D/M/1 solution
+//! `P(W > x) = σ·e^{-μ(1-σ)x}` (Kleinrock [15]), which the tests verify.
+
+use crate::erlang_mix::{ErlangMix, PoleBlock};
+use crate::QueueError;
+use fpsping_num::roots::complex_fixed_point;
+use fpsping_num::Complex64;
+
+/// Solved D/E_K/1 queue: burst inter-arrival `T`, Erlang(K, β) service.
+///
+/// # Examples
+///
+/// ```
+/// use fpsping_queue::DEk1;
+///
+/// // Bursts every 40 ms bringing Erlang(9) work with mean 24 ms (ρ = 0.6).
+/// let q = DEk1::new(9, 0.024, 0.040).unwrap();
+/// assert!((q.load() - 0.6).abs() < 1e-12);
+/// // Probability a burst waits at all, and the 99.999% waiting quantile:
+/// assert!(q.prob_wait() > 0.0 && q.prob_wait() < 1.0);
+/// assert!(q.wait_quantile(0.99999) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DEk1 {
+    k: u32,
+    beta: f64,
+    t: f64,
+    rho: f64,
+    zetas: Vec<Complex64>,
+    alphas: Vec<Complex64>,
+    weights: Vec<Complex64>,
+}
+
+impl DEk1 {
+    /// Builds and solves the queue from the Erlang order `k`, the mean
+    /// burst *service time* `mean_service` (seconds of work per burst) and
+    /// the burst inter-arrival time `t` (seconds).
+    ///
+    /// The load `ρ_d = mean_service / t` must lie strictly in (0, 1).
+    pub fn new(k: u32, mean_service: f64, t: f64) -> Result<Self, QueueError> {
+        if k < 1 {
+            return Err(QueueError::InvalidParameter { name: "k", value: k as f64 });
+        }
+        if !(mean_service.is_finite() && mean_service > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "mean_service",
+                value: mean_service,
+            });
+        }
+        if !(t.is_finite() && t > 0.0) {
+            return Err(QueueError::InvalidParameter { name: "t", value: t });
+        }
+        let rho = mean_service / t;
+        if !(0.0..1.0).contains(&rho) || rho == 0.0 {
+            return Err(QueueError::UnstableLoad { rho });
+        }
+        let beta = k as f64 / mean_service;
+        let zetas = solve_zetas(k, rho)?;
+        let alphas: Vec<Complex64> = zetas.iter().map(|&z| (1.0 - z) * beta).collect();
+        let weights = solve_weights(&zetas);
+        Ok(Self { k, beta, t, rho, zetas, alphas, weights })
+    }
+
+    /// Erlang order K.
+    pub fn order(&self) -> u32 {
+        self.k
+    }
+
+    /// Erlang service rate β = K / b̄ (per second).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Burst inter-arrival time T (seconds).
+    pub fn inter_arrival(&self) -> f64 {
+        self.t
+    }
+
+    /// Load ρ_d = b̄/T.
+    pub fn load(&self) -> f64 {
+        self.rho
+    }
+
+    /// The branch roots ζⱼ of eq. (26), `j = 1..K` (ζ₁ real, the rest in
+    /// conjugate pairs).
+    pub fn zetas(&self) -> &[Complex64] {
+        &self.zetas
+    }
+
+    /// The waiting-time poles αⱼ = β(1-ζⱼ) of eq. (25).
+    pub fn alphas(&self) -> &[Complex64] {
+        &self.alphas
+    }
+
+    /// The weights aⱼ of eq. (27).
+    pub fn weights(&self) -> &[Complex64] {
+        &self.weights
+    }
+
+    /// Probability that a burst has to wait at all, `P(W > 0) = Σⱼ aⱼ`.
+    pub fn prob_wait(&self) -> f64 {
+        self.weights.iter().copied().sum::<Complex64>().re
+    }
+
+    /// Waiting-time MGF `W(s)` of eq. (18).
+    pub fn wait_mgf(&self, s: Complex64) -> Complex64 {
+        self.to_mix().eval(s)
+    }
+
+    /// Tail `P(W > x)` of the burst waiting time, eq. (18) inverted:
+    /// `Re Σⱼ aⱼ e^{-αⱼx}`.
+    pub fn wait_tail(&self, x: f64) -> f64 {
+        assert!(x >= 0.0, "wait_tail: x must be non-negative");
+        let mut acc = Complex64::ZERO;
+        for (a, alpha) in self.weights.iter().zip(&self.alphas) {
+            acc += *a * (-*alpha * x).exp();
+        }
+        acc.re
+    }
+
+    /// Mean burst waiting time `Re Σ aⱼ/αⱼ`.
+    pub fn mean_wait(&self) -> f64 {
+        let mut acc = Complex64::ZERO;
+        for (a, alpha) in self.weights.iter().zip(&self.alphas) {
+            acc += *a / *alpha;
+        }
+        acc.re
+    }
+
+    /// p-quantile of the burst waiting time.
+    pub fn wait_quantile(&self, p: f64) -> f64 {
+        self.to_mix().quantile(p)
+    }
+
+    /// The waiting-time law as an [`ErlangMix`] (constant `1 - Σaⱼ` plus K
+    /// simple poles) — the form consumed by the eq. (35) product.
+    pub fn to_mix(&self) -> ErlangMix {
+        let blocks = self
+            .weights
+            .iter()
+            .zip(&self.alphas)
+            .map(|(&a, &alpha)| PoleBlock { pole: alpha, coeffs: vec![a] })
+            .collect();
+        ErlangMix { constant: 1.0 - self.prob_wait(), blocks }
+    }
+
+    /// Residual of the pole-defining equation (54),
+    /// `(1 - s/β)^K - e^{-sT}`, at pole index `j` — exposed for
+    /// validation/tests.
+    pub fn pole_residual(&self, j: usize) -> f64 {
+        let s = self.alphas[j];
+        let lhs = (Complex64::ONE - s / self.beta).powi(self.k as i32);
+        let rhs = (-s * self.t).exp();
+        (lhs - rhs).abs()
+    }
+}
+
+/// Solves the K branch equations (26) by Appendix C's fixed-point
+/// iteration from `z = 0`, then polishes each root with complex Newton on
+/// `g(z) = z - exp((z-1)/ρ + iφ)`.
+fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
+    let mut zetas = Vec::with_capacity(k as usize);
+    for j in 0..k {
+        let phase = 2.0 * std::f64::consts::PI * j as f64 / k as f64;
+        let map = |z: Complex64| ((z - 1.0) / rho + Complex64::new(0.0, phase)).exp();
+        // Fixed point to modest precision (contraction factor |ζ|/ρ can
+        // approach 1 near saturation)...
+        let fp = complex_fixed_point(map, Complex64::ZERO, 1e-8, 2_000_000).ok_or(
+            QueueError::SolveFailure { what: "fixed-point iteration for ζ did not converge" },
+        )?;
+        // ...then Newton to machine precision: g(z) = z - map(z),
+        // g'(z) = 1 - map(z)/ρ.
+        let mut z = fp.point;
+        for _ in 0..50 {
+            let m = map(z);
+            let g = z - m;
+            let dg = Complex64::ONE - m / rho;
+            if dg.abs() < 1e-300 {
+                break;
+            }
+            let step = g / dg;
+            z -= step;
+            if step.abs() < 1e-15 * z.abs().max(1.0) {
+                break;
+            }
+        }
+        if !z.is_finite() || z.re >= 1.0 {
+            return Err(QueueError::SolveFailure { what: "ζ root left the Re z < 1 half-plane" });
+        }
+        zetas.push(z);
+    }
+    Ok(zetas)
+}
+
+/// Closed-form weights of eq. (27): `aⱼ = ζⱼ^K Π_{k≠j}(1-ζ_k)/(ζⱼ-ζ_k)`
+/// (the Lagrange/Vandermonde solution derived in Appendix D).
+fn solve_weights(zetas: &[Complex64]) -> Vec<Complex64> {
+    let k = zetas.len();
+    let mut weights = Vec::with_capacity(k);
+    for j in 0..k {
+        let zj = zetas[j];
+        // At vanishing load the roots underflow to 0 and the Lagrange
+        // ratios become 0/0; the true weight magnitude is ≤ |ζ| there, so
+        // report an exact 0 instead of NaN.
+        if zj.abs() < 1e-60 {
+            weights.push(Complex64::ZERO);
+            continue;
+        }
+        let mut a = zj.powi(k as i32);
+        for (i, &zi) in zetas.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            a *= (Complex64::ONE - zi) / (zj - zi);
+        }
+        weights.push(if a.is_finite() { a } else { Complex64::ZERO });
+    }
+    weights
+}
+
+#[cfg(test)]
+#[allow(clippy::unnecessary_cast)]
+mod tests {
+    use super::*;
+
+    /// Brute-force simulation of the Lindley recursion (15) for
+    /// ground-truth tails.
+    fn simulate_tail(k: u32, mean_service: f64, t: f64, xs: &[f64], n: usize) -> Vec<f64> {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD0E5);
+        let beta = k as f64 / mean_service;
+        let mut exceed = vec![0u64; xs.len()];
+        let mut w = 0.0f64;
+        let uniform = |rng: &mut StdRng| {
+            ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(1e-300)
+        };
+        for _ in 0..n {
+            for (cnt, &x) in exceed.iter_mut().zip(xs) {
+                if w > x {
+                    *cnt += 1;
+                }
+            }
+            // b ~ Erlang(k, beta).
+            let mut prod = 1.0f64;
+            for _ in 0..k {
+                prod *= uniform(&mut rng);
+            }
+            let b = -prod.ln() / beta;
+            w = (w + b - t).max(0.0);
+        }
+        exceed.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn k1_matches_dm1_closed_form() {
+        // D/M/1 at ρ = 0.6: σ solves σ = e^{-(1-σ)/ρ};
+        // P(W > x) = σ e^{-μ(1-σ)x}.
+        let q = DEk1::new(1, 0.6, 1.0).unwrap();
+        let sigma = q.zetas()[0];
+        assert!(sigma.im.abs() < 1e-12);
+        let s = sigma.re;
+        assert!((s - ((s - 1.0) / 0.6f64).exp()).abs() < 1e-12);
+        // Weight a₁ = σ for K = 1.
+        assert!((q.weights()[0].re - s).abs() < 1e-12);
+        let mu = 1.0 / 0.6;
+        for &x in &[0.0, 0.5, 2.0, 10.0] {
+            let expect = s * (-mu * (1.0 - s) * (x as f64)).exp();
+            assert!((q.wait_tail(x) - expect).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn poles_satisfy_defining_equation() {
+        for &(k, rho) in &[(2u32, 0.3), (9, 0.5), (20, 0.8), (20, 0.05)] {
+            let q = DEk1::new(k, rho * 0.04, 0.04).unwrap();
+            for j in 0..k as usize {
+                assert!(
+                    q.pole_residual(j) < 1e-9,
+                    "K={k} ρ={rho} pole {j}: residual {}",
+                    q.pole_residual(j)
+                );
+                assert!(q.alphas()[j].re > 0.0, "pole must decay");
+                assert!(q.zetas()[j].abs() < 1.0, "|ζ| < 1 per Appendix C");
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_one_is_real_and_dominant() {
+        let q = DEk1::new(9, 0.5 * 0.06, 0.06).unwrap();
+        let z1 = q.zetas()[0];
+        assert!(z1.im.abs() < 1e-12);
+        for &z in &q.zetas()[1..] {
+            assert!(z.abs() < z1.abs() + 1e-12, "|ζ₁| is the largest modulus");
+        }
+        // Dominant pole (slowest decay) is α₁ = β(1-ζ₁) — smallest Re α.
+        let a1 = q.alphas()[0].re;
+        for &a in &q.alphas()[1..] {
+            assert!(a.re >= a1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_satisfy_vandermonde_identities() {
+        // Eq. (63): Σⱼ aⱼ ζⱼ^{-m} = 1 for m = 1..K.
+        let q = DEk1::new(7, 0.7 * 0.05, 0.05).unwrap();
+        for m in 1..=7i32 {
+            let s: Complex64 = q
+                .weights()
+                .iter()
+                .zip(q.zetas())
+                .map(|(&a, &z)| a * z.powi(-m))
+                .sum();
+            assert!(
+                (s - Complex64::ONE).abs() < 1e-8,
+                "identity m={m}: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mgf_is_one_at_zero_and_mass_is_valid() {
+        for &(k, rho) in &[(2u32, 0.2), (9, 0.6), (20, 0.9)] {
+            let q = DEk1::new(k, rho * 0.06, 0.06).unwrap();
+            let w0 = q.wait_mgf(Complex64::ZERO);
+            assert!((w0 - Complex64::ONE).abs() < 1e-9, "K={k} ρ={rho}: W(0)={w0}");
+            let pw = q.prob_wait();
+            assert!((0.0..1.0).contains(&pw), "P(wait) = {pw}");
+            // Tail is 1-monotone-ish and within [0, 1] on a grid.
+            let mut prev = 1.0;
+            for i in 0..50 {
+                let x = i as f64 * 0.01;
+                let t = q.wait_tail(x);
+                assert!((-1e-9..=1.0).contains(&t), "tail({x}) = {t}");
+                assert!(t <= prev + 1e-9, "tail must not increase");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn low_load_bursts_rarely_wait() {
+        let q = DEk1::new(20, 0.05 * 0.04, 0.04).unwrap();
+        assert!(q.prob_wait() < 1e-6, "P(wait) = {} at 5% load", q.prob_wait());
+    }
+
+    #[test]
+    fn high_load_bursts_often_wait_and_more_than_low_load() {
+        // K = 20 service is nearly deterministic (CoV 0.22), so even at 90%
+        // load waits are not the rule (a pure D/D/1 never waits) — but they
+        // must be frequent compared to moderate load, and K = 2 (bursty)
+        // must wait more than K = 20 at the same load.
+        let q90 = DEk1::new(20, 0.9 * 0.04, 0.04).unwrap();
+        let q50 = DEk1::new(20, 0.5 * 0.04, 0.04).unwrap();
+        assert!(q90.prob_wait() > 0.2, "P(wait) = {} at 90% load", q90.prob_wait());
+        assert!(q90.prob_wait() > 10.0 * q50.prob_wait());
+        let bursty = DEk1::new(2, 0.9 * 0.04, 0.04).unwrap();
+        assert!(bursty.prob_wait() > q90.prob_wait());
+    }
+
+    #[test]
+    fn tail_matches_lindley_simulation_k9() {
+        let (k, rho, t) = (9u32, 0.6, 0.06);
+        let q = DEk1::new(k, rho * t, t).unwrap();
+        let xs = [0.01, 0.03, 0.06, 0.12];
+        let sim = simulate_tail(k, rho * t, t, &xs, 4_000_000);
+        for (&x, &s) in xs.iter().zip(&sim) {
+            let a = q.wait_tail(x);
+            assert!(
+                (a - s).abs() < 0.12 * s.max(2e-4),
+                "x={x}: analytic {a:.6} vs sim {s:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_matches_lindley_simulation_k2() {
+        let (k, rho, t) = (2u32, 0.4, 0.04);
+        let q = DEk1::new(k, rho * t, t).unwrap();
+        let xs = [0.005, 0.02, 0.05];
+        let sim = simulate_tail(k, rho * t, t, &xs, 4_000_000);
+        for (&x, &s) in xs.iter().zip(&sim) {
+            let a = q.wait_tail(x);
+            assert!(
+                (a - s).abs() < 0.12 * s.max(2e-4),
+                "x={x}: analytic {a:.6} vs sim {s:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_wait_matches_simulation() {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let (k, rho, t) = (9u32, 0.7, 0.05);
+        let q = DEk1::new(k, rho * t, t).unwrap();
+        let beta = k as f64 / (rho * t);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut w = 0.0f64;
+        let mut acc = 0.0f64;
+        let n = 2_000_000;
+        for _ in 0..n {
+            acc += w;
+            let mut prod = 1.0f64;
+            for _ in 0..k {
+                prod *= ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(1e-300);
+            }
+            w = (w + (-prod.ln() / beta) - t).max(0.0);
+        }
+        let sim_mean = acc / n as f64;
+        assert!(
+            (q.mean_wait() - sim_mean).abs() < 0.03 * sim_mean,
+            "analytic {} vs sim {}",
+            q.mean_wait(),
+            sim_mean
+        );
+    }
+
+    #[test]
+    fn quantile_inverts_tail() {
+        let q = DEk1::new(9, 0.6 * 0.06, 0.06).unwrap();
+        let p = 0.99999;
+        let x = q.wait_quantile(p);
+        assert!((q.wait_tail(x) - (1.0 - p)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_unstable_and_invalid() {
+        assert!(matches!(DEk1::new(9, 0.06, 0.06), Err(QueueError::UnstableLoad { .. })));
+        assert!(matches!(DEk1::new(9, 0.07, 0.06), Err(QueueError::UnstableLoad { .. })));
+        assert!(matches!(
+            DEk1::new(9, -1.0, 0.06),
+            Err(QueueError::InvalidParameter { .. })
+        ));
+        assert!(matches!(DEk1::new(0, 0.01, 0.06), Err(QueueError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn near_saturation_matches_heavy_traffic_law() {
+        // Kingman heavy-traffic: E[W] ≈ σ_b² / (2(T - b̄)) for D/G/1.
+        let (k, rho, t) = (20u32, 0.97, 0.04);
+        let q = DEk1::new(k, rho * t, t).unwrap();
+        assert!(q.prob_wait() > 0.6, "P(wait) = {}", q.prob_wait());
+        let b = rho * t;
+        let sigma2 = b * b / k as f64;
+        let kingman = sigma2 / (2.0 * (t - b));
+        assert!(
+            (q.mean_wait() - kingman).abs() < 0.25 * kingman,
+            "mean {} vs Kingman {kingman}",
+            q.mean_wait()
+        );
+        for j in 0..k as usize {
+            assert!(q.pole_residual(j) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn conjugate_structure_of_roots() {
+        // Roots for branches j and K-j are conjugates (K=8: j=1↔7, 2↔6...).
+        let q = DEk1::new(8, 0.5 * 0.04, 0.04).unwrap();
+        let z = q.zetas();
+        for j in 1..8usize {
+            let partner = 8 - j;
+            assert!(
+                (z[j] - z[partner].conj()).abs() < 1e-10,
+                "branch {j} vs conj of {partner}"
+            );
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! The sum-of-Erlang-terms MGF representation and its algebra (Appendix A).
+//!
+//! Every delay factor in the paper — the upstream approximation of
+//! eq. (14), the burst waiting time of eq. (18), the packet-position delay
+//! of eq. (34) — has an MGF of the form
+//!
+//! ```text
+//! M(s) = c + Σ_λ Σ_{m=1}^{M_λ} A_{λ,m} · (λ/(λ-s))^m ,    Re λ > 0,
+//! ```
+//!
+//! i.e. an atom of mass `c` at zero plus a weighted sum of (possibly
+//! complex-pole) Erlang terms. Appendix A shows this family is closed
+//! under products: re-expanding `F·G` in partial fractions turns each
+//! pole's coefficients into a discrete convolution with the derivatives of
+//! the *other* factor (eq. 43). The inversion is then term-by-term,
+//!
+//! ```text
+//! P(X > x) = Re Σ A_{λ,m} · e^{-λx} · Σ_{i<m} (λx)^i / i! ,
+//! ```
+//!
+//! which is exactly how the paper obtains the tail of the total queueing
+//! delay from eq. (35).
+
+use fpsping_num::poly::{partial_exp_complex, rising_factorial};
+use fpsping_num::Complex64;
+
+/// One pole of an [`ErlangMix`] together with the coefficients of all its
+/// multiplicities: `Σ_{m=1}^{M} coeffs[m-1] · (pole/(pole-s))^m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoleBlock {
+    /// The pole location λ; `Re λ > 0` for a proper (decaying) term.
+    pub pole: Complex64,
+    /// `coeffs[m-1]` multiplies the Erlang term of multiplicity `m`.
+    pub coeffs: Vec<Complex64>,
+}
+
+impl PoleBlock {
+    /// Highest multiplicity present.
+    pub fn max_multiplicity(&self) -> u32 {
+        self.coeffs.len() as u32
+    }
+
+    /// Evaluates this block's contribution to the MGF at `s`.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let base = self.pole / (self.pole - s);
+        let mut acc = Complex64::ZERO;
+        let mut pw = Complex64::ONE;
+        for &c in &self.coeffs {
+            pw *= base;
+            acc += c * pw;
+        }
+        acc
+    }
+
+    /// The l-th derivative (w.r.t. `s`) of this block at `s`.
+    ///
+    /// Uses `d^l/ds^l (λ/(λ-s))^m = λ^m (m)_l (λ-s)^{-(m+l)}` with `(m)_l`
+    /// the rising factorial.
+    pub fn derivative(&self, s: Complex64, l: u32) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let m = (i + 1) as u32;
+            let lam_pow = self.pole.powi(m as i32);
+            let denom = (self.pole - s).powi((m + l) as i32);
+            acc += c * lam_pow * rising_factorial(m, l) / denom;
+        }
+        acc
+    }
+
+    /// This block's contribution to the tail `P(X > x)` (complex; the mix
+    /// sums blocks and takes the real part).
+    pub fn tail(&self, x: f64) -> Complex64 {
+        let lx = self.pole * x;
+        let decay = (-lx).exp();
+        let mut acc = Complex64::ZERO;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let m = (i + 1) as u32;
+            acc += c * partial_exp_complex(lx, m);
+        }
+        acc * decay
+    }
+
+    /// Contribution to the mean: `Σ_m A_m · m/λ` (Erlang(m, λ) mean).
+    pub fn mean(&self) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            acc += c * ((i + 1) as f64);
+        }
+        acc / self.pole
+    }
+}
+
+/// An MGF of the Appendix-A family: constant (atom at zero) plus Erlang
+/// terms grouped by pole.
+///
+/// # Examples
+///
+/// ```
+/// use fpsping_queue::ErlangMix;
+///
+/// // (1-ρ) + ρ·γ/(γ-s): the paper's eq.-14 upstream approximation.
+/// let up = ErlangMix::exponential_with_atom(0.6, 0.4, 2000.0);
+/// // An Erlang(3, 500) component:
+/// let pos = ErlangMix::single_real_pole(0.0, 500.0, vec![0.0, 0.0, 1.0]);
+/// // Appendix-A product — still a valid probability law:
+/// let total = up.product(&pos);
+/// assert!((total.total_mass() - 1.0).abs() < 1e-10);
+/// assert!(total.quantile(0.99999) > pos.quantile(0.99999));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErlangMix {
+    /// Mass of the atom at zero (`P(X = 0)` for a proper delay law).
+    pub constant: f64,
+    /// The pole blocks; poles must be pairwise distinct.
+    pub blocks: Vec<PoleBlock>,
+}
+
+/// Relative tolerance under which two poles are considered colliding in
+/// [`ErlangMix::product`]; the second pole is nudged by this amount.
+const POLE_COLLISION_RTOL: f64 = 1e-7;
+
+impl ErlangMix {
+    /// The MGF of the constant 0 (unit mass at the origin).
+    pub fn unit() -> Self {
+        Self { constant: 1.0, blocks: Vec::new() }
+    }
+
+    /// A single real-pole mix `c + Σ_m A_m (λ/(λ-s))^m`.
+    pub fn single_real_pole(constant: f64, pole: f64, coeffs: Vec<f64>) -> Self {
+        assert!(pole > 0.0, "single_real_pole: pole must be positive");
+        Self {
+            constant,
+            blocks: vec![PoleBlock {
+                pole: Complex64::from_real(pole),
+                coeffs: coeffs.into_iter().map(Complex64::from_real).collect(),
+            }],
+        }
+    }
+
+    /// The paper's eq. (14) shape: `(1-ρ) + ρ·γ/(γ-s)`.
+    pub fn exponential_with_atom(atom: f64, weight: f64, rate: f64) -> Self {
+        Self::single_real_pole(atom, rate, vec![weight])
+    }
+
+    /// Evaluates the MGF at complex `s`.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let mut acc = Complex64::from_real(self.constant);
+        for b in &self.blocks {
+            acc += b.eval(s);
+        }
+        acc
+    }
+
+    /// The l-th derivative of the MGF at `s` (constant contributes only at
+    /// `l = 0`).
+    pub fn derivative(&self, s: Complex64, l: u32) -> Complex64 {
+        let mut acc = if l == 0 {
+            Complex64::from_real(self.constant)
+        } else {
+            Complex64::ZERO
+        };
+        for b in &self.blocks {
+            acc += b.derivative(s, l);
+        }
+        acc
+    }
+
+    /// Tail distribution function `P(X > x)` for `x ≥ 0`, by term-by-term
+    /// inversion (real part of the complex block sum).
+    pub fn tail(&self, x: f64) -> f64 {
+        assert!(x >= 0.0, "tail: x must be non-negative");
+        let t: Complex64 = self.blocks.iter().map(|b| b.tail(x)).sum();
+        t.re
+    }
+
+    /// Mean of the distribution: `Σ_blocks Σ_m A_m m/λ` (real part).
+    pub fn mean(&self) -> f64 {
+        let m: Complex64 = self.blocks.iter().map(|b| b.mean()).sum();
+        m.re
+    }
+
+    /// Total mass `M(0) = constant + Σ A` — must be 1 for a probability
+    /// law; exposed for validation.
+    pub fn total_mass(&self) -> f64 {
+        self.eval(Complex64::ZERO).re
+    }
+
+    /// L1 norm of the expansion coefficients, `|c| + Σ|A_{λ,m}|`.
+    ///
+    /// A probability law has mass 1, so an L1 norm far above 1 means the
+    /// expansion relies on massive cancellation between terms — the
+    /// intrinsic ill-conditioning of the partial-fraction form when poles
+    /// cluster (D/E_K/1 poles approach the position pole β as ρ_d → 0).
+    /// Roughly, tail values carry an absolute error of `coeff_l1 · ε_f64`;
+    /// callers needing 1e-5 tails should distrust expansions with
+    /// `coeff_l1 ≳ 1e7` and fall back to numerical inversion of the
+    /// unexpanded factors.
+    pub fn coeff_l1(&self) -> f64 {
+        self.constant.abs()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.coeffs.iter().map(|c| c.abs()).sum::<f64>())
+                .sum::<f64>()
+    }
+
+    /// `P(X > 0) = 1 - constant` for a proper law (also `tail(0)`).
+    pub fn prob_positive(&self) -> f64 {
+        self.tail(0.0)
+    }
+
+    /// The decay rate of the slowest (dominant) pole: `min Re λ`.
+    ///
+    /// Returns `None` when the mix is a pure atom.
+    pub fn dominant_decay(&self) -> Option<f64> {
+        self.blocks
+            .iter()
+            .map(|b| b.pole.re)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Tail using *only* the dominant pole block (plus its complex
+    /// conjugate partner, which lives in the same real-part sum) — the
+    /// "method of the dominant pole" of §3.3.
+    pub fn tail_dominant_pole(&self, x: f64) -> f64 {
+        let Some(dom) = self.dominant_decay() else {
+            return 0.0;
+        };
+        // Include every block whose decay is within 0.1% of the dominant
+        // one (conjugate pairs and genuine ties).
+        let t: Complex64 = self
+            .blocks
+            .iter()
+            .filter(|b| b.pole.re <= dom * (1.0 + 1e-3) + 1e-300)
+            .map(|b| b.tail(x))
+            .sum();
+        t.re
+    }
+
+    /// The p-quantile of the delay: smallest `x ≥ 0` with
+    /// `P(X > x) ≤ 1 - p`. Solved by bisection on the closed-form tail.
+    ///
+    /// For the paper's headline number use `p = 0.99999` (the 99.999 %
+    /// quantile of §4).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        let target = 1.0 - p;
+        if self.tail(0.0) <= target {
+            return 0.0;
+        }
+        // Bracket: expand x until the tail falls below target.
+        let scale = self
+            .dominant_decay()
+            .map(|d| 1.0 / d)
+            .unwrap_or(1.0)
+            .max(self.mean().abs())
+            .max(1e-12);
+        let mut hi = scale;
+        for _ in 0..200 {
+            if self.tail(hi) <= target {
+                break;
+            }
+            hi *= 2.0;
+        }
+        let f = |x: f64| self.tail(x) - target;
+        fpsping_num::roots::brent(f, 0.0, hi, 1e-12 * scale.max(1.0), 300)
+            .map(|r| r.root)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Quantile via the dominant-pole tail (§3.3's shortcut).
+    pub fn quantile_dominant_pole(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        let target = 1.0 - p;
+        if self.blocks.is_empty() || self.tail_dominant_pole(0.0) <= target {
+            return 0.0;
+        }
+        let scale = 1.0 / self.dominant_decay().unwrap();
+        let mut hi = scale;
+        for _ in 0..200 {
+            if self.tail_dominant_pole(hi) <= target {
+                break;
+            }
+            hi *= 2.0;
+        }
+        fpsping_num::roots::brent(
+            |x| self.tail_dominant_pole(x) - target,
+            0.0,
+            hi,
+            1e-12 * scale.max(1.0),
+            300,
+        )
+        .map(|r| r.root)
+        .unwrap_or(f64::NAN)
+    }
+
+    /// Chernoff-bound tail (the method of eq. (36)):
+    /// `P(X > x) ≈ inf_{0<s<s_max} e^{-sx}·M(s)`, minimized on the real
+    /// segment below the dominant pole.
+    pub fn tail_chernoff(&self, x: f64) -> f64 {
+        let Some(dom) = self.dominant_decay() else {
+            return 0.0;
+        };
+        let s_max = dom * (1.0 - 1e-9);
+        let obj = |s: f64| {
+            let v = self.eval(Complex64::from_real(s));
+            (-s * x).exp() * v.re
+        };
+        // Golden-section search on (0, s_max).
+        golden_min(obj, 0.0, s_max, 1e-12).1
+    }
+
+    /// Quantile via the Chernoff tail.
+    pub fn quantile_chernoff(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
+        let target = 1.0 - p;
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let scale = 1.0 / self.dominant_decay().unwrap();
+        let mut hi = scale;
+        for _ in 0..200 {
+            if self.tail_chernoff(hi) <= target {
+                break;
+            }
+            hi *= 2.0;
+        }
+        fpsping_num::roots::brent(
+            |x| self.tail_chernoff(x) - target,
+            0.0,
+            hi,
+            1e-12 * scale.max(1.0),
+            300,
+        )
+        .map(|r| r.root)
+        .unwrap_or(f64::NAN)
+    }
+
+    /// Product of two mixes with disjoint pole sets, re-expanded into the
+    /// same family via the Appendix-A convolution.
+    ///
+    /// Nearly colliding poles (relative distance below `1e-7`) in `other`
+    /// are nudged apart by that relative amount first; the paper assumes
+    /// distinct poles (it verifies αⱼ ≠ β) and the nudge keeps the result
+    /// well-conditioned when an upstream pole happens to graze a
+    /// downstream one.
+    pub fn product(&self, other: &ErlangMix) -> ErlangMix {
+        let other = other.nudged_away_from(self);
+        let mut blocks = Vec::with_capacity(self.blocks.len() + other.blocks.len());
+        // New coefficients at each pole of `self`: convolve with the
+        // derivatives of the full `other` factor (analytic there).
+        for b in &self.blocks {
+            blocks.push(convolve_block(b, &other));
+        }
+        for b in &other.blocks {
+            blocks.push(convolve_block(b, self));
+        }
+        ErlangMix { constant: self.constant * other.constant, blocks }
+    }
+
+    /// Returns a copy of `self` whose poles have been nudged away from any
+    /// pole of `reference` they nearly coincide with.
+    fn nudged_away_from(&self, reference: &ErlangMix) -> ErlangMix {
+        let mut out = self.clone();
+        for b in &mut out.blocks {
+            for rb in &reference.blocks {
+                let dist = (b.pole - rb.pole).abs();
+                let scale = b.pole.abs().max(rb.pole.abs());
+                if dist < POLE_COLLISION_RTOL * scale {
+                    b.pole = b.pole * (1.0 + 16.0 * POLE_COLLISION_RTOL);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the pole block of `F·G` at a pole of `F` (eq. 43):
+/// `B_k = Σ_{m=k}^{M} A_m · (-λ)^{m-k} · G^{(m-k)}(λ)/(m-k)!`.
+fn convolve_block(block: &PoleBlock, other: &ErlangMix) -> PoleBlock {
+    let lam = block.pole;
+    let m_max = block.coeffs.len();
+    // Pre-compute G^{(l)}(λ)/l! · (-λ)^l for l = 0..M-1.
+    let mut g_terms = Vec::with_capacity(m_max);
+    let mut fact = 1.0;
+    for l in 0..m_max as u32 {
+        if l > 0 {
+            fact *= l as f64;
+        }
+        g_terms.push(other.derivative(lam, l) * (-lam).powi(l as i32) / fact);
+    }
+    let mut coeffs = vec![Complex64::ZERO; m_max];
+    for k in 1..=m_max {
+        let mut acc = Complex64::ZERO;
+        for m in k..=m_max {
+            acc += block.coeffs[m - 1] * g_terms[m - k];
+        }
+        coeffs[k - 1] = acc;
+    }
+    PoleBlock { pole: lam, coeffs }
+}
+
+/// Golden-section minimization of a unimodal-ish function on `(a, b)`;
+/// returns `(argmin, min)`.
+fn golden_min(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if (b - a).abs() < tol * (a.abs() + b.abs()).max(1.0) {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+#[allow(clippy::unnecessary_cast)]
+mod tests {
+    use super::*;
+    use fpsping_num::laplace::{tail_from_mgf, DEFAULT_EULER_M};
+
+    /// Exponential-with-atom mix: (1-w) + w·λ/(λ-s).
+    fn expo(w: f64, lam: f64) -> ErlangMix {
+        ErlangMix::exponential_with_atom(1.0 - w, w, lam)
+    }
+
+    /// Pure Erlang(m, λ) as a mix.
+    fn erl(m: usize, lam: f64) -> ErlangMix {
+        let mut coeffs = vec![0.0; m];
+        coeffs[m - 1] = 1.0;
+        ErlangMix::single_real_pole(0.0, lam, coeffs)
+    }
+
+    #[test]
+    fn unit_mix_is_degenerate_at_zero() {
+        let u = ErlangMix::unit();
+        assert_eq!(u.total_mass(), 1.0);
+        assert_eq!(u.tail(0.0), 0.0);
+        assert_eq!(u.mean(), 0.0);
+        assert_eq!(u.quantile(0.999), 0.0);
+    }
+
+    #[test]
+    fn exponential_mix_tail_and_mean() {
+        let m = expo(0.3, 2.0);
+        assert!((m.total_mass() - 1.0).abs() < 1e-14);
+        assert!((m.tail(0.0) - 0.3).abs() < 1e-14);
+        assert!((m.tail(1.0) - 0.3 * (-2.0f64).exp()).abs() < 1e-14);
+        assert!((m.mean() - 0.3 / 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn erlang_mix_tail_matches_gamma_q() {
+        let m = erl(5, 1.3);
+        for &x in &[0.1, 1.0, 5.0, 12.0] {
+            let expect = fpsping_num::special::gamma_q(5.0, 1.3 * x);
+            assert!((m.tail(x) - expect).abs() < 1e-12, "x={x}");
+        }
+        assert!((m.mean() - 5.0 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_tail() {
+        let m = expo(0.8, 0.5);
+        for &p in &[0.9, 0.99, 0.99999] {
+            let q = m.quantile(p);
+            assert!((m.tail(q) - (1.0 - p)).abs() < 1e-12, "p={p}");
+        }
+        // Atom large enough that the 50% quantile is 0.
+        let m2 = expo(0.3, 1.0);
+        assert_eq!(m2.quantile(0.7), 0.0);
+    }
+
+    #[test]
+    fn product_of_two_exponentials_matches_convolution() {
+        // X ~ Exp(1) (no atom), Y ~ Exp(2): sum has tail
+        // 2e^{-x} - e^{-2x} (hypoexponential).
+        let x = erl(1, 1.0);
+        let y = erl(1, 2.0);
+        let p = x.product(&y);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        for &t in &[0.2, 1.0, 3.0, 8.0] {
+            let expect = 2.0 * (-t as f64).exp() - (-2.0 * t as f64).exp();
+            assert!((p.tail(t) - expect).abs() < 1e-11, "t={t}: {} vs {expect}", p.tail(t));
+        }
+        assert!((p.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_with_atoms_keeps_masses() {
+        // (0.4 + 0.6·Exp(1)) ⊗ (0.5 + 0.5·Exp(3)).
+        let a = expo(0.6, 1.0);
+        let b = expo(0.5, 3.0);
+        let p = a.product(&b);
+        assert!((p.constant - 0.2).abs() < 1e-14);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        // Mean adds: 0.6·1 + 0.5/3.
+        assert!((p.mean() - (0.6 + 0.5 / 3.0)).abs() < 1e-12);
+        // MGF product check at a few points.
+        for &s in &[-1.0, -0.2, 0.3] {
+            let sc = Complex64::from_real(s);
+            let direct = a.eval(sc) * b.eval(sc);
+            let expanded = p.eval(sc);
+            assert!((direct - expanded).abs() < 1e-12, "s={s}");
+        }
+    }
+
+    #[test]
+    fn product_matches_numerical_inversion() {
+        // Three-factor product shaped like the paper's eq. (35):
+        // upstream (atom + expo), burst wait (two expo poles), position
+        // (Erlang ladder) — validated against Abate–Whitt inversion.
+        let up = expo(0.25, 4.0);
+        let wait = ErlangMix {
+            constant: 0.5,
+            blocks: vec![
+                PoleBlock { pole: Complex64::from_real(1.0), coeffs: vec![Complex64::from_real(0.3)] },
+                PoleBlock { pole: Complex64::from_real(2.5), coeffs: vec![Complex64::from_real(0.2)] },
+            ],
+        };
+        let pos = ErlangMix::single_real_pole(0.0, 3.0, vec![0.5, 0.5]);
+        let total = up.product(&wait).product(&pos);
+        assert!((total.total_mass() - 1.0).abs() < 1e-10);
+        let mgf = |s: Complex64| total.eval(s);
+        for &t in &[0.1, 0.5, 1.5, 4.0] {
+            let numeric = tail_from_mgf(mgf, t, DEFAULT_EULER_M);
+            let closed = total.tail(t);
+            assert!(
+                (numeric - closed).abs() < 1e-8,
+                "t={t}: numeric {numeric} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_with_repeated_pole_in_one_factor() {
+        // Erlang(3, 2) ⊗ Exp(1): tail check against numerical inversion —
+        // exercises multiplicity > 1 convolution.
+        let a = erl(3, 2.0);
+        let b = erl(1, 1.0);
+        let p = a.product(&b);
+        let mgf = |s: Complex64| p.eval(s);
+        for &t in &[0.3, 1.0, 2.5, 6.0] {
+            let numeric = tail_from_mgf(mgf, t, DEFAULT_EULER_M);
+            assert!((p.tail(t) - numeric).abs() < 1e-8, "t={t}");
+        }
+        // Mean adds.
+        assert!((p.mean() - (1.5 + 1.0)).abs() < 1e-11);
+    }
+
+    #[test]
+    fn product_nudges_colliding_poles() {
+        let a = erl(1, 1.0);
+        let b = erl(1, 1.0); // identical pole — would be singular
+        let p = a.product(&b);
+        // Exact answer is Erlang(2,1): tail e^{-x}(1+x).
+        for &t in &[0.5, 2.0, 5.0] {
+            let expect = (-t as f64).exp() * (1.0 + t);
+            assert!(
+                (p.tail(t) - expect).abs() < 1e-4,
+                "t={t}: {} vs {expect}",
+                p.tail(t)
+            );
+        }
+    }
+
+    #[test]
+    fn complex_conjugate_pair_gives_real_tail() {
+        // A conjugate pole pair with conjugate coefficients must produce a
+        // real, valid tail.
+        let pole = Complex64::new(1.0, 0.7);
+        let coef = Complex64::new(0.2, -0.1);
+        let m = ErlangMix {
+            constant: 0.6,
+            blocks: vec![
+                PoleBlock { pole, coeffs: vec![coef] },
+                PoleBlock { pole: pole.conj(), coeffs: vec![coef.conj()] },
+            ],
+        };
+        assert!((m.total_mass() - 1.0).abs() < 0.2); // mass ≈ 1 by design
+        for &x in &[0.0, 0.5, 2.0, 5.0] {
+            let t = m.tail(x);
+            assert!(t.is_finite());
+            // Imaginary parts cancel inside `tail` by construction; check
+            // the complex sum directly.
+            let c: Complex64 = m.blocks.iter().map(|b| b.tail(x)).sum();
+            assert!(c.im.abs() < 1e-13, "x={x}: im={}", c.im);
+        }
+    }
+
+    #[test]
+    fn chernoff_upper_bounds_exact_tail() {
+        let m = expo(0.5, 1.0).product(&erl(2, 3.0));
+        for &x in &[0.5, 1.0, 3.0, 6.0] {
+            let exact = m.tail(x);
+            let chern = m.tail_chernoff(x);
+            assert!(
+                chern >= exact - 1e-12,
+                "Chernoff must upper-bound: x={x}, {chern} < {exact}"
+            );
+            // ... and not be absurdly loose (within ~an order of magnitude
+            // for this well-behaved case).
+            assert!(chern < 20.0 * exact.max(1e-12), "x={x}: {chern} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn dominant_pole_tail_is_exact_asymptotically() {
+        let m = ErlangMix {
+            constant: 0.4,
+            blocks: vec![
+                PoleBlock { pole: Complex64::from_real(0.5), coeffs: vec![Complex64::from_real(0.35)] },
+                PoleBlock { pole: Complex64::from_real(5.0), coeffs: vec![Complex64::from_real(0.25)] },
+            ],
+        };
+        let x = 20.0;
+        let full = m.tail(x);
+        let dom = m.tail_dominant_pole(x);
+        assert!((full - dom).abs() / full < 1e-10);
+        // At x = 0 the dominant tail misses the fast pole's mass.
+        assert!(m.tail_dominant_pole(0.0) < m.tail(0.0));
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let m = expo(0.7, 2.0).product(&erl(2, 5.0));
+        let s = Complex64::from_real(-0.3);
+        let h = 1e-5;
+        for l in 1..4u32 {
+            // Central finite difference of the (l-1)-th derivative.
+            let f1 = m.derivative(s + Complex64::from_real(h), l - 1);
+            let f2 = m.derivative(s - Complex64::from_real(h), l - 1);
+            let fd = (f1 - f2) / (2.0 * h);
+            let an = m.derivative(s, l);
+            assert!(
+                (fd - an).abs() < 1e-4 * an.abs().max(1.0),
+                "l={l}: fd={fd}, analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_min_finds_parabola_vertex() {
+        let (x, v) = golden_min(|x| (x - 2.0) * (x - 2.0) + 1.0, 0.0, 10.0, 1e-12);
+        assert!((x - 2.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,183 @@
+//! A store-and-forward output link: one server (the line) plus a queue
+//! under a configurable discipline.
+
+use crate::packet::Packet;
+use crate::scheduler::{Discipline, Scheduler};
+use crate::time::SimTime;
+
+/// A transmission link with rate, propagation delay and an output queue.
+#[derive(Debug)]
+pub struct Link {
+    rate_bps: f64,
+    propagation: SimTime,
+    queue: Box<dyn Scheduler>,
+    in_service: Option<Packet>,
+    /// Running counters.
+    pub packets_sent: u64,
+    /// Total bytes that completed service.
+    pub bytes_sent: f64,
+    /// Total busy time (for utilization accounting).
+    pub busy_time: SimTime,
+}
+
+/// What [`Link::offer`] / [`Link::complete`] tell the engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkAction {
+    /// Schedule a service-completion event at the given time.
+    ScheduleCompletion(SimTime),
+    /// Nothing to schedule (link already busy, or queue empty).
+    None,
+}
+
+impl Link {
+    /// Builds a link with the given line rate, propagation delay and
+    /// discipline.
+    pub fn new(rate_bps: f64, propagation: SimTime, discipline: Discipline) -> Self {
+        assert!(rate_bps > 0.0 && rate_bps.is_finite(), "Link: rate must be positive");
+        Self {
+            rate_bps,
+            propagation,
+            queue: discipline.build(),
+            in_service: None,
+            packets_sent: 0,
+            bytes_sent: 0.0,
+            busy_time: SimTime::ZERO,
+        }
+    }
+
+    /// Line rate (bit/s).
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> SimTime {
+        self.propagation
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn serialization(&self, bytes: f64) -> SimTime {
+        SimTime::serialization(bytes, self.rate_bps)
+    }
+
+    /// Queue length excluding the packet in service.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queued bytes excluding the packet in service.
+    pub fn backlog_bytes(&self) -> f64 {
+        self.queue.backlog_bytes()
+    }
+
+    /// Whether a packet is currently being transmitted.
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Offers a packet at time `now`. If the line is idle the packet goes
+    /// straight into service and a completion must be scheduled; otherwise
+    /// it queues.
+    pub fn offer(&mut self, p: Packet, now: SimTime) -> LinkAction {
+        if self.in_service.is_none() {
+            let done = now + self.serialization(p.size_bytes);
+            self.busy_time += self.serialization(p.size_bytes);
+            self.in_service = Some(p);
+            LinkAction::ScheduleCompletion(done)
+        } else {
+            self.queue.enqueue(p);
+            LinkAction::None
+        }
+    }
+
+    /// Completes the in-service packet at time `now`; returns the
+    /// delivered packet (after propagation, i.e. the caller should treat
+    /// `now + propagation` as the arrival instant) and the next action.
+    pub fn complete(&mut self, now: SimTime) -> (Packet, LinkAction) {
+        let done = self.in_service.take().expect("complete called on idle link");
+        self.packets_sent += 1;
+        self.bytes_sent += done.size_bytes;
+        let action = match self.queue.dequeue() {
+            Some(next) => {
+                let finish = now + self.serialization(next.size_bytes);
+                self.busy_time += self.serialization(next.size_bytes);
+                self.in_service = Some(next);
+                LinkAction::ScheduleCompletion(finish)
+            }
+            None => LinkAction::None,
+        };
+        (done, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn idle_link_serves_immediately() {
+        let mut l = Link::new(1_000_000.0, SimTime::ZERO, Discipline::Fifo);
+        let p = Packet::game(125.0, 0, SimTime::ZERO);
+        // 125 B at 1 Mbps = 1 ms.
+        match l.offer(p, SimTime::ZERO) {
+            LinkAction::ScheduleCompletion(t) => assert_eq!(t, SimTime::from_millis(1.0)),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(l.is_busy());
+        assert_eq!(l.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_link_queues() {
+        let mut l = Link::new(1_000_000.0, SimTime::ZERO, Discipline::Fifo);
+        let _ = l.offer(Packet::game(125.0, 0, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(
+            l.offer(Packet::game(125.0, 1, SimTime::ZERO), SimTime::ZERO),
+            LinkAction::None
+        );
+        assert_eq!(l.queue_len(), 1);
+        // Completion pulls the queued packet into service.
+        let (done, action) = l.complete(SimTime::from_millis(1.0));
+        assert_eq!(done.flow, 0);
+        match action {
+            LinkAction::ScheduleCompletion(t) => assert_eq!(t, SimTime::from_millis(2.0)),
+            other => panic!("expected follow-up completion, got {other:?}"),
+        }
+        let (done2, action2) = l.complete(SimTime::from_millis(2.0));
+        assert_eq!(done2.flow, 1);
+        assert_eq!(action2, LinkAction::None);
+        assert!(!l.is_busy());
+        assert_eq!(l.packets_sent, 2);
+        assert_eq!(l.bytes_sent, 250.0);
+    }
+
+    #[test]
+    fn priority_link_reorders() {
+        let mut l = Link::new(1_000_000.0, SimTime::ZERO, Discipline::Priority);
+        let _ = l.offer(Packet::elastic(1500.0, SimTime::ZERO), SimTime::ZERO);
+        let _ = l.offer(Packet::elastic(1500.0, SimTime::ZERO), SimTime::ZERO);
+        let _ = l.offer(Packet::game(100.0, 9, SimTime::ZERO), SimTime::ZERO);
+        // The elastic packet in service is not preempted...
+        let (first, _) = l.complete(SimTime::from_millis(12.0));
+        assert_eq!(first.class, TrafficClass::Elastic);
+        // ...but the game packet jumps the remaining elastic one.
+        let (second, _) = l.complete(SimTime::from_millis(12.8));
+        assert_eq!(second.flow, 9);
+    }
+
+    #[test]
+    fn busy_time_tracks_utilization() {
+        let mut l = Link::new(1_000_000.0, SimTime::ZERO, Discipline::Fifo);
+        let _ = l.offer(Packet::game(250.0, 0, SimTime::ZERO), SimTime::ZERO);
+        let _ = l.complete(SimTime::from_millis(2.0));
+        assert_eq!(l.busy_time, SimTime::from_millis(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle link")]
+    fn completing_idle_link_panics() {
+        let mut l = Link::new(1e6, SimTime::ZERO, Discipline::Fifo);
+        let _ = l.complete(SimTime::ZERO);
+    }
+}

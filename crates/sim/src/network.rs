@@ -1,0 +1,824 @@
+//! The Figure-2 topology: N clients behind access links, an aggregation
+//! node, a bottleneck link `C` to the game server, and the mirrored
+//! downstream path.
+//!
+//! The event loop is a classic calendar-queue DES: a binary heap of
+//! `(time, seq)`-ordered events, links as store-and-forward servers, and
+//! probes recording the delays the paper's model predicts —
+//!
+//! * `agg_wait` — queueing delay at the aggregation node onto `C`
+//!   (the N·D/D/1 → M/G/1 quantity of §3.1),
+//! * `burst_wait` — queueing delay of the *first* packet of each server
+//!   burst at the downstream `C` link (the D/E_K/1 `w_n` of §3.2.1),
+//! * `downstream_delay` — server tick to client arrival (burst wait +
+//!   position delay + serializations),
+//! * `upstream_delay` — client send to server arrival,
+//! * `ping_rtt` — full application-level round trip: client packet →
+//!   server → acknowledged in the next server tick → back to the client
+//!   (includes the tick-alignment wait the analytic model deliberately
+//!   excludes).
+
+use crate::link::{Link, LinkAction};
+use crate::packet::{Packet, TrafficClass};
+use crate::probe::{DelayProbe, ProbeSummary};
+use crate::scheduler::Discipline;
+use crate::time::SimTime;
+use fpsping_dist::{uniform01, Distribution};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Background elastic traffic on the bottleneck links (Section 1's
+/// competing TCP-like class), modeled as Poisson arrivals of fixed-size
+/// packets.
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundConfig {
+    /// Offered elastic load on each bottleneck direction (fraction of C).
+    pub load: f64,
+    /// Elastic packet size in bytes (e.g. 1500).
+    pub packet_bytes: f64,
+}
+
+/// How server burst sizes are generated.
+///
+/// §2.3.2 keeps the burst-level Erlang order K roughly independent of the
+/// player count because within-burst packet sizes are strongly correlated
+/// (game state affects every player's update). Drawing per-packet sizes
+/// i.i.d. would wash the burst CoV out as 1/√N and silently turn the
+/// downstream queue into D/D/1 for large parties.
+#[derive(Debug)]
+pub enum BurstSizing {
+    /// Per-packet sizes drawn i.i.d. from `server_packet_bytes`.
+    IidPerPacket,
+    /// Burst total drawn from Erlang(K, mean = N·E[P_S]) and split evenly
+    /// across the N packets — the exact D/E_K/1 service law of §3.2.
+    ErlangBurst {
+        /// Burst-level Erlang order K.
+        k: u32,
+    },
+    /// Burst total drawn from an arbitrary law (bytes for the *whole*
+    /// burst), split evenly across the N packets — for the burst-model
+    /// sensitivity studies the paper's concluding remarks call for
+    /// (lognormal, Weibull, heavy-tailed Pareto, ...).
+    BurstFromDistribution(Box<dyn fpsping_dist::Distribution>),
+}
+
+/// Simulation configuration (defaults = the paper's §4 DSL scenario).
+///
+/// # Examples
+///
+/// ```
+/// use fpsping_sim::{NetworkConfig, SimTime};
+/// use fpsping_dist::Deterministic;
+///
+/// let mut cfg = NetworkConfig::paper_scenario(
+///     12,                                      // gamers
+///     Box::new(Deterministic::new(125.0)),     // P_S
+///     40.0,                                    // tick [ms]
+///     7,                                       // seed
+/// );
+/// cfg.duration = SimTime::from_secs(5.0);
+/// let report = cfg.run();
+/// assert!(report.packets_downstream > 1000);
+/// assert!(report.downstream_delay.mean_s > 0.001);
+/// ```
+#[derive(Debug)]
+pub struct NetworkConfig {
+    /// Number of gamers N.
+    pub n_clients: usize,
+    /// Access uplink rate (bit/s) — paper: 128 kbps.
+    pub r_up_bps: f64,
+    /// Access downlink rate (bit/s) — paper: 1024 kbps.
+    pub r_down_bps: f64,
+    /// Bottleneck (aggregation) link rate (bit/s) — paper: 5000 kbps.
+    pub c_bps: f64,
+    /// Client packet size law (bytes) — paper: Det(80).
+    pub client_packet_bytes: Box<dyn Distribution>,
+    /// Client send interval law (ms) — paper: Det(T).
+    pub client_interval_ms: Box<dyn Distribution>,
+    /// Server per-client packet size law (bytes).
+    pub server_packet_bytes: Box<dyn Distribution>,
+    /// Whether burst sizes follow per-packet i.i.d. draws or the
+    /// burst-level Erlang law.
+    pub burst_sizing: BurstSizing,
+    /// Server tick period T (ms), deterministic per §2.3.2.
+    pub tick_ms: f64,
+    /// Scheduler on the two bottleneck directions.
+    pub discipline: Discipline,
+    /// Optional background elastic traffic on the bottleneck.
+    pub background: Option<BackgroundConfig>,
+    /// Shuffle the per-burst emission order (§2.2 observed this).
+    pub shuffle_burst_order: bool,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Warm-up period excluded from probes.
+    pub warmup: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+    /// Max raw samples per probe (exceedance counters stay exact).
+    pub max_samples: usize,
+    /// Tail thresholds (seconds) for exact exceedance counting.
+    pub tail_thresholds_s: Vec<f64>,
+    /// Per-client overrides of `(interval_ms, packet_bytes)` — heterogeneous
+    /// gamer hardware/settings (the eq.-13 multi-class situation). Length
+    /// must equal `n_clients` when present; `None` means every client uses
+    /// `client_interval_ms` / `client_packet_bytes`.
+    pub client_overrides: Option<Vec<(f64, f64)>>,
+    /// Capture a packet trace (arrivals at the server and at the clients)
+    /// in the `fpsping-traffic` record format, for feeding the §2.2
+    /// analysis pipeline. Costs memory proportional to the packet count.
+    pub capture_trace: bool,
+    /// Random extra delay (ms) added to each packet on the access
+    /// downlinks — the artificial jitter of the paper's reference [23].
+    pub downlink_jitter_ms: Option<Box<dyn Distribution>>,
+}
+
+impl NetworkConfig {
+    /// The paper's §4 DSL scenario: `n` gamers, P_C = 80 B, P_S as given,
+    /// R_up = 128 kbps, R_down = 1024 kbps, C = 5 Mbps, tick = client
+    /// interval = `t_ms`.
+    pub fn paper_scenario(
+        n: usize,
+        server_packet: Box<dyn Distribution>,
+        t_ms: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            n_clients: n,
+            r_up_bps: 128_000.0,
+            r_down_bps: 1_024_000.0,
+            c_bps: 5_000_000.0,
+            client_packet_bytes: Box::new(fpsping_dist::Deterministic::new(80.0)),
+            client_interval_ms: Box::new(fpsping_dist::Deterministic::new(t_ms)),
+            server_packet_bytes: server_packet,
+            burst_sizing: BurstSizing::IidPerPacket,
+            tick_ms: t_ms,
+            discipline: Discipline::Fifo,
+            background: None,
+            shuffle_burst_order: true,
+            duration: SimTime::from_secs(60.0),
+            warmup: SimTime::from_secs(2.0),
+            seed,
+            max_samples: 2_000_000,
+            tail_thresholds_s: vec![0.010, 0.025, 0.050, 0.100, 0.200],
+            client_overrides: None,
+            capture_trace: false,
+            downlink_jitter_ms: None,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Client send → server arrival.
+    pub upstream_delay: ProbeSummary,
+    /// Server tick → client arrival.
+    pub downstream_delay: ProbeSummary,
+    /// Queueing delay at the aggregation node onto C (upstream).
+    pub agg_wait: ProbeSummary,
+    /// Queueing delay of the first packet of each burst at the downstream
+    /// C link — the D/E_K/1 waiting time.
+    pub burst_wait: ProbeSummary,
+    /// Full application ping (includes server tick alignment).
+    pub ping_rtt: ProbeSummary,
+    /// Utilization of the upstream bottleneck.
+    pub up_utilization: f64,
+    /// Utilization of the downstream bottleneck.
+    pub down_utilization: f64,
+    /// Total events processed.
+    pub events: u64,
+    /// Packets delivered to clients.
+    pub packets_downstream: u64,
+    /// Packets delivered to the server.
+    pub packets_upstream: u64,
+    /// Captured packet trace (when `capture_trace` was set).
+    pub trace: Option<fpsping_traffic::Trace>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    ClientEmit(u32),
+    ServerTick,
+    LinkComplete(usize),
+    Deliver(usize, Packet),
+    BgEmit(usize),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The running simulation.
+pub struct Network {
+    cfg: NetworkConfig,
+    links: Vec<Link>,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    // Probes.
+    upstream_delay: DelayProbe,
+    downstream_delay: DelayProbe,
+    agg_wait: DelayProbe,
+    burst_wait: DelayProbe,
+    ping_rtt: DelayProbe,
+    // Ping bookkeeping: creation time of the latest client packet that
+    // reached the server, per client.
+    last_arrival: Vec<Option<SimTime>>,
+    events: u64,
+    packets_up: u64,
+    packets_down: u64,
+    captured: Vec<fpsping_traffic::PacketRecord>,
+}
+
+impl Network {
+    fn uplink(&self, i: usize) -> usize {
+        i
+    }
+    fn up_agg(&self) -> usize {
+        self.cfg.n_clients
+    }
+    fn down_srv(&self) -> usize {
+        self.cfg.n_clients + 1
+    }
+    fn downlink(&self, i: usize) -> usize {
+        self.cfg.n_clients + 2 + i
+    }
+
+    /// Builds the network and seeds the initial events.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.n_clients >= 1, "need at least one client");
+        assert!(cfg.tick_ms > 0.0, "tick must be positive");
+        if let Some(ov) = &cfg.client_overrides {
+            assert_eq!(ov.len(), cfg.n_clients, "client_overrides length must equal n_clients");
+            assert!(ov.iter().all(|&(t, s)| t > 0.0 && s >= 1.0), "override values must be positive");
+        }
+        let mut links = Vec::with_capacity(2 * cfg.n_clients + 2);
+        for _ in 0..cfg.n_clients {
+            links.push(Link::new(cfg.r_up_bps, SimTime::ZERO, Discipline::Fifo));
+        }
+        links.push(Link::new(cfg.c_bps, SimTime::ZERO, cfg.discipline)); // up agg
+        links.push(Link::new(cfg.c_bps, SimTime::ZERO, cfg.discipline)); // down srv
+        for _ in 0..cfg.n_clients {
+            links.push(Link::new(cfg.r_down_bps, SimTime::ZERO, Discipline::Fifo));
+        }
+        let max_samples = cfg.max_samples;
+        let thr = cfg.tail_thresholds_s.clone();
+        let n = cfg.n_clients;
+        let mut net = Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            links,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            upstream_delay: DelayProbe::new(max_samples, &thr),
+            downstream_delay: DelayProbe::new(max_samples, &thr),
+            agg_wait: DelayProbe::new(max_samples, &thr),
+            burst_wait: DelayProbe::new(max_samples, &thr),
+            ping_rtt: DelayProbe::new(max_samples, &thr),
+            last_arrival: vec![None; n],
+            events: 0,
+            packets_up: 0,
+            packets_down: 0,
+            captured: Vec::new(),
+            cfg,
+        };
+        // Clients start with random phases within one interval.
+        for i in 0..net.cfg.n_clients {
+            let phase = uniform01(&mut net.rng) * net.cfg.tick_ms;
+            net.schedule(SimTime::from_millis(phase), Ev::ClientEmit(i as u32));
+        }
+        // Server ticks start at a random phase too.
+        let tick_phase = uniform01(&mut net.rng) * net.cfg.tick_ms;
+        net.schedule(SimTime::from_millis(tick_phase), Ev::ServerTick);
+        // Background sources.
+        if net.cfg.background.is_some() {
+            let up = net.up_agg();
+            let down = net.down_srv();
+            net.schedule(SimTime::ZERO, Ev::BgEmit(up));
+            net.schedule(SimTime::ZERO, Ev::BgEmit(down));
+        }
+        net
+    }
+
+    fn schedule(&mut self, time: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq: self.seq, ev }));
+    }
+
+    fn offer(&mut self, link: usize, p: Packet) {
+        let action = self.links[link].offer(p, self.now);
+        if let LinkAction::ScheduleCompletion(t) = action {
+            self.schedule(t, Ev::LinkComplete(link));
+        }
+    }
+
+    fn warm(&self) -> bool {
+        self.now >= self.cfg.warmup
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> SimReport {
+        let end = self.cfg.duration;
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if s.time > end {
+                break;
+            }
+            self.now = s.time;
+            self.events += 1;
+            match s.ev {
+                Ev::ClientEmit(i) => self.on_client_emit(i),
+                Ev::ServerTick => self.on_server_tick(),
+                Ev::LinkComplete(l) => self.on_link_complete(l),
+                Ev::Deliver(l, p) => self.on_deliver(l, p),
+                Ev::BgEmit(l) => self.on_bg_emit(l),
+            }
+        }
+        let dur = (self.cfg.duration.saturating_sub(SimTime::ZERO)).as_secs();
+        let q = [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999];
+        SimReport {
+            upstream_delay: self.upstream_delay.summarize(&q),
+            downstream_delay: self.downstream_delay.summarize(&q),
+            agg_wait: self.agg_wait.summarize(&q),
+            burst_wait: self.burst_wait.summarize(&q),
+            ping_rtt: self.ping_rtt.summarize(&q),
+            up_utilization: self.links[self.cfg.n_clients].busy_time.as_secs() / dur,
+            down_utilization: self.links[self.cfg.n_clients + 1].busy_time.as_secs() / dur,
+            events: self.events,
+            packets_downstream: self.packets_down,
+            packets_upstream: self.packets_up,
+            trace: if self.cfg.capture_trace {
+                Some(fpsping_traffic::Trace::from_records(self.captured))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn capture(&mut self, direction: fpsping_traffic::Direction, p: &Packet) {
+        if self.cfg.capture_trace && self.warm() {
+            self.captured.push(fpsping_traffic::PacketRecord {
+                time_ms: self.now.as_millis(),
+                size_bytes: p.size_bytes,
+                direction,
+                flow: p.flow as u16,
+            });
+        }
+    }
+
+    fn on_client_emit(&mut self, i: u32) {
+        let (size, next) = match &self.cfg.client_overrides {
+            Some(ov) => {
+                let (interval, bytes) = ov[i as usize];
+                (bytes, interval)
+            }
+            None => (
+                self.cfg.client_packet_bytes.sample(&mut self.rng).max(1.0),
+                self.cfg.client_interval_ms.sample(&mut self.rng).max(0.05),
+            ),
+        };
+        let mut p = Packet::game(size, i, self.now);
+        p.enqueued = self.now;
+        let link = self.uplink(i as usize);
+        self.offer(link, p);
+        let t = self.now + SimTime::from_millis(next);
+        self.schedule(t, Ev::ClientEmit(i));
+    }
+
+    fn on_server_tick(&mut self) {
+        // One packet per client, optionally shuffled emission order.
+        let n = self.cfg.n_clients;
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.cfg.shuffle_burst_order {
+            for k in (1..n).rev() {
+                let j = (self.rng.next_u64() % (k as u64 + 1)) as usize;
+                order.swap(k, j);
+            }
+        }
+        // Per-packet sizes according to the configured burst law.
+        let sizes: Vec<f64> = match self.cfg.burst_sizing {
+            BurstSizing::IidPerPacket => (0..n)
+                .map(|_| self.cfg.server_packet_bytes.sample(&mut self.rng).max(1.0))
+                .collect(),
+            BurstSizing::ErlangBurst { k } => {
+                let mean_total = n as f64 * self.cfg.server_packet_bytes.mean();
+                let total = fpsping_dist::Erlang::with_mean(k, mean_total)
+                    .sample(&mut self.rng)
+                    .max(n as f64);
+                vec![total / n as f64; n]
+            }
+            BurstSizing::BurstFromDistribution(ref d) => {
+                let total = d.sample(&mut self.rng).max(n as f64);
+                vec![total / n as f64; n]
+            }
+        };
+        for (pos, &client) in order.iter().enumerate() {
+            let size = sizes[pos];
+            let mut p = Packet::game(size, client as u32, self.now);
+            p.burst_position = pos as u32;
+            p.ack_of = self.last_arrival[client].take();
+            p.enqueued = self.now;
+            let link = self.down_srv();
+            self.offer(link, p);
+        }
+        let t = self.now + SimTime::from_millis(self.cfg.tick_ms);
+        self.schedule(t, Ev::ServerTick);
+    }
+
+    fn on_bg_emit(&mut self, link: usize) {
+        let bg = self.cfg.background.expect("bg event without bg config");
+        let p = Packet::elastic(bg.packet_bytes, self.now);
+        self.offer(link, p);
+        // Poisson arrivals at rate load·C/(8·bytes) per second.
+        let rate = bg.load * self.cfg.c_bps / (8.0 * bg.packet_bytes);
+        let dt = -uniform01(&mut self.rng).ln() / rate;
+        let t = self.now + SimTime::from_secs(dt);
+        self.schedule(t, Ev::BgEmit(link));
+    }
+
+    fn on_link_complete(&mut self, link: usize) {
+        let (p, action) = self.links[link].complete(self.now);
+        if let LinkAction::ScheduleCompletion(t) = action {
+            self.schedule(t, Ev::LinkComplete(link));
+        }
+        let mut extra = self.links[link].propagation();
+        // Artificial jitter on the access downlinks (reference [23]).
+        if link >= self.cfg.n_clients + 2 {
+            if let Some(jitter) = &self.cfg.downlink_jitter_ms {
+                let j = jitter.sample(&mut self.rng).max(0.0);
+                extra += SimTime::from_millis(j);
+            }
+        }
+        if extra == SimTime::ZERO {
+            self.on_deliver(link, p);
+        } else {
+            self.schedule(self.now + extra, Ev::Deliver(link, p));
+        }
+    }
+
+    fn on_deliver(&mut self, link: usize, p: Packet) {
+        let n = self.cfg.n_clients;
+        if link < n {
+            // Access uplink → aggregation node.
+            if p.class == TrafficClass::Game {
+                let mut q = p;
+                q.enqueued = self.now;
+                let agg = self.up_agg();
+                // Record the aggregation wait when this packet finishes
+                // service there (handled below via enqueued timestamp).
+                self.offer(agg, q);
+            }
+        } else if link == self.up_agg() {
+            // Arrived at the server.
+            if p.class == TrafficClass::Game {
+                self.packets_up += 1;
+                self.capture(fpsping_traffic::Direction::ClientToServer, &p);
+                if self.warm() {
+                    let d = (self.now - p.created).as_secs();
+                    self.upstream_delay.record(d);
+                    // Aggregation queueing wait: service start minus
+                    // enqueue at the aggregation node.
+                    let ser = self.links[link].serialization(p.size_bytes);
+                    let wait = (self.now.saturating_sub(ser)).saturating_sub(p.enqueued);
+                    self.agg_wait.record(wait.as_secs());
+                }
+                self.last_arrival[p.flow as usize] = Some(p.created);
+            }
+        } else if link == self.down_srv() {
+            // Bottleneck downstream → fan-out to the access downlink.
+            if p.class == TrafficClass::Game {
+                if p.burst_position == 0 && self.warm() {
+                    let ser = self.links[link].serialization(p.size_bytes);
+                    let wait = (self.now.saturating_sub(ser)).saturating_sub(p.created);
+                    self.burst_wait.record(wait.as_secs());
+                }
+                let dest = self.downlink(p.flow as usize);
+                let mut q = p;
+                q.enqueued = self.now;
+                self.offer(dest, q);
+            }
+            // Elastic packets terminate at the fan-out (they model cross
+            // traffic on the bottleneck only).
+        } else {
+            // Access downlink → the client.
+            debug_assert_eq!(p.class, TrafficClass::Game);
+            self.packets_down += 1;
+            self.capture(fpsping_traffic::Direction::ServerToClient, &p);
+            if self.warm() {
+                self.downstream_delay.record((self.now - p.created).as_secs());
+                if let Some(sent) = p.ack_of {
+                    self.ping_rtt.record((self.now - sent).as_secs());
+                }
+            }
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Convenience: build and run.
+    pub fn run(self) -> SimReport {
+        Network::new(self).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsping_dist::Deterministic;
+
+    fn small_cfg(n: usize, ps: f64, t_ms: f64, seed: u64) -> NetworkConfig {
+        let mut cfg = NetworkConfig::paper_scenario(
+            n,
+            Box::new(Deterministic::new(ps)),
+            t_ms,
+            seed,
+        );
+        cfg.duration = SimTime::from_secs(30.0);
+        cfg.warmup = SimTime::from_secs(1.0);
+        cfg
+    }
+
+    #[test]
+    fn utilization_matches_offered_load() {
+        // N = 100, P_S = 125 B, T = 40 ms, C = 5 Mbps → ρ_d = 0.5 (eq. 37):
+        // 8·100·125/(40·5000) = 0.5.
+        let cfg = small_cfg(100, 125.0, 40.0, 1);
+        let rep = cfg.run();
+        assert!(
+            (rep.down_utilization - 0.5).abs() < 0.02,
+            "downstream utilization {}",
+            rep.down_utilization
+        );
+        // ρ_u = ρ_d·P_C/P_S = 0.32.
+        assert!(
+            (rep.up_utilization - 0.32).abs() < 0.02,
+            "upstream utilization {}",
+            rep.up_utilization
+        );
+    }
+
+    #[test]
+    fn packet_conservation() {
+        let cfg = small_cfg(10, 125.0, 40.0, 2);
+        let duration_s = 30.0;
+        let rep = cfg.run();
+        // ~duration/tick bursts of 10 packets (minus warmup accounting).
+        let expect = (duration_s * 1000.0 / 40.0) * 10.0;
+        assert!(
+            (rep.packets_downstream as f64 - expect).abs() < 0.03 * expect,
+            "downstream packets {} vs ~{expect}",
+            rep.packets_downstream
+        );
+        assert!(rep.packets_upstream > 0);
+        assert!(rep.events > rep.packets_downstream);
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_report() {
+        let a = small_cfg(8, 125.0, 40.0, 33).run();
+        let b = small_cfg(8, 125.0, 40.0, 33).run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.downstream_delay.count, b.downstream_delay.count);
+        assert!((a.downstream_delay.mean_s - b.downstream_delay.mean_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn downstream_delay_has_floor_of_serializations() {
+        // Minimum: 125 B at 5 Mbps (0.2 ms) + 125 B at 1.024 Mbps
+        // (0.977 ms) ≈ 1.177 ms.
+        let rep = small_cfg(4, 125.0, 40.0, 3).run();
+        let floor = 125.0 * 8.0 / 5.0e6 + 125.0 * 8.0 / 1.024e6;
+        assert!(
+            rep.downstream_delay.quantiles[0].1 >= floor - 1e-9,
+            "median {} below serialization floor {floor}",
+            rep.downstream_delay.quantiles[0].1
+        );
+    }
+
+    #[test]
+    fn ping_includes_tick_alignment() {
+        // The application ping waits for the next server tick, so its mean
+        // exceeds upstream + downstream means by roughly T/2.
+        let rep = small_cfg(4, 125.0, 40.0, 4).run();
+        let sum = rep.upstream_delay.mean_s + rep.downstream_delay.mean_s;
+        assert!(
+            rep.ping_rtt.mean_s > sum + 0.25 * 0.040,
+            "ping {} vs component sum {sum}",
+            rep.ping_rtt.mean_s
+        );
+        assert!(rep.ping_rtt.mean_s < sum + 1.5 * 0.040);
+    }
+
+    #[test]
+    fn burst_wait_grows_with_load() {
+        // Erlang(9) sized server packets: scale N for two loads.
+        let mk = |n: usize, seed| {
+            let mut cfg = small_cfg(n, 125.0, 40.0, seed);
+            cfg.burst_sizing = BurstSizing::ErlangBurst { k: 9 };
+            cfg.duration = SimTime::from_secs(60.0);
+            cfg.run()
+        };
+        let low = mk(50, 5); // ρ_d = 0.25
+        let high = mk(175, 6); // ρ_d = 0.875
+        assert!(high.burst_wait.mean_s > 5.0 * low.burst_wait.mean_s.max(1e-7));
+    }
+
+    #[test]
+    fn background_elastic_raises_game_delay_under_fifo() {
+        let mut with_bg = small_cfg(20, 125.0, 40.0, 7);
+        with_bg.background = Some(BackgroundConfig { load: 0.45, packet_bytes: 1500.0 });
+        let with_bg = with_bg.run();
+        let without = small_cfg(20, 125.0, 40.0, 7).run();
+        assert!(
+            with_bg.downstream_delay.mean_s > without.downstream_delay.mean_s,
+            "FIFO elastic cross traffic must hurt: {} vs {}",
+            with_bg.downstream_delay.mean_s,
+            without.downstream_delay.mean_s
+        );
+    }
+
+    #[test]
+    fn heterogeneous_clients_offer_summed_load() {
+        // Eq. (13)'s setting: two client classes; upstream utilization is
+        // the sum of the per-class loads.
+        let mut cfg = small_cfg(30, 125.0, 40.0, 51);
+        let mut ov: Vec<(f64, f64)> = Vec::new();
+        ov.extend(std::iter::repeat_n((40.0, 80.0), 20)); // ρ = 20·16k/5M
+        ov.extend(std::iter::repeat_n((20.0, 200.0), 10)); // ρ = 10·80k/5M
+        cfg.client_overrides = Some(ov);
+        let rep = cfg.run();
+        let expect = 20.0 * 80.0 * 8.0 / 0.040 / 5e6 + 10.0 * 200.0 * 8.0 / 0.020 / 5e6;
+        assert!(
+            (rep.up_utilization - expect).abs() < 0.02,
+            "up util {} vs expected {expect}",
+            rep.up_utilization
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "client_overrides length")]
+    fn overrides_length_is_checked() {
+        let mut cfg = small_cfg(5, 125.0, 40.0, 52);
+        cfg.client_overrides = Some(vec![(40.0, 80.0); 3]);
+        let _ = cfg.run();
+    }
+
+    #[test]
+    fn captured_trace_feeds_the_analysis_pipeline() {
+        // The simulator's capture must reproduce the configured traffic
+        // when run through the §2.2 burst-detection estimators.
+        let mut cfg = small_cfg(12, 150.0, 40.0, 41);
+        cfg.capture_trace = true;
+        cfg.duration = SimTime::from_secs(40.0);
+        let rep = cfg.run();
+        let trace = rep.trace.expect("capture requested");
+        let stats = fpsping_traffic::TraceStats::compute(&trace, 5.0);
+        // ~ (40-2)s / 40ms bursts of 12 × 150 B.
+        assert!((900..=980).contains(&stats.n_bursts), "bursts {}", stats.n_bursts);
+        assert!((stats.server_packet.0 - 150.0).abs() < 1e-6);
+        assert!((stats.burst_iat.0 - 40.0).abs() < 0.2);
+        assert!(stats.burst_iat.1 < 0.02, "burst IAT CoV {}", stats.burst_iat.1);
+        assert!((stats.burst_size.0 - 1800.0).abs() < 10.0);
+        assert!((stats.client_packet.0 - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downlink_jitter_inflates_measured_iat_cov() {
+        // Reference [23] injected jitter and the paper warns it distorts
+        // inter-arrival measurements; reproduce the distortion.
+        let run = |jitter: Option<Box<dyn fpsping_dist::Distribution>>| {
+            let mut cfg = small_cfg(12, 150.0, 40.0, 43);
+            cfg.capture_trace = true;
+            cfg.downlink_jitter_ms = jitter;
+            cfg.duration = SimTime::from_secs(40.0);
+            let rep = cfg.run();
+            fpsping_traffic::TraceStats::compute(&rep.trace.unwrap(), 5.0)
+        };
+        let clean = run(None);
+        // Bounded jitter below the burst-detection gap, so bursts shift
+        // and smear but never split (unbounded jitter additionally splits
+        // bursts — an even stronger distortion).
+        let jittered = run(Some(Box::new(fpsping_dist::Uniform::new(0.0, 3.0))));
+        assert!(
+            jittered.burst_iat.1 > 3.0 * clean.burst_iat.1.max(1e-4),
+            "jitter must inflate burst IAT CoV: {} vs {}",
+            jittered.burst_iat.1,
+            clean.burst_iat.1
+        );
+        // Mean IAT is essentially unchanged (jitter delays, it does not thin).
+        assert!((jittered.burst_iat.0 - clean.burst_iat.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pareto_bursts_heavier_tail_than_erlang_at_same_mean() {
+        // The sensitivity case of the paper's concluding remarks: swap the
+        // Erlang burst law for a heavy-tailed Pareto with the same mean;
+        // the deep downstream quantile must get substantially worse.
+        let mk = |sizing: BurstSizing, seed| {
+            let mut cfg = small_cfg(100, 125.0, 40.0, seed);
+            cfg.burst_sizing = sizing;
+            cfg.duration = SimTime::from_secs(90.0);
+            cfg.run()
+        };
+        let mean_total = 100.0 * 125.0;
+        let erl = mk(BurstSizing::ErlangBurst { k: 9 }, 21);
+        let par = mk(
+            BurstSizing::BurstFromDistribution(Box::new(fpsping_dist::Pareto::with_mean(
+                mean_total, 2.2,
+            ))),
+            21,
+        );
+        let q = |rep: &SimReport| {
+            rep.downstream_delay
+                .quantiles
+                .iter()
+                .find(|(p, _)| (*p - 0.999).abs() < 1e-9)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            q(&par) > 1.5 * q(&erl),
+            "Pareto p99.9 {} should far exceed Erlang {}",
+            q(&par),
+            q(&erl)
+        );
+    }
+
+    #[test]
+    fn wfq_gives_game_class_its_reserved_rate() {
+        // Section 1 / §4 remark: under WFQ the gaming class is guaranteed
+        // its capacity share. With the elastic class saturated beyond its
+        // own share, game traffic behaves as if it owned a dedicated link
+        // of rate w·C — so its delays must match a no-background topology
+        // with C' = w·C, and beat FIFO at the same total load by a wide
+        // margin.
+        let game_weight = 0.4;
+        let bg = Some(BackgroundConfig { load: 0.7, packet_bytes: 1500.0 });
+        let mk = |disc, bg: Option<BackgroundConfig>, c_bps: f64, seed| {
+            let mut cfg = small_cfg(50, 125.0, 40.0, seed);
+            cfg.c_bps = c_bps;
+            cfg.discipline = disc;
+            cfg.background = bg;
+            cfg.run()
+        };
+        // Reference: dedicated link at the reserved rate.
+        let reduced = mk(Discipline::Fifo, None, game_weight * 5_000_000.0, 31);
+        let wfq = mk(Discipline::Wfq { game_weight }, bg, 5_000_000.0, 31);
+        let fifo = mk(Discipline::Fifo, bg, 5_000_000.0, 31);
+        let ratio = wfq.downstream_delay.mean_s / reduced.downstream_delay.mean_s;
+        assert!(
+            (0.7..1.35).contains(&ratio),
+            "WFQ mean {} vs reserved-rate baseline {} (ratio {ratio})",
+            wfq.downstream_delay.mean_s,
+            reduced.downstream_delay.mean_s
+        );
+        // FIFO at total load 0.95 is far worse than WFQ's isolated class.
+        assert!(
+            fifo.downstream_delay.mean_s > 1.5 * wfq.downstream_delay.mean_s,
+            "FIFO {} vs WFQ {}",
+            fifo.downstream_delay.mean_s,
+            wfq.downstream_delay.mean_s
+        );
+        // ... and WFQ remains work-conserving for the elastic class.
+        assert!(wfq.down_utilization > 0.8);
+    }
+
+    #[test]
+    fn priority_shields_game_traffic_from_background() {
+        let mk = |disc, seed| {
+            let mut cfg = small_cfg(20, 125.0, 40.0, seed);
+            cfg.discipline = disc;
+            cfg.background = Some(BackgroundConfig { load: 0.45, packet_bytes: 1500.0 });
+            cfg.run()
+        };
+        let fifo = mk(Discipline::Fifo, 8);
+        let prio = mk(Discipline::Priority, 8);
+        assert!(
+            prio.downstream_delay.mean_s < fifo.downstream_delay.mean_s,
+            "priority {} should beat FIFO {}",
+            prio.downstream_delay.mean_s,
+            fifo.downstream_delay.mean_s
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Delay probes: streaming moments plus bounded sample storage and
+//! threshold exceedance counters for deep-tail estimation.
+
+use fpsping_num::stats::OnlineStats;
+
+/// Collects a delay population: exact streaming moments, a bounded sample
+/// vector for quantiles, and exact exceedance counts at preset
+/// thresholds (for tail probabilities deeper than the sample bound can
+/// resolve).
+#[derive(Debug, Clone)]
+pub struct DelayProbe {
+    stats: OnlineStats,
+    samples: Vec<f64>,
+    max_samples: usize,
+    /// `(threshold_seconds, exceed_count)` pairs.
+    thresholds: Vec<(f64, u64)>,
+    skipped: u64,
+}
+
+impl DelayProbe {
+    /// A probe storing up to `max_samples` raw samples and counting
+    /// exceedances of the given thresholds (seconds).
+    pub fn new(max_samples: usize, thresholds: &[f64]) -> Self {
+        Self {
+            stats: OnlineStats::new(),
+            samples: Vec::new(),
+            max_samples,
+            thresholds: thresholds.iter().map(|&t| (t, 0)).collect(),
+            skipped: 0,
+        }
+    }
+
+    /// Records one delay (seconds).
+    pub fn record(&mut self, delay_s: f64) {
+        debug_assert!(delay_s >= 0.0, "negative delay {delay_s}");
+        self.stats.record(delay_s);
+        if self.samples.len() < self.max_samples {
+            self.samples.push(delay_s);
+        } else {
+            self.skipped += 1;
+        }
+        for (t, c) in &mut self.thresholds {
+            if delay_s > *t {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Number of recorded delays.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean delay (s).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Standard deviation (s).
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Maximum observed delay (s).
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Empirical p-quantile from the stored samples.
+    ///
+    /// Exact when nothing was skipped; a truncated-sample estimate
+    /// otherwise (the threshold counters stay exact regardless).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "quantile on empty probe");
+        fpsping_num::stats::quantile_unsorted(&self.samples, p)
+    }
+
+    /// Exact tail probability `P(delay > threshold)` for each preset
+    /// threshold: `(threshold, probability)`.
+    pub fn tail_probabilities(&self) -> Vec<(f64, f64)> {
+        let n = self.stats.count().max(1) as f64;
+        self.thresholds.iter().map(|&(t, c)| (t, c as f64 / n)).collect()
+    }
+
+    /// How many samples were not stored (counters still saw them).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+/// Summary of a probe, exported by the simulator report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean delay (s).
+    pub mean_s: f64,
+    /// Standard deviation (s).
+    pub std_dev_s: f64,
+    /// Maximum (s).
+    pub max_s: f64,
+    /// Selected quantiles `(p, value_s)`.
+    pub quantiles: Vec<(f64, f64)>,
+    /// Exact tail probabilities at the preset thresholds.
+    pub tails: Vec<(f64, f64)>,
+}
+
+impl DelayProbe {
+    /// Produces the exportable summary with the given quantile levels.
+    pub fn summarize(&self, quantile_levels: &[f64]) -> ProbeSummary {
+        let quantiles = if self.samples.is_empty() {
+            Vec::new()
+        } else {
+            quantile_levels.iter().map(|&p| (p, self.quantile(p))).collect()
+        };
+        ProbeSummary {
+            count: self.count(),
+            mean_s: self.mean(),
+            std_dev_s: self.std_dev(),
+            max_s: self.max(),
+            quantiles,
+            tails: self.tail_probabilities(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_and_quantiles() {
+        let mut p = DelayProbe::new(1000, &[0.5]);
+        for i in 0..100 {
+            p.record(i as f64 / 100.0);
+        }
+        assert_eq!(p.count(), 100);
+        assert!((p.mean() - 0.495).abs() < 1e-12);
+        assert!((p.quantile(0.5) - 0.495).abs() < 0.01);
+        let tails = p.tail_probabilities();
+        assert_eq!(tails.len(), 1);
+        assert!((tails[0].1 - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn bounded_storage_keeps_exact_counters() {
+        let mut p = DelayProbe::new(10, &[5.0]);
+        for i in 0..100 {
+            p.record(i as f64);
+        }
+        assert_eq!(p.skipped(), 90);
+        assert_eq!(p.count(), 100);
+        // Counter is exact despite truncation: 94 values exceed 5.
+        assert!((p.tail_probabilities()[0].1 - 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_exports_requested_quantiles() {
+        let mut p = DelayProbe::new(1000, &[0.1, 0.2]);
+        for i in 1..=100 {
+            p.record(i as f64 / 100.0);
+        }
+        let s = p.summarize(&[0.5, 0.99]);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.quantiles.len(), 2);
+        assert_eq!(s.tails.len(), 2);
+        assert!(s.quantiles[1].1 > s.quantiles[0].1);
+    }
+}

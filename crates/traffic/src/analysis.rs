@@ -1,0 +1,217 @@
+//! Burst detection and the Table-3 statistics estimator (§2.2).
+//!
+//! The paper's LAN trace analysis groups server→client packets into
+//! bursts ("the traffic from the server to the clients consists of traffic
+//! bursts, which arrive at regular intervals"), then reports the mean and
+//! CoV of: server packet sizes, burst inter-arrival times, burst sizes,
+//! client packet sizes and per-client inter-arrival times.
+
+use crate::trace::{Direction, Trace};
+use fpsping_num::stats::{cov, mean};
+
+/// A detected server burst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Burst {
+    /// Arrival time of the first packet (ms).
+    pub start_ms: f64,
+    /// Total bytes in the burst.
+    pub size_bytes: f64,
+    /// Number of packets.
+    pub packets: usize,
+    /// Per-packet sizes, in capture order.
+    pub packet_sizes: Vec<f64>,
+}
+
+impl Burst {
+    /// Within-burst packet-size CoV (§2.2 reports 0.05–0.11 per burst for
+    /// the UT2003 trace).
+    pub fn within_cov(&self) -> f64 {
+        cov(&self.packet_sizes)
+    }
+}
+
+/// Groups server→client packets into bursts: a packet starts a new burst
+/// when its gap to the previous server packet exceeds `gap_ms`.
+///
+/// On a LAN the within-burst spacing is serialization-scale (≪ 1 ms)
+/// while the burst clock is tens of ms, so any `gap_ms` of a few ms
+/// separates cleanly.
+pub fn detect_bursts(trace: &Trace, gap_ms: f64) -> Vec<Burst> {
+    assert!(gap_ms > 0.0, "detect_bursts: gap must be positive");
+    let mut bursts: Vec<Burst> = Vec::new();
+    let mut last_time: Option<f64> = None;
+    for r in trace.direction(Direction::ServerToClient) {
+        let new_burst = match last_time {
+            Some(prev) => r.time_ms - prev > gap_ms,
+            None => true,
+        };
+        if new_burst {
+            bursts.push(Burst {
+                start_ms: r.time_ms,
+                size_bytes: 0.0,
+                packets: 0,
+                packet_sizes: Vec::new(),
+            });
+        }
+        let b = bursts.last_mut().expect("burst exists after push");
+        b.size_bytes += r.size_bytes;
+        b.packets += 1;
+        b.packet_sizes.push(r.size_bytes);
+        last_time = Some(r.time_ms);
+    }
+    bursts
+}
+
+/// The Table-3 statistics of a trace: `(mean, cov)` pairs per quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Server→client packet size (bytes).
+    pub server_packet: (f64, f64),
+    /// Burst inter-arrival time (ms).
+    pub burst_iat: (f64, f64),
+    /// Burst size (bytes).
+    pub burst_size: (f64, f64),
+    /// Client→server packet size (bytes).
+    pub client_packet: (f64, f64),
+    /// Client→server per-flow inter-arrival time (ms).
+    pub client_iat: (f64, f64),
+    /// Number of detected bursts.
+    pub n_bursts: usize,
+    /// Range (min, max) of within-burst packet-size CoV across bursts
+    /// with ≥ 2 packets.
+    pub within_burst_cov_range: (f64, f64),
+    /// Fraction of bursts with fewer packets than the modal count (the
+    /// "missing packet" anomaly of §2.2).
+    pub short_burst_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes all Table-3 statistics with the given burst-detection gap.
+    pub fn compute(trace: &Trace, gap_ms: f64) -> Self {
+        let bursts = detect_bursts(trace, gap_ms);
+        let server_sizes = trace.sizes(Direction::ServerToClient);
+        let client_sizes = trace.sizes(Direction::ClientToServer);
+        let client_iats = trace.per_flow_inter_arrivals(Direction::ClientToServer);
+        let burst_sizes: Vec<f64> = bursts.iter().map(|b| b.size_bytes).collect();
+        let burst_iats: Vec<f64> = bursts.windows(2).map(|w| w[1].start_ms - w[0].start_ms).collect();
+        // Within-burst CoV range.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for b in &bursts {
+            if b.packets >= 2 {
+                let c = b.within_cov();
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+        }
+        // Modal packet count → short-burst fraction.
+        let modal = {
+            let mut counts = std::collections::HashMap::new();
+            for b in &bursts {
+                *counts.entry(b.packets).or_insert(0usize) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).map(|(k, _)| k).unwrap_or(0)
+        };
+        let short = bursts.iter().filter(|b| b.packets < modal).count();
+        Self {
+            server_packet: (mean(&server_sizes), cov(&server_sizes)),
+            burst_iat: (mean(&burst_iats), cov(&burst_iats)),
+            burst_size: (mean(&burst_sizes), cov(&burst_sizes)),
+            client_packet: (mean(&client_sizes), cov(&client_sizes)),
+            client_iat: (mean(&client_iats), cov(&client_iats)),
+            n_bursts: bursts.len(),
+            within_burst_cov_range: (lo, hi),
+            short_burst_fraction: if bursts.is_empty() {
+                0.0
+            } else {
+                short as f64 / bursts.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PacketRecord;
+
+    fn server_pkt(t: f64, s: f64) -> PacketRecord {
+        PacketRecord { time_ms: t, size_bytes: s, direction: Direction::ServerToClient, flow: 0 }
+    }
+
+    fn client_pkt(t: f64, s: f64, flow: u16) -> PacketRecord {
+        PacketRecord { time_ms: t, size_bytes: s, direction: Direction::ClientToServer, flow }
+    }
+
+    #[test]
+    fn detects_cleanly_separated_bursts() {
+        // Two bursts of three packets, 47 ms apart, packets 0.1 ms apart.
+        let mut recs = Vec::new();
+        for b in 0..2 {
+            for p in 0..3 {
+                recs.push(server_pkt(b as f64 * 47.0 + p as f64 * 0.1, 150.0 + p as f64));
+            }
+        }
+        let trace = Trace::from_records(recs);
+        let bursts = detect_bursts(&trace, 5.0);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].packets, 3);
+        assert!((bursts[0].size_bytes - (150.0 + 151.0 + 152.0)).abs() < 1e-9);
+        assert!((bursts[1].start_ms - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_threshold_controls_grouping() {
+        let recs = vec![server_pkt(0.0, 100.0), server_pkt(3.0, 100.0), server_pkt(20.0, 100.0)];
+        let trace = Trace::from_records(recs);
+        assert_eq!(detect_bursts(&trace, 5.0).len(), 2);
+        assert_eq!(detect_bursts(&trace, 2.0).len(), 3);
+        assert_eq!(detect_bursts(&trace, 50.0).len(), 1);
+    }
+
+    #[test]
+    fn stats_on_synthetic_deterministic_trace() {
+        // 100 bursts of 4 packets (150 B) every 40 ms; 2 clients sending
+        // 70 B every 30 ms.
+        let mut recs = Vec::new();
+        for b in 0..100 {
+            for p in 0..4 {
+                recs.push(server_pkt(b as f64 * 40.0 + p as f64 * 0.05, 150.0));
+            }
+        }
+        for k in 0..120 {
+            recs.push(client_pkt(k as f64 * 30.0, 70.0, (k % 2) as u16));
+        }
+        let trace = Trace::from_records(recs);
+        let st = TraceStats::compute(&trace, 5.0);
+        assert_eq!(st.n_bursts, 100);
+        assert!((st.server_packet.0 - 150.0).abs() < 1e-9);
+        assert!(st.server_packet.1.abs() < 1e-12);
+        assert!((st.burst_iat.0 - 40.0).abs() < 1e-9);
+        assert!((st.burst_size.0 - 600.0).abs() < 1e-9);
+        assert!((st.client_packet.0 - 70.0).abs() < 1e-9);
+        // Per-flow IAT: each client sends every 60 ms (alternating k).
+        assert!((st.client_iat.0 - 60.0).abs() < 1e-9);
+        assert_eq!(st.short_burst_fraction, 0.0);
+    }
+
+    #[test]
+    fn short_burst_fraction_counts_missing_packets() {
+        let mut recs = Vec::new();
+        for b in 0..10 {
+            let n = if b == 3 { 3 } else { 4 };
+            for p in 0..n {
+                recs.push(server_pkt(b as f64 * 40.0 + p as f64 * 0.05, 150.0));
+            }
+        }
+        let trace = Trace::from_records(recs);
+        let st = TraceStats::compute(&trace, 5.0);
+        assert!((st.short_burst_fraction - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn rejects_bad_gap() {
+        detect_bursts(&Trace::new(), 0.0);
+    }
+}

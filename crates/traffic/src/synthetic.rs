@@ -1,0 +1,290 @@
+//! The synthetic LAN-party trace generator — our substitute for the
+//! proprietary Unreal Tournament 2003 capture of §2.2.
+//!
+//! The paper consumes its six-minute, twelve-player trace only through
+//! the statistics of Table 3 and the burst-size TDF of Figure 1. This
+//! generator reproduces those statistics **by construction**:
+//!
+//! * server packet sizes: mean 154 B, overall CoV 0.28, realized as a
+//!   two-level multiplicative model (per-burst level × per-packet noise)
+//!   calibrated so the burst-size CoV is simultaneously 0.19 — note the
+//!   paper's own within-burst CoV report (0.05–0.11) is mutually
+//!   inconsistent with its packet CoV 0.28 / burst CoV 0.19 pair under
+//!   any exchangeable model, so we pin the three table rows and let the
+//!   within-burst CoV land where the algebra forces it (≈0.21);
+//! * burst inter-arrival: mean 47 ms, CoV 0.07, with the §2.2 anomaly of
+//!   rare (~0.1 %) delayed bursts at ≈80 ms followed by a ≈15 ms gap;
+//! * ~0.5 % of bursts missing one packet;
+//! * within-burst packet order shuffled from burst to burst;
+//! * client traffic per player: 73 B / CoV 0.06 packets at 30 ms /
+//!   CoV 0.65 intervals.
+
+use crate::trace::{Direction, PacketRecord, Trace};
+use fpsping_dist::{uniform01, Distribution, LogNormal};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration of the synthetic LAN party (defaults = the §2.2 session).
+///
+/// # Examples
+///
+/// ```
+/// use fpsping_traffic::{LanPartyConfig, TraceStats};
+///
+/// let lan = LanPartyConfig { duration_ms: 30_000.0, ..Default::default() }
+///     .generate(42);
+/// let stats = TraceStats::compute(&lan.trace, 5.0);
+/// // Table-3 statistics come out of the pipeline:
+/// assert!((stats.server_packet.0 - 154.0).abs() < 5.0);
+/// assert!((stats.burst_iat.0 - 47.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LanPartyConfig {
+    /// Number of players (12 in the paper).
+    pub players: usize,
+    /// Trace duration in ms (6 minutes in the paper).
+    pub duration_ms: f64,
+    /// Mean server packet size (bytes) — Table 3: 154.
+    pub server_packet_mean: f64,
+    /// Overall server packet-size CoV — Table 3: 0.28.
+    pub server_packet_cov: f64,
+    /// Burst-size CoV — Table 3: 0.19.
+    pub burst_size_cov: f64,
+    /// Mean burst inter-arrival (ms) — Table 3: 47.
+    pub burst_iat_mean: f64,
+    /// Burst inter-arrival CoV — Table 3: 0.07.
+    pub burst_iat_cov: f64,
+    /// Probability of a delayed burst (≈80 ms gap then ≈15 ms) — §2.2:
+    /// "not even 0.1%".
+    pub delayed_burst_prob: f64,
+    /// Probability a burst misses one packet — §2.2: ≈0.5 %.
+    pub missing_packet_prob: f64,
+    /// Mean client packet size (bytes) — Table 3: 73.
+    pub client_packet_mean: f64,
+    /// Client packet-size CoV — Table 3: 0.06.
+    pub client_packet_cov: f64,
+    /// Mean client inter-arrival (ms) — Table 3: 30.
+    pub client_iat_mean: f64,
+    /// Client inter-arrival CoV — Table 3: 0.65.
+    pub client_iat_cov: f64,
+    /// LAN line rate (bit/s) governing within-burst packet spacing.
+    pub lan_rate_bps: f64,
+}
+
+impl Default for LanPartyConfig {
+    fn default() -> Self {
+        Self {
+            players: 12,
+            duration_ms: 6.0 * 60.0 * 1000.0,
+            server_packet_mean: 154.0,
+            server_packet_cov: 0.28,
+            burst_size_cov: 0.19,
+            burst_iat_mean: 47.0,
+            burst_iat_cov: 0.07,
+            delayed_burst_prob: 0.000_8,
+            missing_packet_prob: 0.005,
+            client_packet_mean: 73.0,
+            client_packet_cov: 0.06,
+            client_iat_mean: 30.0,
+            client_iat_cov: 0.65,
+            lan_rate_bps: 100.0e6,
+        }
+    }
+}
+
+/// A generated LAN-party trace plus generation-time ground truth.
+#[derive(Debug)]
+pub struct LanPartyTrace {
+    /// The packet trace (time-sorted, both directions).
+    pub trace: Trace,
+    /// Ground-truth burst sizes (bytes), before any trace-side detection.
+    pub true_burst_sizes: Vec<f64>,
+    /// Number of bursts that had a packet removed.
+    pub bursts_with_missing_packet: usize,
+    /// Number of delayed-burst anomalies injected.
+    pub delayed_bursts: usize,
+}
+
+impl LanPartyConfig {
+    /// Splits the overall packet-size CoV into per-burst and within-burst
+    /// multiplicative components so that both the packet CoV and the
+    /// burst-size CoV of Table 3 hold:
+    /// `cov_pkt² = cov_b² + cov_w²` and `cov_burst² ≈ cov_b² + cov_w²/n`.
+    fn size_components(&self) -> (f64, f64) {
+        let n = self.players as f64;
+        let p2 = self.server_packet_cov.powi(2);
+        let b2 = self.burst_size_cov.powi(2);
+        let w2 = ((p2 - b2) * n / (n - 1.0)).max(0.0);
+        let l2 = (p2 - w2).max(1e-12);
+        (l2.sqrt(), w2.sqrt())
+    }
+
+    /// Generates the trace with a deterministic seed.
+    pub fn generate(&self, seed: u64) -> LanPartyTrace {
+        assert!(self.players >= 1, "need at least one player");
+        assert!(self.duration_ms > 0.0, "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (cov_level, cov_within) = self.size_components();
+        let level_dist = LogNormal::from_mean_cov(1.0, cov_level.max(1e-6));
+        let within_dist = LogNormal::from_mean_cov(1.0, cov_within.max(1e-6));
+        let iat_dist = LogNormal::from_mean_cov(self.burst_iat_mean, self.burst_iat_cov);
+        let client_size = LogNormal::from_mean_cov(self.client_packet_mean, self.client_packet_cov);
+        let client_iat = LogNormal::from_mean_cov(self.client_iat_mean, self.client_iat_cov);
+
+        let mut records = Vec::new();
+        let mut true_burst_sizes = Vec::new();
+        let mut missing = 0usize;
+        let mut delayed = 0usize;
+
+        // Server bursts.
+        let mut t = 0.0f64;
+        let mut pending_short_gap = false;
+        while t < self.duration_ms {
+            // One packet per player, one randomly dropped in rare bursts;
+            // emission order shuffled (§2.2: order differs per burst).
+            let mut players: Vec<u16> = (0..self.players as u16).collect();
+            shuffle(&mut players, &mut rng);
+            let drop_one = uniform01(&mut rng) < self.missing_packet_prob && self.players > 1;
+            if drop_one {
+                players.pop();
+                missing += 1;
+            }
+            let level = self.server_packet_mean * level_dist.sample(&mut rng);
+            let mut offset = 0.0f64;
+            let mut burst_bytes = 0.0f64;
+            for &p in &players {
+                let size = (level * within_dist.sample(&mut rng)).max(1.0);
+                records.push(PacketRecord {
+                    time_ms: t + offset,
+                    size_bytes: size,
+                    direction: Direction::ServerToClient,
+                    flow: p,
+                });
+                burst_bytes += size;
+                offset += size * 8.0 / self.lan_rate_bps * 1000.0;
+            }
+            true_burst_sizes.push(burst_bytes);
+            // Next burst time: normal clock, a delayed anomaly, or the
+            // short catch-up gap following one.
+            let gap = if pending_short_gap {
+                pending_short_gap = false;
+                15.0
+            } else if uniform01(&mut rng) < self.delayed_burst_prob {
+                delayed += 1;
+                pending_short_gap = true;
+                80.0
+            } else {
+                iat_dist.sample(&mut rng).max(1.0)
+            };
+            t += gap;
+        }
+
+        // Client streams, independent per player with random phase.
+        for p in 0..self.players as u16 {
+            let mut t = uniform01(&mut rng) * self.client_iat_mean;
+            while t < self.duration_ms {
+                records.push(PacketRecord {
+                    time_ms: t,
+                    size_bytes: client_size.sample(&mut rng).max(1.0),
+                    direction: Direction::ClientToServer,
+                    flow: p,
+                });
+                t += client_iat.sample(&mut rng).max(0.1);
+            }
+        }
+
+        LanPartyTrace {
+            trace: Trace::from_records(records),
+            true_burst_sizes,
+            bursts_with_missing_packet: missing,
+            delayed_bursts: delayed,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (kept local to avoid a rand-feature dependency).
+fn shuffle<T>(v: &mut [T], rng: &mut dyn RngCore) {
+    for i in (1..v.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TraceStats;
+
+    #[test]
+    fn default_reproduces_table3() {
+        let lan = LanPartyConfig::default().generate(0xC0FFEE);
+        let st = TraceStats::compute(&lan.trace, 5.0);
+        // Table 3 targets with sampling tolerance on a 6-minute trace.
+        assert!((st.server_packet.0 - 154.0).abs() < 2.0, "server pkt mean {}", st.server_packet.0);
+        assert!((st.server_packet.1 - 0.28).abs() < 0.02, "server pkt cov {}", st.server_packet.1);
+        assert!((st.burst_iat.0 - 47.0).abs() < 1.0, "burst IAT mean {}", st.burst_iat.0);
+        assert!((st.burst_iat.1 - 0.07).abs() < 0.02, "burst IAT cov {}", st.burst_iat.1);
+        assert!((st.burst_size.0 - 1852.0).abs() < 60.0, "burst size mean {}", st.burst_size.0);
+        assert!((st.burst_size.1 - 0.19).abs() < 0.025, "burst size cov {}", st.burst_size.1);
+        assert!((st.client_packet.0 - 73.0).abs() < 1.0, "client pkt mean {}", st.client_packet.0);
+        assert!((st.client_packet.1 - 0.06).abs() < 0.01, "client pkt cov {}", st.client_packet.1);
+        assert!((st.client_iat.0 - 30.0).abs() < 1.0, "client IAT mean {}", st.client_iat.0);
+        assert!((st.client_iat.1 - 0.65).abs() < 0.05, "client IAT cov {}", st.client_iat.1);
+    }
+
+    #[test]
+    fn burst_count_matches_six_minutes() {
+        let lan = LanPartyConfig::default().generate(1);
+        // ~360000/47 ≈ 7660 bursts.
+        let n = lan.true_burst_sizes.len();
+        assert!((7000..8300).contains(&n), "bursts: {n}");
+    }
+
+    #[test]
+    fn anomalies_injected_at_configured_rates() {
+        let lan = LanPartyConfig::default().generate(2);
+        let n = lan.true_burst_sizes.len() as f64;
+        let missing_rate = lan.bursts_with_missing_packet as f64 / n;
+        assert!((missing_rate - 0.005).abs() < 0.004, "missing rate {missing_rate}");
+        // ~0.08% delayed bursts → a handful in ~7700.
+        assert!(lan.delayed_bursts >= 1 && lan.delayed_bursts <= 30);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = LanPartyConfig::default().generate(42);
+        let b = LanPartyConfig::default().generate(42);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.true_burst_sizes, b.true_burst_sizes);
+        let c = LanPartyConfig::default().generate(43);
+        assert_ne!(a.trace.len(), c.trace.len());
+    }
+
+    #[test]
+    fn detected_bursts_match_ground_truth() {
+        let lan = LanPartyConfig::default().generate(7);
+        let bursts = crate::analysis::detect_bursts(&lan.trace, 5.0);
+        assert_eq!(bursts.len(), lan.true_burst_sizes.len());
+        for (b, truth) in bursts.iter().zip(&lan.true_burst_sizes) {
+            assert!((b.size_bytes - truth).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn size_component_split_is_consistent() {
+        let cfg = LanPartyConfig::default();
+        let (l, w) = cfg.size_components();
+        let n = cfg.players as f64;
+        assert!((l * l + w * w - 0.28f64.powi(2)).abs() < 1e-12);
+        assert!(((l * l + w * w / n).sqrt() - 0.19).abs() < 0.005);
+    }
+
+    #[test]
+    fn small_party_still_generates() {
+        let cfg = LanPartyConfig { players: 2, duration_ms: 10_000.0, ..Default::default() };
+        let lan = cfg.generate(5);
+        assert!(!lan.trace.is_empty());
+        let st = TraceStats::compute(&lan.trace, 5.0);
+        assert!(st.n_bursts > 100);
+    }
+}

@@ -1,0 +1,174 @@
+//! Packet traces: the record format the analysis pipeline (§2.2) and the
+//! simulator probes share.
+
+/// Traffic direction relative to the game server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → server (upstream).
+    ClientToServer,
+    /// Server → client (downstream).
+    ServerToClient,
+}
+
+/// One captured packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Capture timestamp in milliseconds from trace start.
+    pub time_ms: f64,
+    /// Packet size in bytes.
+    pub size_bytes: f64,
+    /// Direction.
+    pub direction: Direction,
+    /// Flow (player) index.
+    pub flow: u16,
+}
+
+/// A packet trace (time-ordered).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from records, sorting by timestamp.
+    pub fn from_records(mut records: Vec<PacketRecord>) -> Self {
+        records.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("NaN timestamp"));
+        Self { records }
+    }
+
+    /// Appends a record (must be in time order; debug-asserted).
+    pub fn push(&mut self, r: PacketRecord) {
+        debug_assert!(
+            self.records.last().is_none_or(|last| last.time_ms <= r.time_ms),
+            "records must be appended in time order"
+        );
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no packets were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Trace duration in ms (last minus first timestamp).
+    pub fn duration_ms(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.time_ms - a.time_ms,
+            _ => 0.0,
+        }
+    }
+
+    /// Iterator over one direction.
+    pub fn direction(&self, dir: Direction) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(move |r| r.direction == dir)
+    }
+
+    /// Packet sizes in one direction.
+    pub fn sizes(&self, dir: Direction) -> Vec<f64> {
+        self.direction(dir).map(|r| r.size_bytes).collect()
+    }
+
+    /// Per-flow inter-arrival times (ms) in one direction — the client-IAT
+    /// estimator of Table 3 works per player.
+    pub fn per_flow_inter_arrivals(&self, dir: Direction) -> Vec<f64> {
+        use std::collections::HashMap;
+        let mut last: HashMap<u16, f64> = HashMap::new();
+        let mut iats = Vec::new();
+        for r in self.direction(dir) {
+            if let Some(prev) = last.insert(r.flow, r.time_ms) {
+                iats.push(r.time_ms - prev);
+            }
+        }
+        iats
+    }
+
+    /// Total bytes in one direction.
+    pub fn total_bytes(&self, dir: Direction) -> f64 {
+        self.direction(dir).map(|r| r.size_bytes).sum()
+    }
+
+    /// Mean bit rate (bit/s) in one direction over the trace duration.
+    pub fn mean_bitrate_bps(&self, dir: Direction) -> f64 {
+        let dur_s = self.duration_ms() / 1000.0;
+        if dur_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes(dir) * 8.0 / dur_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, s: f64, dir: Direction, flow: u16) -> PacketRecord {
+        PacketRecord { time_ms: t, size_bytes: s, direction: dir, flow }
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let t = Trace::from_records(vec![
+            rec(5.0, 10.0, Direction::ClientToServer, 0),
+            rec(1.0, 20.0, Direction::ClientToServer, 0),
+        ]);
+        assert_eq!(t.records()[0].time_ms, 1.0);
+        assert_eq!(t.duration_ms(), 4.0);
+    }
+
+    #[test]
+    fn direction_filter_and_sizes() {
+        let t = Trace::from_records(vec![
+            rec(0.0, 100.0, Direction::ServerToClient, 0),
+            rec(1.0, 70.0, Direction::ClientToServer, 1),
+            rec(2.0, 110.0, Direction::ServerToClient, 1),
+        ]);
+        assert_eq!(t.sizes(Direction::ServerToClient), vec![100.0, 110.0]);
+        assert_eq!(t.total_bytes(Direction::ClientToServer), 70.0);
+    }
+
+    #[test]
+    fn per_flow_iats_are_per_player() {
+        let t = Trace::from_records(vec![
+            rec(0.0, 70.0, Direction::ClientToServer, 0),
+            rec(10.0, 70.0, Direction::ClientToServer, 1),
+            rec(30.0, 70.0, Direction::ClientToServer, 0),
+            rec(45.0, 70.0, Direction::ClientToServer, 1),
+        ]);
+        let mut iats = t.per_flow_inter_arrivals(Direction::ClientToServer);
+        iats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(iats, vec![30.0, 35.0]);
+    }
+
+    #[test]
+    fn bitrate_over_duration() {
+        let t = Trace::from_records(vec![
+            rec(0.0, 125.0, Direction::ServerToClient, 0),
+            rec(1000.0, 125.0, Direction::ServerToClient, 0),
+        ]);
+        // 250 B over 1 s = 2000 bit/s.
+        assert!((t.mean_bitrate_bps(Direction::ServerToClient) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration_ms(), 0.0);
+        assert_eq!(t.mean_bitrate_bps(Direction::ClientToServer), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The game traffic zoo: every published FPS traffic model from §2.1–2.2,
+//! its measured characteristics, and what each implies for access-network
+//! dimensioning.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p fpsping --example game_traffic_zoo
+//! ```
+
+use fpsping::{max_load, Scenario};
+use fpsping_traffic::games;
+
+fn main() {
+    println!("FPS traffic models from the literature (paper §2)");
+    println!();
+    println!(
+        "{:<24} {:>9} {:>9} {:>10} {:>10} {:>12}",
+        "game", "P_S [B]", "T [ms]", "P_C [B]", "T_C [ms]", "kbps/gamer↓"
+    );
+    for g in games::all_games() {
+        println!(
+            "{:<24} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>12.1}",
+            g.name,
+            g.server.mean_packet_size(),
+            g.server.mean_burst_interval_ms(),
+            g.client.mean_packet_size(),
+            g.client.mean_inter_arrival_ms(),
+            g.server.mean_bitrate_bps(1) / 1000.0,
+        );
+    }
+
+    println!();
+    println!("Dimensioning each game on the paper's 5 Mbps aggregation link");
+    println!("(50 ms ping budget, 99.999% quantile, K = 9 burst model):");
+    println!();
+    println!("{:<24} {:>10} {:>8}", "game", "rho_max", "N_max");
+    for g in games::all_games() {
+        let base = Scenario {
+            gamers: fpsping::Gamers::DownlinkLoad(0.3),
+            t_ms: g.server.mean_burst_interval_ms(),
+            server_packet_bytes: g.server.mean_packet_size(),
+            client_packet_bytes: g.client.mean_packet_size(),
+            erlang_order: 9,
+            ..Scenario::paper_default()
+        };
+        match max_load(&base, 50.0) {
+            Ok(r) => println!(
+                "{:<24} {:>9.1}% {:>8}",
+                g.name,
+                100.0 * r.rho_max,
+                r.n_max
+            ),
+            Err(e) => println!("{:<24} infeasible: {e}", g.name),
+        }
+    }
+    println!();
+    println!("Faster ticks (Halo/Quake3 at 40–50 ms) and smaller packets admit");
+    println!("more gamers at the same budget; slow 60 ms ticks (Half-Life) fewer —");
+    println!("the RTT ∝ T proportionality of Figure 4 at work.");
+}

@@ -1,0 +1,57 @@
+//! Rerun the paper's §2.2 trace analysis on a synthetic LAN party:
+//! generate a six-minute, twelve-player Unreal-Tournament-like capture,
+//! detect bursts, print the Table-3 statistics, and fit the burst-size
+//! Erlang order both ways (CoV fit vs tail fit — the §2.3.2 tension).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p fpsping --example lan_party
+//! ```
+
+use fpsping_dist::fit::{erlang_order_from_cov, fit_erlang_tail};
+use fpsping_traffic::{LanPartyConfig, TraceStats};
+
+fn main() {
+    let lan = LanPartyConfig::default().generate(0x2006);
+    let stats = TraceStats::compute(&lan.trace, 5.0);
+
+    println!("Synthetic UT2003 LAN party (12 players, 6 minutes)");
+    println!("---------------------------------------------------");
+    println!("packets captured : {}", lan.trace.len());
+    println!("bursts detected  : {}", stats.n_bursts);
+    println!();
+    println!("{:<28} {:>10} {:>8}   (paper Table 3)", "quantity", "mean", "CoV");
+    let rows = [
+        ("server→client packet [B]", stats.server_packet, (154.0, 0.28)),
+        ("burst inter-arrival [ms]", stats.burst_iat, (47.0, 0.07)),
+        ("burst size [B]", stats.burst_size, (1852.0, 0.19)),
+        ("client→server packet [B]", stats.client_packet, (73.0, 0.06)),
+        ("client inter-arrival [ms]", stats.client_iat, (30.0, 0.65)),
+    ];
+    for (name, (m, c), (pm, pc)) in rows {
+        println!("{name:<28} {m:>10.1} {c:>8.3}   ({pm}, {pc})");
+    }
+    println!();
+    println!(
+        "bursts with missing packet : {:.2}% (paper: ~0.5%)",
+        100.0 * stats.short_burst_fraction
+    );
+    println!(
+        "delayed-burst anomalies    : {} (paper: 6 in ~7600)",
+        lan.delayed_bursts
+    );
+
+    // §2.3.2: two ways to pick the Erlang order K of the burst size.
+    let k_cov = erlang_order_from_cov(stats.burst_size.1);
+    let tail_fit = fit_erlang_tail(&lan.true_burst_sizes, 5..=40, 1e-3, 48);
+    println!();
+    println!("Erlang order of the burst-size model:");
+    println!("  from CoV fit (K = 1/CoV²)      : K = {k_cov}   (paper: 28)");
+    println!(
+        "  from tail fit (Figure-1 method) : K = {} (sse {:.4}; paper: 15–20)",
+        tail_fit.k, tail_fit.sse
+    );
+    println!();
+    println!("The gap between the two fits is the §2.3.2 observation that");
+    println!("motivates fitting the tail: it is the tail that drives the queue.");
+}

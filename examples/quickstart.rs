@@ -1,0 +1,43 @@
+//! Quickstart: predict the ping a gamer will see on a DSL access network.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p fpsping --example quickstart
+//! ```
+
+use fpsping::{RttModel, Scenario};
+
+fn main() {
+    // The paper's reference DSL scenario (§4): 80-byte client packets on a
+    // 128 kbps uplink, 125-byte server packets per gamer, 40 ms server
+    // tick, Erlang-9 burst sizes, 5 Mbps aggregation link — at 40 %
+    // downlink load (80 simultaneous gamers, eq. 37).
+    let scenario = Scenario::paper_default()
+        .with_load(0.40)
+        .with_erlang_order(9)
+        .with_tick_ms(40.0);
+
+    let model = RttModel::build(&scenario).expect("stable scenario");
+    let b = model.breakdown();
+
+    println!("fpsping quickstart — paper §4 reference scenario");
+    println!("------------------------------------------------");
+    println!("gamers (eq. 37)           : {:>8.0}", scenario.gamer_count());
+    println!("downlink load ρ_d         : {:>8.2}", scenario.downlink_load());
+    println!("uplink load ρ_u           : {:>8.2}", scenario.uplink_load());
+    println!();
+    println!("99.999% RTT quantile breakdown (ms):");
+    println!("  deterministic (serialization) : {:>8.3}", b.deterministic_ms);
+    println!("  upstream M/G/1 queueing       : {:>8.3}", b.upstream_ms);
+    println!("  downstream burst wait (D/E_K/1): {:>7.3}", b.burst_wait_ms);
+    println!("  within-burst position delay   : {:>8.3}", b.position_ms);
+    println!("  combined stochastic quantile  : {:>8.3}", b.stochastic_ms);
+    println!("  ------------------------------------------");
+    println!("  RTT (ping) 99.999% quantile   : {:>8.3} ms", b.rtt_ms);
+    println!();
+    println!(
+        "tail check: P(RTT > {:.1} ms) = {:.2e} (target 1e-5)",
+        b.rtt_ms,
+        model.rtt_tail(b.rtt_ms)
+    );
+}

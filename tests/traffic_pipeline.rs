@@ -1,0 +1,90 @@
+//! Integration: the full §2 traffic pipeline — generate a LAN-party
+//! trace, analyze it, fit the Erlang burst model, and feed the fitted
+//! order into the §3/§4 ping methodology.
+
+use fpsping::{RttModel, Scenario};
+use fpsping_dist::fit::{erlang_order_from_cov, fit_erlang_tail};
+use fpsping_traffic::{LanPartyConfig, TraceStats};
+
+#[test]
+fn trace_to_ping_prediction_end_to_end() {
+    // 1. "Measure" a LAN party.
+    let lan = LanPartyConfig::default().generate(0xE2E);
+    let stats = TraceStats::compute(&lan.trace, 5.0);
+
+    // 2. Fit the burst-size Erlang order both ways (§2.3.2).
+    let k_cov = erlang_order_from_cov(stats.burst_size.1);
+    let k_tail = fit_erlang_tail(&lan.true_burst_sizes, 2..=40, 1e-3, 48).k;
+    assert!((20..=32).contains(&k_cov), "CoV fit K = {k_cov}");
+    assert!((10..=32).contains(&k_tail), "tail fit K = {k_tail}");
+
+    // 3. Feed the measured parameters into the ping model.
+    let t_ms = stats.burst_iat.0;
+    let ps = stats.server_packet.0;
+    let pc = stats.client_packet.0;
+    for k in [k_tail, k_cov] {
+        let s = Scenario {
+            t_ms,
+            server_packet_bytes: ps,
+            client_packet_bytes: pc,
+            ..Scenario::paper_default()
+        }
+        .with_erlang_order(k)
+        .with_load(0.5);
+        let m = RttModel::build(&s).expect("fitted scenario must be stable");
+        let rtt = m.rtt_quantile_ms();
+        assert!(
+            (10.0..200.0).contains(&rtt),
+            "K={k}: implausible RTT {rtt} ms"
+        );
+    }
+
+    // 4. A lower fitted K must predict a (weakly) higher ping — the
+    // §2.3.2 sensitivity that motivates careful tail fitting.
+    let rtt_at = |k: u32| {
+        RttModel::build(
+            &Scenario {
+                t_ms,
+                server_packet_bytes: ps,
+                client_packet_bytes: pc,
+                ..Scenario::paper_default()
+            }
+            .with_erlang_order(k)
+            .with_load(0.5),
+        )
+        .unwrap()
+        .rtt_quantile_ms()
+    };
+    let lo_k = k_tail.min(k_cov);
+    let hi_k = k_tail.max(k_cov);
+    if lo_k < hi_k {
+        assert!(rtt_at(lo_k) >= rtt_at(hi_k) - 1e-6);
+    }
+}
+
+#[test]
+fn game_presets_feed_the_model() {
+    // Every literature game model can be dimensioned without panics.
+    for g in fpsping_traffic::games::all_games() {
+        let s = Scenario {
+            t_ms: g.server.mean_burst_interval_ms(),
+            server_packet_bytes: g.server.mean_packet_size(),
+            client_packet_bytes: g.client.mean_packet_size(),
+            ..Scenario::paper_default()
+        }
+        .with_erlang_order(9)
+        .with_load(0.3);
+        let m = RttModel::build(&s).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        assert!(m.rtt_quantile_ms() > 0.0, "{}", g.name);
+    }
+}
+
+#[test]
+fn burst_detection_is_robust_to_gap_choice() {
+    let lan = LanPartyConfig::default().generate(0xE2F);
+    let a = TraceStats::compute(&lan.trace, 3.0);
+    let b = TraceStats::compute(&lan.trace, 10.0);
+    // LAN bursts are µs-scale; any ms-scale gap finds the same bursts.
+    assert_eq!(a.n_bursts, b.n_bursts);
+    assert!((a.burst_size.0 - b.burst_size.0).abs() < 1e-9);
+}
