@@ -31,7 +31,9 @@ fn bench_rtt_quantile(c: &mut Criterion) {
     for &(k, rho) in &[(9u32, 0.5), (20, 0.5), (9, 0.05)] {
         let name = format!("k{k}_rho{}", (rho * 100.0) as u32);
         g.bench_function(&name, |b| {
-            let s = Scenario::paper_default().with_erlang_order(k).with_load(rho);
+            let s = Scenario::paper_default()
+                .with_erlang_order(k)
+                .with_load(rho);
             b.iter(|| {
                 let m = RttModel::build(black_box(&s)).unwrap();
                 black_box(m.rtt_quantile_ms())
@@ -56,12 +58,8 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("n40_5s", |b| {
         b.iter(|| {
-            let mut cfg = NetworkConfig::paper_scenario(
-                40,
-                Box::new(Deterministic::new(125.0)),
-                40.0,
-                7,
-            );
+            let mut cfg =
+                NetworkConfig::paper_scenario(40, Box::new(Deterministic::new(125.0)), 40.0, 7);
             cfg.duration = SimTime::from_secs(5.0);
             cfg.warmup = SimTime::from_secs(0.5);
             black_box(cfg.run())

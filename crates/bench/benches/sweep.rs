@@ -1,0 +1,177 @@
+//! Sweep-engine benchmark: the 18-load × K ∈ {2, 9, 20} RTT surface,
+//! serial seed path vs the parallel cached engine (cold and cached),
+//! plus the §4 dimensioning bisection. Emits `BENCH_sweep.json` at the
+//! repository root with cells/sec for each variant, and verifies the
+//! engine agrees with the serial path cell for cell before timing
+//! anything.
+//!
+//! Run with:
+//! ```text
+//! cargo bench -p fpsping-bench --bench sweep
+//! ```
+
+use criterion::{criterion_group, Criterion};
+use fpsping::engine::{Engine, EngineConfig};
+use fpsping::{sweep, Scenario};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+fn ks() -> [u32; 3] {
+    [2, 9, 20]
+}
+
+fn loads() -> Vec<f64> {
+    sweep::paper_load_grid()
+}
+
+/// Asserts engine output equals the serial reference cell for cell and
+/// returns the largest absolute difference (bit-identity ⇒ 0.0).
+fn verify_parity(jobs: usize) -> f64 {
+    let base = Scenario::paper_default();
+    let (ks, loads) = (ks(), loads());
+    let serial = sweep::rtt_surface(&base, &ks, &loads);
+    let engine = Engine::new(EngineConfig::with_jobs(jobs));
+    let mut max_delta = 0.0f64;
+    // Cold pass and cached pass must both agree.
+    for pass in 0..2 {
+        let fast = engine.rtt_surface(&base, &ks, &loads);
+        for (srow, frow) in serial.iter().zip(&fast) {
+            for (s, f) in srow.iter().zip(frow) {
+                match (s, f) {
+                    (Some(s), Some(f)) => {
+                        let d = (s - f).abs();
+                        assert!(
+                            d < 1e-12,
+                            "pass {pass}: cell delta {d} (serial {s}, engine {f})"
+                        );
+                        max_delta = max_delta.max(d);
+                    }
+                    (None, None) => {}
+                    _ => panic!("pass {pass}: feasibility mismatch: {s:?} vs {f:?}"),
+                }
+            }
+        }
+    }
+    max_delta
+}
+
+/// Median wall time of `samples` runs of `f`.
+fn median_time(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn emit_bench_json(samples: usize) {
+    let base = Scenario::paper_default();
+    let (ks, loads) = (ks(), loads());
+    let cells = ks.len() * loads.len();
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_delta = verify_parity(jobs);
+
+    let serial = median_time(samples, || {
+        std::hint::black_box(sweep::rtt_surface(&base, &ks, &loads));
+    });
+    let engine_cold = median_time(samples, || {
+        let engine = Engine::new(EngineConfig::with_jobs(jobs));
+        std::hint::black_box(engine.rtt_surface(&base, &ks, &loads));
+    });
+    let warm = Engine::new(EngineConfig::with_jobs(jobs));
+    std::hint::black_box(warm.rtt_surface(&base, &ks, &loads));
+    let engine_cached = median_time(samples, || {
+        std::hint::black_box(warm.rtt_surface(&base, &ks, &loads));
+    });
+
+    let per_sec = |d: Duration| cells as f64 / d.as_secs_f64();
+    let json = format!(
+        "{{\n  \"surface\": \"18 loads x K in [2,9,20] = {cells} cells\",\n  \
+         \"host_cores\": {cores},\n  \"jobs\": {jobs},\n  \
+         \"max_abs_delta_vs_serial\": {max_delta:e},\n  \
+         \"serial_cold_ms\": {serial:.3},\n  \
+         \"engine_cold_ms\": {cold:.3},\n  \
+         \"engine_cached_ms\": {cached:.3},\n  \
+         \"serial_cold_cells_per_sec\": {sps:.1},\n  \
+         \"engine_cold_cells_per_sec\": {cps:.1},\n  \
+         \"engine_cached_cells_per_sec\": {hps:.1},\n  \
+         \"cached_speedup_vs_serial\": {speedup:.1}\n}}\n",
+        cells = cells,
+        cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        jobs = jobs,
+        max_delta = max_delta,
+        serial = serial.as_secs_f64() * 1e3,
+        cold = engine_cold.as_secs_f64() * 1e3,
+        cached = engine_cached.as_secs_f64() * 1e3,
+        sps = per_sec(serial),
+        cps = per_sec(engine_cold),
+        hps = per_sec(engine_cached),
+        speedup = serial.as_secs_f64() / engine_cached.as_secs_f64(),
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_sweep.json");
+    println!("→ wrote {}", path.display());
+    print!("{json}");
+}
+
+fn bench_surface(c: &mut Criterion) {
+    let base = Scenario::paper_default();
+    let (ks, loads) = (ks(), loads());
+    let mut group = c.benchmark_group("surface_18x3");
+    group.sample_size(10);
+    group.bench_function("serial_cold", |b| {
+        b.iter(|| std::hint::black_box(sweep::rtt_surface(&base, &ks, &loads)));
+    });
+    group.bench_function("engine_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::default());
+            std::hint::black_box(engine.rtt_surface(&base, &ks, &loads));
+        });
+    });
+    let warm = Engine::new(EngineConfig::default());
+    std::hint::black_box(warm.rtt_surface(&base, &ks, &loads));
+    group.bench_function("engine_cached", |b| {
+        b.iter(|| std::hint::black_box(warm.rtt_surface(&base, &ks, &loads)));
+    });
+    group.finish();
+}
+
+fn bench_dimensioning(c: &mut Criterion) {
+    let base = Scenario::paper_default();
+    let mut group = c.benchmark_group("dimensioning_k9_50ms");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(Engine::serial().max_load(&base, 50.0).unwrap()));
+    });
+    group.bench_function("engine_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::default());
+            std::hint::black_box(engine.max_load(&base, 50.0).unwrap());
+        });
+    });
+    let warm = Engine::new(EngineConfig::default());
+    let _ = warm.max_load(&base, 50.0).unwrap();
+    group.bench_function("engine_cached", |b| {
+        b.iter(|| std::hint::black_box(warm.max_load(&base, 50.0).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surface, bench_dimensioning);
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    emit_bench_json(if test_mode { 3 } else { 15 });
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+}

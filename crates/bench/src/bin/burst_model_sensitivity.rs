@@ -35,13 +35,26 @@ fn main() {
             .unwrap()
             .root
     };
-    let weibull_scale = mean_total / (fpsping_num::special::ln_gamma(1.0 + 1.0 / weibull_shape)).exp();
+    let weibull_scale =
+        mean_total / (fpsping_num::special::ln_gamma(1.0 + 1.0 / weibull_shape)).exp();
 
     let models: Vec<(String, Box<dyn Distribution>)> = vec![
-        ("Erlang K=2".into(), Box::new(Erlang::with_mean(2, mean_total))),
-        ("Erlang K=9".into(), Box::new(Erlang::with_mean(9, mean_total))),
-        ("Erlang K=20".into(), Box::new(Erlang::with_mean(20, mean_total))),
-        ("Erlang K=28 (CoV fit)".into(), Box::new(Erlang::with_mean(28, mean_total))),
+        (
+            "Erlang K=2".into(),
+            Box::new(Erlang::with_mean(2, mean_total)),
+        ),
+        (
+            "Erlang K=9".into(),
+            Box::new(Erlang::with_mean(9, mean_total)),
+        ),
+        (
+            "Erlang K=20".into(),
+            Box::new(Erlang::with_mean(20, mean_total)),
+        ),
+        (
+            "Erlang K=28 (CoV fit)".into(),
+            Box::new(Erlang::with_mean(28, mean_total)),
+        ),
         (
             "LogNormal (CoV 0.19)".into(),
             Box::new(LogNormal::from_mean_cov(mean_total, 0.19)),
@@ -50,7 +63,10 @@ fn main() {
             format!("Weibull (k={weibull_shape:.1})"),
             Box::new(Weibull::new(weibull_shape, weibull_scale)),
         ),
-        ("Pareto α=2.2 (heavy)".into(), Box::new(Pareto::with_mean(mean_total, 2.2))),
+        (
+            "Pareto α=2.2 (heavy)".into(),
+            Box::new(Pareto::with_mean(mean_total, 2.2)),
+        ),
     ];
 
     let mut csv = Vec::new();

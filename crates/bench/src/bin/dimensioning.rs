@@ -4,8 +4,8 @@
 //! and 60 % for K = 2, 9 and 20, giving N_max = 40, 80 and 120 gamers
 //! via eq. (37).
 
+use fpsping::{Engine, EngineConfig, Scenario};
 use fpsping_bench::write_csv;
-use fpsping::{max_load, Scenario};
 
 fn main() {
     println!("§4 dimensioning — P_S = 125 B, T = 40 ms, C = 5 Mbps, RTT ≤ 50 ms");
@@ -16,9 +16,15 @@ fn main() {
     );
     let paper = [(2u32, 0.20, 40u32), (9, 0.40, 80), (20, 0.60, 120)];
     let mut csv = Vec::new();
+    // One engine across the three K-columns: the bisection probes share
+    // the upstream pole cache (λ depends on load, not K) and warm-start
+    // their quantile brackets probe to probe.
+    let engine = Engine::new(EngineConfig::default());
     for (k, p_rho, p_n) in paper {
-        let base = Scenario::paper_default().with_erlang_order(k).with_tick_ms(40.0);
-        let r = max_load(&base, 50.0).expect("dimensioning solvable");
+        let base = Scenario::paper_default()
+            .with_erlang_order(k)
+            .with_tick_ms(40.0);
+        let r = engine.max_load(&base, 50.0).expect("dimensioning solvable");
         println!(
             "{k:>4} {:>11.1}% {:>10} | {:>11.0}% {:>10}",
             100.0 * r.rho_max,

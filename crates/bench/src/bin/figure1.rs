@@ -40,7 +40,10 @@ fn main() {
                 tails[0], tails[1], tails[2]
             );
         }
-        csv.push(format!("{x},{emp:.6e},{:.6e},{:.6e},{:.6e}", tails[0], tails[1], tails[2]));
+        csv.push(format!(
+            "{x},{emp:.6e},{:.6e},{:.6e},{:.6e}",
+            tails[0], tails[1], tails[2]
+        ));
     }
     write_csv(
         "figure1_burst_size_tdf.csv",
@@ -55,7 +58,10 @@ fn main() {
     println!();
     println!("Erlang-order fits (paper §2.3.2):");
     println!("  CoV fit : CoV = {cov:.3} → K = {k_cov}   (paper: 0.19 → 28)");
-    println!("  tail fit: K = {} (log-TDF LSQ; paper reads 15–20 off Figure 1)", tail.k);
+    println!(
+        "  tail fit: K = {} (log-TDF LSQ; paper reads 15–20 off Figure 1)",
+        tail.k
+    );
     println!();
     println!("Legend check: E(15,0.008), E(20,0.011), E(25,0.013) all have mean ≈ 1852 B:");
     for &(k, lam) in &[(15u32, 0.008f64), (20, 0.011), (25, 0.013)] {

@@ -23,8 +23,20 @@ fn main() {
     println!("  events processed      : {}", rep.events);
     println!("  upstream packets      : {}", rep.packets_upstream);
     println!("  downstream packets    : {}", rep.packets_downstream);
-    println!("  bottleneck util ↑/↓   : {:.3} / {:.3}", rep.up_utilization, rep.down_utilization);
-    println!("  mean upstream delay   : {:.3} ms", rep.upstream_delay.mean_s * 1e3);
-    println!("  mean downstream delay : {:.3} ms", rep.downstream_delay.mean_s * 1e3);
-    println!("  mean application ping : {:.3} ms", rep.ping_rtt.mean_s * 1e3);
+    println!(
+        "  bottleneck util ↑/↓   : {:.3} / {:.3}",
+        rep.up_utilization, rep.down_utilization
+    );
+    println!(
+        "  mean upstream delay   : {:.3} ms",
+        rep.upstream_delay.mean_s * 1e3
+    );
+    println!(
+        "  mean downstream delay : {:.3} ms",
+        rep.downstream_delay.mean_s * 1e3
+    );
+    println!(
+        "  mean application ping : {:.3} ms",
+        rep.ping_rtt.mean_s * 1e3
+    );
 }

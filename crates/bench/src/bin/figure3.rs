@@ -5,11 +5,15 @@
 //! Also runs the robustness variants mentioned in §4 (P_S = 100 B and
 //! 75 B), writing one CSV per packet size.
 
+use fpsping::{Engine, EngineConfig, Scenario};
 use fpsping_bench::write_csv;
-use fpsping::{rtt_vs_load, Scenario};
 
 fn main() {
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    // One engine across all nine series: the D/E_K/1 solutions depend
+    // only on (K, ρ_d), so the P_S = 100/75 B variants rebuild them from
+    // the cache instead of re-solving.
+    let engine = Engine::new(EngineConfig::default());
     for &ps in &[125.0, 100.0, 75.0] {
         println!("Figure 3 — P_S = {ps} B, IAT = 60 ms, 99.999% RTT quantile [ms]");
         println!("{:>8} {:>12} {:>12} {:>12}", "load", "K=2", "K=9", "K=20");
@@ -19,7 +23,7 @@ fn main() {
                 .with_tick_ms(60.0)
                 .with_server_packet(ps)
                 .with_erlang_order(k);
-            by_k.push(rtt_vs_load(&base, &loads));
+            by_k.push(engine.rtt_vs_load(&base, &loads));
         }
         let mut csv = Vec::new();
         for (i, &rho) in loads.iter().enumerate() {
@@ -35,7 +39,9 @@ fn main() {
                 fmt(&by_k[2][i])
             );
             let val = |p: &fpsping::LoadPoint| {
-                p.rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "".into())
+                p.rtt_ms
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "".into())
             };
             csv.push(format!(
                 "{rho:.2},{},{},{}",
@@ -51,6 +57,11 @@ fn main() {
         );
         println!();
     }
+    let stats = engine.cache_stats();
+    println!(
+        "engine: {} D/E_K/1 solves reused {} times, {} pole solves reused {} times",
+        stats.dek_misses, stats.dek_hits, stats.pole_misses, stats.pole_hits
+    );
     println!("Shape checks vs the paper:");
     println!("  • linear in load at low load (position delay ∝ ρ·T),");
     println!("  • blow-up toward ρ_d → 1,");

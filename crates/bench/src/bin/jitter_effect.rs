@@ -42,8 +42,14 @@ fn main() {
         ("none".into(), None),
         ("U(0, 2 ms)".into(), Some(Box::new(Uniform::new(0.0, 2.0)))),
         ("U(0, 4 ms)".into(), Some(Box::new(Uniform::new(0.0, 4.0)))),
-        ("Exp(mean 3 ms)".into(), Some(Box::new(Exponential::with_mean(3.0)))),
-        ("Exp(mean 8 ms)".into(), Some(Box::new(Exponential::with_mean(8.0)))),
+        (
+            "Exp(mean 3 ms)".into(),
+            Some(Box::new(Exponential::with_mean(3.0))),
+        ),
+        (
+            "Exp(mean 8 ms)".into(),
+            Some(Box::new(Exponential::with_mean(8.0))),
+        ),
     ];
     let mut csv = Vec::new();
     for (name, jitter) in cases {

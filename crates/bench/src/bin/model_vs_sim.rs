@@ -2,8 +2,8 @@
 //! the packet-level simulator across loads and Erlang orders. The paper
 //! had no public testbed; this is the reproduction's ground truth.
 
-use fpsping_bench::write_csv;
 use fpsping::{RttModel, Scenario};
+use fpsping_bench::write_csv;
 use fpsping_dist::Deterministic;
 use fpsping_queue::PositionDelay;
 use fpsping_sim::{BurstSizing, NetworkConfig, SimTime};
@@ -24,7 +24,8 @@ fn main() {
                 .with_tick_ms(t_ms);
             let n = scenario.gamer_count().round() as usize;
             let model = RttModel::build(&scenario).expect("stable");
-            let det_down = 8.0 * scenario.server_packet_bytes
+            let det_down = 8.0
+                * scenario.server_packet_bytes
                 * (1.0 / scenario.c_bps + 1.0 / scenario.r_down_bps);
             let beta = k as f64 / scenario.mean_burst_service_s();
             let pos = PositionDelay::uniform(k, beta).unwrap();
@@ -53,8 +54,7 @@ fn main() {
                     .map(|(_, v)| v * 1e3)
                     .unwrap_or(f64::NAN)
             };
-            let (s_mean, s_p99, s_p999) =
-                (rep.downstream_delay.mean_s * 1e3, q(0.99), q(0.999));
+            let (s_mean, s_p99, s_p999) = (rep.downstream_delay.mean_s * 1e3, q(0.99), q(0.999));
             println!(
                 "{k:>4} {rho:>6.2} {n:>6} | {a_mean:>11.2} {s_mean:>11.2} | {a_p99:>11.2} {s_p99:>11.2} | {a_p999:>11.2} {s_p999:>11.2}",
             );

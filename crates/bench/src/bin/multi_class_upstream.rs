@@ -22,14 +22,15 @@ fn main() {
     let lambda_a = n_a as f64 / (int_a / 1e3);
     let lambda_b = n_b as f64 / (int_b / 1e3);
     let analytic = Mg1::multi_class(vec![
-        (lambda_a, Box::new(Deterministic::new(tau(size_a))) as Box<dyn Distribution>),
+        (
+            lambda_a,
+            Box::new(Deterministic::new(tau(size_a))) as Box<dyn Distribution>,
+        ),
         (lambda_b, Box::new(Deterministic::new(tau(size_b)))),
     ])
     .expect("stable multi-class");
     println!("Eq. (13) — two gamer classes on the upstream bottleneck (C = 5 Mbps)");
-    println!(
-        "class A: {n_a} × {size_a} B / {int_a} ms; class B: {n_b} × {size_b} B / {int_b} ms"
-    );
+    println!("class A: {n_a} × {size_a} B / {int_a} ms; class B: {n_b} × {size_b} B / {int_b} ms");
     println!("aggregate load ρ_u = {:.3}", analytic.load());
     println!();
 

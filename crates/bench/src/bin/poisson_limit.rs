@@ -5,15 +5,18 @@
 
 use fpsping_bench::write_csv;
 use fpsping_dist::Deterministic;
-use fpsping_queue::nddd1::NDdd1;
 use fpsping_queue::mg1::mdd1;
+use fpsping_queue::nddd1::NDdd1;
 use fpsping_sim::{NetworkConfig, SimTime};
 
 fn main() {
     let tau = 0.000_128; // 80 B on 5 Mbps
     let rho = 0.5;
     let w = 0.001; // 1 ms
-    println!("Poisson limit (eq. 11): P(W > {} ms) at fixed load ρ = {rho}", w * 1e3);
+    println!(
+        "Poisson limit (eq. 11): P(W > {} ms) at fixed load ρ = {rho}",
+        w * 1e3
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
         "N", "binom-sup", "chernoff", "M/D/1-LD", "M/D/1 exact"
@@ -41,12 +44,8 @@ fn main() {
     println!("Simulated aggregation wait vs M/D/1 (N = 100 gamers):");
     let n = 100usize;
     let t_ms = n as f64 * tau * 1e3 / rho;
-    let mut cfg = NetworkConfig::paper_scenario(
-        n,
-        Box::new(Deterministic::new(125.0)),
-        t_ms,
-        0x90155,
-    );
+    let mut cfg =
+        NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), t_ms, 0x90155);
     cfg.duration = SimTime::from_secs(120.0);
     let rep = cfg.run();
     println!(

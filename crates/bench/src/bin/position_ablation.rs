@@ -21,11 +21,8 @@ fn main() {
         let beta = k as f64 / (rho * t);
         let q_for = |position: Position| -> f64 {
             let pos = PositionDelay::new(k, beta, position).unwrap();
-            let td = TotalDelay::from_mixes(
-                ErlangMix::unit(),
-                dek1.to_mix(),
-                pos.to_mix().unwrap(),
-            );
+            let td =
+                TotalDelay::from_mixes(ErlangMix::unit(), dek1.to_mix(), pos.to_mix().unwrap());
             td.quantile(0.99999) * 1e3
         };
         let uniform = {

@@ -2,8 +2,8 @@
 //! paper's choice), dominant pole, Chernoff bound (eq. 36), and
 //! sum-of-quantiles — across load and K.
 
-use fpsping_bench::write_csv;
 use fpsping::{RttModel, Scenario};
+use fpsping_bench::write_csv;
 
 fn main() {
     println!("Quantile-method ablation (99.999% stochastic quantile, ms)");
@@ -14,7 +14,9 @@ fn main() {
     let mut csv = Vec::new();
     for &k in &[2u32, 9, 20] {
         for &rho in &[0.2, 0.4, 0.6, 0.8] {
-            let s = Scenario::paper_default().with_erlang_order(k).with_load(rho);
+            let s = Scenario::paper_default()
+                .with_erlang_order(k)
+                .with_load(rho);
             let m = RttModel::build(&s).expect("stable");
             let p = 0.99999;
             let full = m.total().quantile(p) * 1e3;
@@ -26,7 +28,9 @@ fn main() {
                 "{k:>4} {rho:>6.2} | {full:>10.2} {dom:>10.2} {chern:>10.2} {soq:>10.2} {:>6}",
                 if cond { "ok" } else { "num" }
             );
-            csv.push(format!("{k},{rho},{full:.4},{dom:.4},{chern:.4},{soq:.4},{cond}"));
+            csv.push(format!(
+                "{k},{rho},{full:.4},{dom:.4},{chern:.4},{soq:.4},{cond}"
+            ));
         }
     }
     write_csv(

@@ -33,7 +33,13 @@ fn main() {
             cov(&server_sizes),
             "LogNormal(120, 0.4)",
         ),
-        ("burst inter-arrival [ms]", "Det(60)", mean(&burst_iat), cov(&burst_iat), "Det(60)"),
+        (
+            "burst inter-arrival [ms]",
+            "Det(60)",
+            mean(&burst_iat),
+            cov(&burst_iat),
+            "Det(60)",
+        ),
         (
             "client packet size [B]",
             "60-90 B (log)normal",
@@ -41,7 +47,13 @@ fn main() {
             cov(&client_sizes),
             "Normal(75, 7.5)",
         ),
-        ("client inter-arrival [ms]", "Det(41)", mean(&client_iat), cov(&client_iat), "Det(41)"),
+        (
+            "client inter-arrival [ms]",
+            "Det(41)",
+            mean(&client_iat),
+            cov(&client_iat),
+            "Det(41)",
+        ),
     ];
     let mut csv = Vec::new();
     for (name, paper, m, c, model) in rows {
@@ -49,7 +61,10 @@ fn main() {
         csv.push(format!("{name},{paper},{m:.3},{c:.4},{model}"));
     }
     // Range check the client sizes against the reported 60–90 B span.
-    let in_range = client_sizes.iter().filter(|&&s| (60.0..=90.0).contains(&s)).count();
+    let in_range = client_sizes
+        .iter()
+        .filter(|&&s| (60.0..=90.0).contains(&s))
+        .count();
     println!(
         "client sizes within the reported 60–90 B band: {:.1}%",
         100.0 * in_range as f64 / client_sizes.len() as f64

@@ -11,9 +11,15 @@ fn main() {
     let st = TraceStats::compute(&lan.trace, 5.0);
 
     println!("Table 3 — Unreal Tournament 2003 LAN trace statistics");
-    println!("(synthetic trace, 12 players, 6 minutes, {} packets)", lan.trace.len());
+    println!(
+        "(synthetic trace, 12 players, 6 minutes, {} packets)",
+        lan.trace.len()
+    );
     println!();
-    println!("{:<28} {:>10} {:>8} | {:>8} {:>6}", "quantity", "measured", "CoV", "paper", "CoV");
+    println!(
+        "{:<28} {:>10} {:>8} | {:>8} {:>6}",
+        "quantity", "measured", "CoV", "paper", "CoV"
+    );
     let rows = [
         ("server→client packet [B]", st.server_packet, (154.0, 0.28)),
         ("burst inter-arrival [ms]", st.burst_iat, (47.0, 0.07)),

@@ -10,11 +10,15 @@ use fpsping_sim::scheduler::Discipline;
 use fpsping_sim::{NetworkConfig, SimTime};
 
 fn run(disc: Discipline, bg_load: f64, c_bps: f64, seed: u64) -> fpsping_sim::SimReport {
-    let mut cfg = NetworkConfig::paper_scenario(50, Box::new(Deterministic::new(125.0)), 40.0, seed);
+    let mut cfg =
+        NetworkConfig::paper_scenario(50, Box::new(Deterministic::new(125.0)), 40.0, seed);
     cfg.c_bps = c_bps;
     cfg.discipline = disc;
     if bg_load > 0.0 {
-        cfg.background = Some(BackgroundConfig { load: bg_load, packet_bytes: 1500.0 });
+        cfg.background = Some(BackgroundConfig {
+            load: bg_load,
+            packet_bytes: 1500.0,
+        });
     }
     cfg.duration = SimTime::from_secs(120.0);
     cfg.run()

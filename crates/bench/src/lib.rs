@@ -29,7 +29,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 
 /// Formats an `(x, y)` series as CSV rows with fixed precision.
 pub fn series_rows(series: &[(f64, f64)]) -> Vec<String> {
-    series.iter().map(|(x, y)| format!("{x:.6},{y:.6e}")).collect()
+    series
+        .iter()
+        .map(|(x, y)| format!("{x:.6},{y:.6e}"))
+        .collect()
 }
 
 #[cfg(test)]

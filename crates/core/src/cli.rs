@@ -5,7 +5,8 @@
 //! surface is four subcommands with numeric flags; a dependency would be
 //! heavier than the code.
 
-use crate::{max_load, rtt_vs_load, RttModel, Scenario};
+use crate::engine::{Engine, EngineConfig};
+use crate::{max_load, RttModel, Scenario};
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -21,7 +22,12 @@ pub enum Command {
         budget_ms: f64,
     },
     /// `sweep` — RTT across the paper's load grid.
-    Sweep(Scenario),
+    Sweep {
+        /// The base scenario.
+        scenario: Scenario,
+        /// Worker threads for the sweep engine (0 = all cores).
+        jobs: usize,
+    },
     /// `help` — usage text.
     Help,
 }
@@ -63,6 +69,7 @@ FLAGS (all optional; defaults are the paper's §4 scenario):
     --rdown-kbps <R>         access downlink rate in kbit/s  [default 1024]
     --quantile <p>           quantile level                  [default 0.99999]
     --budget-ms <B>          RTT budget (dimension only)
+    --jobs <N>               sweep worker threads; 0 = all cores [default 0]
     --no-upstream            drop the upstream M/G/1 term
 ";
 
@@ -82,6 +89,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     let mut scenario = Scenario::paper_default();
     let mut budget_ms: Option<f64> = None;
+    let mut jobs = 0usize;
     let mut i = 1usize;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -92,14 +100,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--gamers" => {
                 let n = parse_f64(flag, value)?;
                 if n < 1.0 || n.fract() != 0.0 {
-                    return Err(ParseError(format!("--gamers must be a positive integer, got {n}")));
+                    return Err(ParseError(format!(
+                        "--gamers must be a positive integer, got {n}"
+                    )));
                 }
                 scenario = scenario.with_gamers(n as u32);
             }
             "--k" => {
                 let k = parse_f64(flag, value)?;
                 if k < 1.0 || k.fract() != 0.0 {
-                    return Err(ParseError(format!("--k must be a positive integer, got {k}")));
+                    return Err(ParseError(format!(
+                        "--k must be a positive integer, got {k}"
+                    )));
                 }
                 scenario = scenario.with_erlang_order(k as u32);
             }
@@ -114,6 +126,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--rdown-kbps" => scenario.r_down_bps = parse_f64(flag, value)? * 1e3,
             "--quantile" => scenario.quantile = parse_f64(flag, value)?,
             "--budget-ms" => budget_ms = Some(parse_f64(flag, value)?),
+            "--jobs" => {
+                let n = parse_f64(flag, value)?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(ParseError(format!(
+                        "--jobs must be a non-negative integer, got {n}"
+                    )));
+                }
+                jobs = n as usize;
+            }
             "--no-upstream" => {
                 scenario.include_upstream = false;
                 consumed = 1;
@@ -125,12 +146,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     match cmd.as_str() {
         "quantile" => Ok(Command::Quantile(scenario)),
         "dimension" => {
-            let budget_ms = budget_ms
-                .ok_or_else(|| ParseError("dimension needs --budget-ms".to_string()))?;
-            Ok(Command::Dimension { scenario, budget_ms })
+            let budget_ms =
+                budget_ms.ok_or_else(|| ParseError("dimension needs --budget-ms".to_string()))?;
+            Ok(Command::Dimension {
+                scenario,
+                budget_ms,
+            })
         }
-        "sweep" => Ok(Command::Sweep(scenario)),
-        other => Err(ParseError(format!("unknown command `{other}` (try `help`)"))),
+        "sweep" => Ok(Command::Sweep { scenario, jobs }),
+        other => Err(ParseError(format!(
+            "unknown command `{other}` (try `help`)"
+        ))),
     }
 }
 
@@ -141,7 +167,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Command::Help => out.push_str(USAGE),
         Command::Quantile(s) => {
             let model = RttModel::build(s).map_err(|e| e.to_string())?;
-            let b = model.breakdown();
+            let b = model.breakdown().map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
                 "scenario: ρ_d={:.3} ρ_u={:.3} N={:.1} K={} T={} ms P_S={} B",
@@ -152,33 +178,58 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 s.t_ms,
                 s.server_packet_bytes
             );
-            let _ = writeln!(out, "{:.3}% RTT quantile: {:.2} ms", s.quantile * 100.0, b.rtt_ms);
+            let _ = writeln!(
+                out,
+                "{:.3}% RTT quantile: {:.2} ms",
+                s.quantile * 100.0,
+                b.rtt_ms
+            );
             let _ = writeln!(out, "  deterministic : {:.3} ms", b.deterministic_ms);
             let _ = writeln!(out, "  stochastic    : {:.3} ms", b.stochastic_ms);
             let _ = writeln!(out, "    upstream    : {:.3} ms (alone)", b.upstream_ms);
             let _ = writeln!(out, "    burst wait  : {:.3} ms (alone)", b.burst_wait_ms);
             let _ = writeln!(out, "    position    : {:.3} ms (alone)", b.position_ms);
         }
-        Command::Dimension { scenario, budget_ms } => {
+        Command::Dimension {
+            scenario,
+            budget_ms,
+        } => {
             let r = max_load(scenario, *budget_ms).map_err(|e| e.to_string())?;
+            let rtt_at_max = match r.rtt_at_max_ms {
+                Some(v) => format!("{v:.1} ms"),
+                None => "n/a (budget infeasible)".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "budget {budget_ms} ms @ {:.3}%: rho_max = {:.1}%, N_max = {}, RTT@max = {:.1} ms",
+                "budget {budget_ms} ms @ {:.3}%: rho_max = {:.1}%, N_max = {}, RTT@max = {}",
                 scenario.quantile * 100.0,
                 100.0 * r.rho_max,
                 r.n_max,
-                r.rtt_at_max_ms
+                rtt_at_max
             );
         }
-        Command::Sweep(s) => {
+        Command::Sweep { scenario: s, jobs } => {
+            let engine = Engine::new(EngineConfig::with_jobs(*jobs));
             let _ = writeln!(out, "{:>6} {:>8} {:>12}", "load", "gamers", "RTT [ms]");
-            for p in rtt_vs_load(s, &crate::sweep::paper_load_grid()) {
+            for p in engine.rtt_vs_load(s, &crate::sweep::paper_load_grid()) {
                 match p.rtt_ms {
                     Some(v) => {
-                        let _ = writeln!(out, "{:>5.0}% {:>8.0} {:>12.2}", p.rho_d * 100.0, p.n_gamers, v);
+                        let _ = writeln!(
+                            out,
+                            "{:>5.0}% {:>8.0} {:>12.2}",
+                            p.rho_d * 100.0,
+                            p.n_gamers,
+                            v
+                        );
                     }
                     None => {
-                        let _ = writeln!(out, "{:>5.0}% {:>8.0} {:>12}", p.rho_d * 100.0, p.n_gamers, "infeasible");
+                        let _ = writeln!(
+                            out,
+                            "{:>5.0}% {:>8.0} {:>12}",
+                            p.rho_d * 100.0,
+                            p.n_gamers,
+                            "infeasible"
+                        );
                     }
                 }
             }
@@ -230,12 +281,29 @@ mod tests {
         assert!(parse(&argv("dimension")).is_err());
         let cmd = parse(&argv("dimension --budget-ms 50 --k 2")).unwrap();
         match cmd {
-            Command::Dimension { budget_ms, scenario } => {
+            Command::Dimension {
+                budget_ms,
+                scenario,
+            } => {
                 assert_eq!(budget_ms, 50.0);
                 assert_eq!(scenario.erlang_order, 2);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_takes_jobs_flag() {
+        match parse(&argv("sweep --jobs 3")).unwrap() {
+            Command::Sweep { jobs, .. } => assert_eq!(jobs, 3),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("sweep")).unwrap() {
+            Command::Sweep { jobs, .. } => assert_eq!(jobs, 0, "default = all cores"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("sweep --jobs -1")).is_err());
+        assert!(parse(&argv("sweep --jobs 1.5")).is_err());
     }
 
     #[test]
@@ -260,7 +328,10 @@ mod tests {
         let cmd = parse(&argv("dimension --budget-ms 50")).unwrap();
         let out = run(&cmd).unwrap();
         // K = 9 default → ~41% (paper: ≈40%).
-        assert!(out.contains("rho_max = 41") || out.contains("rho_max = 40"), "{out}");
+        assert!(
+            out.contains("rho_max = 41") || out.contains("rho_max = 40"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -269,6 +340,22 @@ mod tests {
         let out = run(&cmd).unwrap();
         assert_eq!(out.lines().count(), 19, "{out}"); // header + 18 loads
         assert!(out.contains("90%"));
+    }
+
+    #[test]
+    fn run_sweep_output_is_independent_of_jobs() {
+        let serial = run(&parse(&argv("sweep --jobs 1")).unwrap()).unwrap();
+        let parallel = run(&parse(&argv("sweep --jobs 4")).unwrap()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_dimension_reports_infeasible_budget_without_nan() {
+        let cmd = parse(&argv("dimension --budget-ms 5")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("rho_max = 0.0%"), "{out}");
+        assert!(out.contains("n/a"), "{out}");
+        assert!(!out.contains("NaN"), "{out}");
     }
 
     #[test]

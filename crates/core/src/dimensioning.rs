@@ -5,8 +5,13 @@
 //! 50 ms" (the paper cites Färber's 'excellent game play' bound), find
 //! the maximum tolerable downlink load `ρ_max` and convert it to gamers
 //! via eq. (37): `N_max = ρ_max·T·C/(8·P_S)`.
+//!
+//! The bisection itself lives in [`crate::engine::Engine::max_load`];
+//! the free functions here are thin wrappers over a default engine so
+//! every probe shares the solver cache and warm-starts its quantile
+//! bracket from the previous probe.
 
-use crate::rtt::RttModel;
+use crate::engine::{Engine, EngineConfig};
 use crate::scenario::Scenario;
 use fpsping_queue::QueueError;
 
@@ -17,69 +22,22 @@ pub struct DimensioningResult {
     pub rho_max: f64,
     /// Maximum number of simultaneous gamers (floor of eq. 37).
     pub n_max: u32,
-    /// RTT quantile (ms) realized exactly at `rho_max`.
-    pub rtt_at_max_ms: f64,
+    /// RTT quantile (ms) realized exactly at `rho_max`; `None` only for
+    /// the zero result (a budget no load can meet), which has no
+    /// realized RTT — previously this leaked as a silent NaN.
+    pub rtt_at_max_ms: Option<f64>,
 }
 
 /// Finds the largest downlink load whose RTT quantile stays within
 /// `rtt_budget_ms`, by bisection over `ρ_d ∈ (lo_load, hi_load)`.
 ///
-/// Returns `rho_max = 0` (with `n_max = 0`) when even a vanishing load
-/// breaks the budget — e.g. a budget below the deterministic floor.
+/// Returns `rho_max = 0` (with `n_max = 0` and no realized RTT) when
+/// even a vanishing load breaks the budget — e.g. a budget below the
+/// deterministic floor. A non-positive or non-finite budget, an
+/// exhausted stability search, and a bisection that converges onto an
+/// infeasible load are all explicit [`QueueError`]s.
 pub fn max_load(base: &Scenario, rtt_budget_ms: f64) -> Result<DimensioningResult, QueueError> {
-    assert!(rtt_budget_ms > 0.0, "budget must be positive");
-    let rtt_at = |rho: f64| -> Result<Option<f64>, QueueError> {
-        let s = base.clone().with_load(rho);
-        match RttModel::build(&s) {
-            Ok(m) => Ok(Some(m.rtt_quantile_ms())),
-            Err(QueueError::UnstableLoad { .. }) => Ok(None),
-            Err(e) => Err(e),
-        }
-    };
-    let lo_probe = 1e-4;
-    match rtt_at(lo_probe)? {
-        Some(r) if r <= rtt_budget_ms => {}
-        _ => {
-            return Ok(DimensioningResult { rho_max: 0.0, n_max: 0, rtt_at_max_ms: f64::NAN });
-        }
-    }
-    // Find the largest feasible probe (uplink may saturate first).
-    let mut lo = lo_probe;
-    let mut hi = 0.999;
-    // Shrink hi until the scenario is at least buildable.
-    let mut hi_val = rtt_at(hi)?;
-    let mut guard = 0;
-    while hi_val.is_none() && guard < 200 {
-        hi = lo + 0.95 * (hi - lo);
-        hi_val = rtt_at(hi)?;
-        guard += 1;
-    }
-    if let Some(r) = hi_val {
-        if r <= rtt_budget_ms {
-            // Budget never binds below saturation.
-            let s = base.clone().with_load(hi);
-            return Ok(DimensioningResult {
-                rho_max: hi,
-                n_max: s.gamer_count().floor() as u32,
-                rtt_at_max_ms: r,
-            });
-        }
-    }
-    // Bisect on feasibility of the budget.
-    for _ in 0..80 {
-        let mid = 0.5 * (lo + hi);
-        match rtt_at(mid)? {
-            Some(r) if r <= rtt_budget_ms => lo = mid,
-            _ => hi = mid,
-        }
-    }
-    let s = base.clone().with_load(lo);
-    let rtt = rtt_at(lo)?.unwrap_or(f64::NAN);
-    Ok(DimensioningResult {
-        rho_max: lo,
-        n_max: s.gamer_count().floor() as u32,
-        rtt_at_max_ms: rtt,
-    })
+    Engine::new(EngineConfig::with_jobs(1)).max_load(base, rtt_budget_ms)
 }
 
 /// Convenience: just the gamer count.
@@ -103,8 +61,12 @@ mod tests {
             "paper: ≈40% for K=9; got {}",
             r.rho_max
         );
-        assert!((60..110).contains(&r.n_max), "paper: ≈80 gamers; got {}", r.n_max);
-        assert!(r.rtt_at_max_ms <= 50.0 + 0.1);
+        assert!(
+            (60..110).contains(&r.n_max),
+            "paper: ≈80 gamers; got {}",
+            r.n_max
+        );
+        assert!(r.rtt_at_max_ms.unwrap() <= 50.0 + 0.1);
     }
 
     #[test]
@@ -139,21 +101,62 @@ mod tests {
         let r = max_load(&Scenario::paper_default(), 5.0).unwrap();
         assert_eq!(r.rho_max, 0.0);
         assert_eq!(r.n_max, 0);
+        assert_eq!(r.rtt_at_max_ms, None, "zero result must not fake an RTT");
+    }
+
+    #[test]
+    fn absurdly_small_budget_is_zero_not_nan() {
+        // Far below any deterministic delay — the old code reported
+        // rtt_at_max_ms = NaN here.
+        let r = max_load(&Scenario::paper_default(), 1e-9).unwrap();
+        assert_eq!(r.rho_max, 0.0);
+        assert_eq!(r.n_max, 0);
+        assert!(r.rtt_at_max_ms.is_none());
+    }
+
+    #[test]
+    fn invalid_budget_is_an_error_not_a_panic_or_nan() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    max_load(&Scenario::paper_default(), bad),
+                    Err(QueueError::InvalidParameter {
+                        name: "rtt_budget_ms",
+                        ..
+                    })
+                ),
+                "budget {bad} must be rejected"
+            );
+        }
     }
 
     #[test]
     fn generous_budget_saturates_at_stability_not_budget() {
         let r = max_load(&Scenario::paper_default(), 100_000.0).unwrap();
         assert!(r.rho_max > 0.95);
+        assert!(r.rtt_at_max_ms.unwrap().is_finite());
     }
 
     #[test]
     fn uplink_saturation_caps_ps75() {
-        // P_S = 75: the uplink saturates at ρ_d = 0.9375; a huge budget
-        // must cap there, not at 0.999.
+        // P_S = 75 < P_C: the uplink saturates at ρ_d = 0.9375; a huge
+        // budget must cap there, not at 0.999 — and the result must carry
+        // a real (finite) RTT, never a NaN from an infeasible final probe.
         let s = Scenario::paper_default().with_server_packet(75.0);
         let r = max_load(&s, 100_000.0).unwrap();
         assert!(r.rho_max < 0.9375 + 1e-6, "rho_max {}", r.rho_max);
         assert!(r.rho_max > 0.85);
+        assert!(r.rtt_at_max_ms.unwrap().is_finite());
+    }
+
+    #[test]
+    fn uplink_saturation_with_binding_budget_ps75() {
+        // Same saturating uplink, but now the budget binds below the
+        // saturation point: the bisection path must also end on a
+        // feasible load with a real RTT at most the budget.
+        let s = Scenario::paper_default().with_server_packet(75.0);
+        let r = max_load(&s, 60.0).unwrap();
+        assert!(r.rho_max > 0.0 && r.rho_max < 0.9375);
+        assert!(r.rtt_at_max_ms.unwrap() <= 60.0 + 0.1);
     }
 }

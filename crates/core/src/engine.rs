@@ -1,0 +1,649 @@
+//! The evaluation engine: parallel, cached, warm-started grid workloads.
+//!
+//! Every figure and dimensioning run in this repository is a grid of RTT
+//! quantile evaluations — (load × K) surfaces, load sweeps per scenario
+//! family, bisection probes along the load axis. Each cell repeats three
+//! expensive solves:
+//!
+//! 1. the D/E_K/1 branch roots (Appendix C fixed point + Newton), which
+//!    depend only on `(K, ρ_d)` — not on the time scale `T`;
+//! 2. the upstream M/D/1 dominant pole (Brent), which depends only on
+//!    `(λ, τ)` — shared by every K at the same load;
+//! 3. the quantile bracket search, whose answer moves smoothly along any
+//!    monotone axis of the grid.
+//!
+//! The [`Engine`] exploits all three: a [`SolverCache`] memoizes (1) and
+//! (2) across cells, a scoped-thread [`par_map`] fans independent cells
+//! across cores with deterministic result order, and each contiguous run
+//! of cells warm-starts its quantile bracket from its neighbor. All of
+//! this is *exact*: cached component rebuilds use bit-identical
+//! floating-point operations, and warm starts only accelerate finding
+//! the same canonical bracket the cold search would use — so an engine
+//! sweep equals the serial seed path cell for cell (see the
+//! `engine_parity` integration test).
+
+use crate::dimensioning::DimensioningResult;
+use crate::rtt::RttModel;
+use crate::scenario::Scenario;
+use crate::sweep::LoadPoint;
+use fpsping_dist::Deterministic;
+use fpsping_queue::{DEk1, DekSolution, Mg1, PositionDelay, QueueError};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for grid fan-out (1 = run on the caller's thread).
+    pub jobs: usize,
+    /// Memoize D/E_K/1 solutions and M/D/1 dominant poles across cells.
+    pub cache: bool,
+    /// Seed each cell's quantile bracket from its neighbor along the
+    /// grid's monotone axis.
+    pub warm_start: bool,
+}
+
+impl EngineConfig {
+    /// Everything off: single-threaded, solve every cell from scratch.
+    /// This is exactly the seed code path, kept as the reference for
+    /// parity tests and benchmarks.
+    pub fn serial() -> Self {
+        Self {
+            jobs: 1,
+            cache: false,
+            warm_start: false,
+        }
+    }
+
+    /// Default config with an explicit thread count (`0` = all cores).
+    pub fn with_jobs(jobs: usize) -> Self {
+        let jobs = if jobs == 0 { default_jobs() } else { jobs };
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            jobs: default_jobs(),
+            cache: true,
+            warm_start: true,
+        }
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Hit/miss counters of a [`SolverCache`] (monotone since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// D/E_K/1 solutions served from the cache.
+    pub dek_hits: u64,
+    /// D/E_K/1 solutions solved fresh.
+    pub dek_misses: u64,
+    /// M/D/1 dominant poles served from the cache.
+    pub pole_hits: u64,
+    /// M/D/1 dominant poles solved fresh.
+    pub pole_misses: u64,
+    /// Whole-cell RTT quantiles served from the cache.
+    pub rtt_hits: u64,
+    /// Whole-cell RTT quantiles computed fresh.
+    pub rtt_misses: u64,
+}
+
+/// Exact-bit identity of a scenario cell: every parameter that enters
+/// the RTT computation, as raw bit patterns. Two scenarios share a key
+/// iff the whole evaluation pipeline is mathematically identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ScenarioKey {
+    gamers: (bool, u64),
+    t_ms: u64,
+    server_packet_bytes: u64,
+    client_packet_bytes: u64,
+    erlang_order: u32,
+    r_up_bps: u64,
+    r_down_bps: u64,
+    c_bps: u64,
+    client_interval_ms: Option<u64>,
+    quantile: u64,
+    include_upstream: bool,
+    extra_fixed_ms: u64,
+}
+
+impl ScenarioKey {
+    fn of(s: &Scenario) -> Self {
+        Self {
+            gamers: match s.gamers {
+                crate::scenario::Gamers::Count(n) => (true, n as u64),
+                crate::scenario::Gamers::DownlinkLoad(r) => (false, r.to_bits()),
+            },
+            t_ms: s.t_ms.to_bits(),
+            server_packet_bytes: s.server_packet_bytes.to_bits(),
+            client_packet_bytes: s.client_packet_bytes.to_bits(),
+            erlang_order: s.erlang_order,
+            r_up_bps: s.r_up_bps.to_bits(),
+            r_down_bps: s.r_down_bps.to_bits(),
+            c_bps: s.c_bps.to_bits(),
+            client_interval_ms: s.client_interval_ms.map(f64::to_bits),
+            quantile: s.quantile.to_bits(),
+            include_upstream: s.include_upstream,
+            extra_fixed_ms: s.extra_fixed_ms.to_bits(),
+        }
+    }
+}
+
+/// Thread-safe memo of the two root solves behind every RTT cell.
+///
+/// Keys are exact bit patterns of the defining parameters, so a hit can
+/// only occur for a mathematically identical solve — there is no
+/// tolerance-based key collision. Solutions are handed out as cheap
+/// [`Arc`] clones.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    dek: Mutex<HashMap<(u32, u64), Arc<DekSolution>>>,
+    pole: Mutex<HashMap<(u64, u64), f64>>,
+    rtt: Mutex<HashMap<ScenarioKey, f64>>,
+    dek_hits: AtomicU64,
+    dek_misses: AtomicU64,
+    pole_hits: AtomicU64,
+    pole_misses: AtomicU64,
+    rtt_hits: AtomicU64,
+    rtt_misses: AtomicU64,
+}
+
+impl SolverCache {
+    /// The dimensionless D/E_K/1 solution for `(k, rho)`, cached by
+    /// `(K, ρ bits)`.
+    pub fn dek_solution(&self, k: u32, rho: f64) -> Result<Arc<DekSolution>, QueueError> {
+        let key = (k, rho.to_bits());
+        if let Some(sol) = self.dek.lock().unwrap().get(&key) {
+            self.dek_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(sol));
+        }
+        self.dek_misses.fetch_add(1, Ordering::Relaxed);
+        let sol = Arc::new(DekSolution::solve(k, rho)?);
+        // A racing thread may have inserted meanwhile; both solved the
+        // same roots, so either value is fine.
+        self.dek
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&sol));
+        Ok(sol)
+    }
+
+    /// The M/D/1 dominant pole γ for arrival rate `lambda` and packet
+    /// serialization time `tau`, cached by `(λ bits, τ bits)`.
+    pub fn mdd1_pole(&self, lambda: f64, tau: f64) -> Result<f64, QueueError> {
+        let key = (lambda.to_bits(), tau.to_bits());
+        if let Some(&gamma) = self.pole.lock().unwrap().get(&key) {
+            self.pole_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(gamma);
+        }
+        self.pole_misses.fetch_add(1, Ordering::Relaxed);
+        let q = Mg1::new(lambda, Box::new(Deterministic::new(tau)))?;
+        let gamma = q.dominant_pole()?;
+        self.pole.lock().unwrap().insert(key, gamma);
+        Ok(gamma)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            dek_hits: self.dek_hits.load(Ordering::Relaxed),
+            dek_misses: self.dek_misses.load(Ordering::Relaxed),
+            pole_hits: self.pole_hits.load(Ordering::Relaxed),
+            pole_misses: self.pole_misses.load(Ordering::Relaxed),
+            rtt_hits: self.rtt_hits.load(Ordering::Relaxed),
+            rtt_misses: self.rtt_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped threads, preserving input
+/// order in the result. Items are split into contiguous chunks (one per
+/// worker), so ordering is deterministic by construction — no work
+/// stealing, no result reshuffling. `jobs <= 1` (or a single item) runs
+/// inline on the caller's thread.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(jobs);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every chunk slot is written by its worker"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// size (used to hand warm-start runs to workers).
+fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(parts.max(1));
+    (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
+/// The parallel cached evaluation engine — see the module docs.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: SolverCache,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            cache: SolverCache::default(),
+        }
+    }
+
+    /// The reference engine: single-threaded, uncached, cold-bracketed —
+    /// byte-for-byte the seed evaluation path.
+    pub fn serial() -> Self {
+        Self::new(EngineConfig::serial())
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Builds the RTT model for one scenario, sourcing the D/E_K/1
+    /// solution and the upstream pole from the cache when enabled. The
+    /// result is bit-identical to [`RttModel::build`].
+    pub fn build_model(&self, scenario: &Scenario) -> Result<RttModel, QueueError> {
+        if !self.config.cache {
+            return RttModel::build(scenario);
+        }
+        scenario.validate()?;
+        let t_s = scenario.t_ms / 1e3;
+        let mean_service = scenario.mean_burst_service_s();
+        // Same guards as DEk1::new so infeasible cells error identically.
+        if !(mean_service.is_finite() && mean_service > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "mean_service",
+                value: mean_service,
+            });
+        }
+        let rho = mean_service / t_s;
+        let solution = self.cache.dek_solution(scenario.erlang_order, rho)?;
+        let downstream = DEk1::from_solution(&solution, mean_service, t_s)?;
+        let beta = scenario.erlang_order as f64 / mean_service;
+        let position = PositionDelay::uniform(scenario.erlang_order, beta)?;
+        let upstream = if scenario.include_upstream {
+            let lambda = scenario.gamer_count() / (scenario.effective_client_interval_ms() / 1e3);
+            let tau = 8.0 * scenario.client_packet_bytes / scenario.c_bps;
+            let gamma = self.cache.mdd1_pole(lambda, tau)?;
+            Some(Mg1::with_dominant_pole(
+                lambda,
+                Box::new(Deterministic::new(tau)),
+                gamma,
+            )?)
+        } else {
+            None
+        };
+        RttModel::from_parts(scenario.clone(), downstream, position, upstream)
+    }
+
+    /// One cell: the RTT quantile (ms), warm-started from `hint` when the
+    /// engine is configured for it. `None` for infeasible scenarios.
+    ///
+    /// A cell already evaluated by this engine is served from the
+    /// whole-cell memo without re-assembling the model or re-inverting
+    /// the quantile — the exact stored bits come back, so repeated grids
+    /// (the common shape of bisection paths and re-plotted figures) cost
+    /// a hash lookup per cell.
+    fn cell(&self, scenario: &Scenario, hint: Option<f64>) -> Option<f64> {
+        let hint = if self.config.warm_start { hint } else { None };
+        if !self.config.cache {
+            return self
+                .build_model(scenario)
+                .ok()
+                .map(|m| m.rtt_quantile_ms_with_hint(hint));
+        }
+        let key = ScenarioKey::of(scenario);
+        if let Some(&v) = self.cache.rtt.lock().unwrap().get(&key) {
+            self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        let v = self
+            .build_model(scenario)
+            .ok()
+            .map(|m| m.rtt_quantile_ms_with_hint(hint));
+        if let Some(v) = v {
+            self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache.rtt.lock().unwrap().insert(key, v);
+        }
+        v
+    }
+
+    /// Engine-powered [`crate::sweep::rtt_vs_load`]: the load axis is cut
+    /// into one contiguous run per worker; each run warm-starts along its
+    /// cells. Equal to the serial function cell for cell.
+    pub fn rtt_vs_load(&self, base: &Scenario, loads: &[f64]) -> Vec<LoadPoint> {
+        let runs = chunk_ranges(loads.len(), self.config.jobs);
+        par_map(self.config.jobs, &runs, |run| {
+            let mut hint = None;
+            run.clone()
+                .map(|i| {
+                    let rho = loads[i];
+                    let s = base.clone().with_load(rho);
+                    let rtt_ms = self.cell(&s, hint);
+                    hint = rtt_ms.or(hint);
+                    LoadPoint {
+                        rho_d: rho,
+                        rho_u: s.uplink_load(),
+                        n_gamers: s.gamer_count(),
+                        rtt_ms,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .concat()
+    }
+
+    /// Engine-powered [`crate::sweep::rtt_surface`]: rows are loads,
+    /// columns are Erlang orders. Work is fanned out as (K column ×
+    /// load run) tasks; each task walks its loads in order, warm-starting
+    /// from the previous cell. Equal to the serial function cell for
+    /// cell.
+    pub fn rtt_surface(&self, base: &Scenario, ks: &[u32], loads: &[f64]) -> Vec<Vec<Option<f64>>> {
+        // Split the load axis only as far as needed to keep all workers
+        // busy across the K columns.
+        let load_runs = chunk_ranges(loads.len(), self.config.jobs.div_ceil(ks.len().max(1)));
+        let tasks: Vec<(usize, Range<usize>)> = (0..ks.len())
+            .flat_map(|ki| load_runs.iter().map(move |r| (ki, r.clone())))
+            .collect();
+        let results = par_map(self.config.jobs, &tasks, |(ki, run)| {
+            let k = ks[*ki];
+            let mut hint = None;
+            run.clone()
+                .map(|li| {
+                    let s = base.clone().with_load(loads[li]).with_erlang_order(k);
+                    let v = self.cell(&s, hint);
+                    hint = v.or(hint);
+                    v
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut surface = vec![vec![None; ks.len()]; loads.len()];
+        for ((ki, run), values) in tasks.iter().zip(results) {
+            for (li, v) in run.clone().zip(values) {
+                surface[li][*ki] = v;
+            }
+        }
+        surface
+    }
+
+    /// Engine-powered [`crate::dimensioning::max_load`]: the bisection
+    /// probes share this engine's cache and warm-start each probe's
+    /// quantile bracket from the previous one. Values equal the serial
+    /// path exactly.
+    ///
+    /// Unlike the seed implementation, pathological terminations are
+    /// explicit errors instead of silent NaNs: exhausting the stability
+    /// search or converging onto an infeasible load both report
+    /// [`QueueError::SolveFailure`].
+    pub fn max_load(
+        &self,
+        base: &Scenario,
+        rtt_budget_ms: f64,
+    ) -> Result<DimensioningResult, QueueError> {
+        if !(rtt_budget_ms.is_finite() && rtt_budget_ms > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "rtt_budget_ms",
+                value: rtt_budget_ms,
+            });
+        }
+        let mut last_rtt = None;
+        let mut rtt_at = |rho: f64| -> Result<Option<f64>, QueueError> {
+            let s = base.clone().with_load(rho);
+            if self.config.cache {
+                let key = ScenarioKey::of(&s);
+                if let Some(&v) = self.cache.rtt.lock().unwrap().get(&key) {
+                    self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
+                    last_rtt = Some(v);
+                    return Ok(Some(v));
+                }
+            }
+            match self.build_model(&s) {
+                Ok(m) => {
+                    let hint = if self.config.warm_start {
+                        last_rtt
+                    } else {
+                        None
+                    };
+                    let v = m.rtt_quantile_ms_with_hint(hint);
+                    last_rtt = Some(v);
+                    if self.config.cache {
+                        self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
+                        self.cache
+                            .rtt
+                            .lock()
+                            .unwrap()
+                            .insert(ScenarioKey::of(&s), v);
+                    }
+                    Ok(Some(v))
+                }
+                Err(QueueError::UnstableLoad { .. }) => Ok(None),
+                Err(e) => Err(e),
+            }
+        };
+        let lo_probe = 1e-4;
+        match rtt_at(lo_probe)? {
+            Some(r) if r <= rtt_budget_ms => {}
+            _ => {
+                // Even a vanishing load breaks the budget (e.g. a budget
+                // below the deterministic floor): the zero result, with
+                // no realized RTT to report.
+                return Ok(DimensioningResult {
+                    rho_max: 0.0,
+                    n_max: 0,
+                    rtt_at_max_ms: None,
+                });
+            }
+        }
+        // Find the largest feasible probe (the uplink may saturate before
+        // the downlink for P_S < P_C).
+        let mut lo = lo_probe;
+        let mut hi = 0.999;
+        let mut hi_val = rtt_at(hi)?;
+        let mut guard = 0;
+        while hi_val.is_none() && guard < 200 {
+            hi = lo + 0.95 * (hi - lo);
+            hi_val = rtt_at(hi)?;
+            guard += 1;
+        }
+        let Some(hi_rtt) = hi_val else {
+            // 200 shrinks of the probe never produced a stable scenario
+            // even though lo_probe is feasible — numerically impossible
+            // for a monotone feasibility region; report it rather than
+            // bisecting against an unusable bracket.
+            return Err(QueueError::SolveFailure {
+                what: "dimensioning: stability search exhausted without a feasible upper probe",
+            });
+        };
+        if hi_rtt <= rtt_budget_ms {
+            // Budget never binds below saturation.
+            let s = base.clone().with_load(hi);
+            return Ok(DimensioningResult {
+                rho_max: hi,
+                n_max: s.gamer_count().floor() as u32,
+                rtt_at_max_ms: Some(hi_rtt),
+            });
+        }
+        // Bisect on feasibility of the budget.
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            match rtt_at(mid)? {
+                Some(r) if r <= rtt_budget_ms => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        let s = base.clone().with_load(lo);
+        let rtt = rtt_at(lo)?.ok_or(QueueError::SolveFailure {
+            what: "dimensioning: bisection converged onto an infeasible load",
+        })?;
+        Ok(DimensioningResult {
+            rho_max: lo,
+            n_max: s.gamer_count().floor() as u32,
+            rtt_at_max_ms: Some(rtt),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep;
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..103).collect();
+        for jobs in [1usize, 2, 3, 7, 200] {
+            let out = par_map(jobs, &items, |&x| x * x);
+            assert_eq!(out.len(), items.len(), "jobs={jobs}");
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (i as u64) * (i as u64), "jobs={jobs} index {i}");
+            }
+        }
+        assert!(par_map(4, &Vec::<u64>::new(), |&x| x).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (len, parts) in [(18usize, 4usize), (18, 1), (18, 40), (1, 3), (0, 2)] {
+            let runs = chunk_ranges(len, parts);
+            let flattened: Vec<usize> = runs.iter().flat_map(|r| r.clone()).collect();
+            assert_eq!(
+                flattened,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_model_equals_fresh_model() {
+        let engine = Engine::new(EngineConfig::default());
+        for &(k, rho) in &[(2u32, 0.15), (9, 0.4), (20, 0.85)] {
+            let s = Scenario::paper_default()
+                .with_load(rho)
+                .with_erlang_order(k);
+            // Twice through the engine (second pass hits the cache) and
+            // once cold.
+            let a = engine.build_model(&s).unwrap().rtt_quantile_ms();
+            let b = engine.build_model(&s).unwrap().rtt_quantile_ms();
+            let cold = RttModel::build(&s).unwrap().rtt_quantile_ms();
+            assert_eq!(
+                a.to_bits(),
+                cold.to_bits(),
+                "K={k} rho={rho} cached != cold"
+            );
+            assert_eq!(a.to_bits(), b.to_bits(), "K={k} rho={rho} re-read != first");
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.dek_hits >= 3, "second passes must hit: {stats:?}");
+        assert!(stats.pole_hits >= 3, "second passes must hit: {stats:?}");
+    }
+
+    #[test]
+    fn engine_sweep_matches_serial_sweep_bitwise() {
+        let base = Scenario::paper_default();
+        let loads = sweep::paper_load_grid();
+        let serial = sweep::rtt_vs_load(&base, &loads);
+        for jobs in [1usize, 4] {
+            let engine = Engine::new(EngineConfig::with_jobs(jobs));
+            let fast = engine.rtt_vs_load(&base, &loads);
+            assert_eq!(fast.len(), serial.len());
+            for (f, s) in fast.iter().zip(&serial) {
+                assert_eq!(
+                    f.rtt_ms.map(f64::to_bits),
+                    s.rtt_ms.map(f64::to_bits),
+                    "rho={}",
+                    s.rho_d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_surface_handles_infeasible_cells_like_serial() {
+        // P_S = 75 < P_C: high loads saturate the uplink → None cells.
+        let base = Scenario::paper_default().with_server_packet(75.0);
+        let ks = [2u32, 9];
+        let loads = [0.5, 0.9, 0.95];
+        let serial = sweep::rtt_surface(&base, &ks, &loads);
+        let engine = Engine::new(EngineConfig::with_jobs(3));
+        let fast = engine.rtt_surface(&base, &ks, &loads);
+        assert_eq!(fast.len(), serial.len());
+        for (fr, sr) in fast.iter().zip(&serial) {
+            for (f, s) in fr.iter().zip(sr) {
+                assert_eq!(f.map(f64::to_bits), s.map(f64::to_bits));
+            }
+        }
+        assert!(fast[2][0].is_none(), "rho=0.95 saturates the P_S=75 uplink");
+        assert!(fast[0][0].is_some());
+    }
+
+    #[test]
+    fn engine_max_load_matches_paper_example() {
+        let engine = Engine::new(EngineConfig::default());
+        let r = engine.max_load(&Scenario::paper_default(), 50.0).unwrap();
+        assert!((0.30..0.55).contains(&r.rho_max), "rho_max {}", r.rho_max);
+        let rtt = r.rtt_at_max_ms.expect("feasible optimum reports its RTT");
+        assert!(rtt <= 50.0 + 0.1);
+    }
+
+    #[test]
+    fn engine_max_load_rejects_bad_budget() {
+        let engine = Engine::serial();
+        assert!(matches!(
+            engine.max_load(&Scenario::paper_default(), 0.0),
+            Err(QueueError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            engine.max_load(&Scenario::paper_default(), f64::NAN),
+            Err(QueueError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -21,6 +21,10 @@
 //!   paper's headline finding that tolerable loads are "surprisingly low"
 //!   (≈20 % for K = 2, ≈40 % for K = 9, ≈60 % for K = 20 at a 50 ms
 //!   budget).
+//! * **How fast?** [`engine::Engine`] evaluates grid workloads (load
+//!   sweeps, K × load surfaces, dimensioning bisections) in parallel
+//!   with memoized solver state and warm-started quantile brackets —
+//!   bit-identical to the serial reference path, several times faster.
 //!
 //! # Quickstart
 //!
@@ -42,11 +46,13 @@
 
 pub mod cli;
 pub mod dimensioning;
+pub mod engine;
 pub mod rtt;
 pub mod scenario;
 pub mod sweep;
 
 pub use dimensioning::{max_gamers, max_load, DimensioningResult};
+pub use engine::{CacheStats, Engine, EngineConfig, SolverCache};
 pub use rtt::{RttBreakdown, RttModel};
 pub use scenario::{Gamers, Scenario};
 pub use sweep::{rtt_vs_load, LoadPoint};

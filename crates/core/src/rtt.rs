@@ -53,8 +53,28 @@ impl RttModel {
         } else {
             None
         };
+        Self::from_parts(scenario.clone(), downstream, position, upstream)
+    }
+
+    /// Assembles a model from pre-built components (used by the
+    /// [`crate::engine::Engine`], whose [`crate::engine::SolverCache`]
+    /// constructs the components from memoized solutions). The caller
+    /// guarantees the components match the scenario; the combined eq.-35
+    /// product is formed here exactly as in [`RttModel::build`].
+    pub fn from_parts(
+        scenario: Scenario,
+        downstream: DEk1,
+        position: PositionDelay,
+        upstream: Option<Mg1>,
+    ) -> Result<Self, QueueError> {
         let total = TotalDelay::new(upstream.as_ref(), &downstream, &position)?;
-        Ok(Self { scenario: scenario.clone(), downstream, position, upstream, total })
+        Ok(Self {
+            scenario,
+            downstream,
+            position,
+            upstream,
+            total,
+        })
     }
 
     /// The scenario this model was built from.
@@ -90,7 +110,21 @@ impl RttModel {
     /// The headline ping number: `quantile(stochastic) + deterministic`,
     /// in milliseconds — what Figures 3 and 4 plot on the y-axis.
     pub fn rtt_quantile_ms(&self) -> f64 {
-        (self.stochastic_quantile_s() + self.scenario.deterministic_delay_s()) * 1e3
+        self.rtt_quantile_ms_with_hint(None)
+    }
+
+    /// [`RttModel::rtt_quantile_ms`] with a warm-start hint: a nearby
+    /// cell's RTT (ms), typically the neighbor along a sweep's monotone
+    /// axis. The hint only seeds the canonical bracket search, so the
+    /// returned value is bit-identical to the unhinted call.
+    pub fn rtt_quantile_ms_with_hint(&self, hint_ms: Option<f64>) -> f64 {
+        let det = self.scenario.deterministic_delay_s();
+        let hint_s = hint_ms.map(|h| h / 1e3 - det).filter(|h| *h > 0.0);
+        (self
+            .total
+            .quantile_with_hint(self.scenario.quantile, hint_s)
+            + det)
+            * 1e3
     }
 
     /// Tail of the full RTT: `P(RTT > rtt_ms)`.
@@ -104,25 +138,26 @@ impl RttModel {
     }
 
     /// Per-component quantile breakdown.
-    pub fn breakdown(&self) -> RttBreakdown {
+    ///
+    /// An ill-conditioned upstream mix (eq.-14 re-expansion failure) is a
+    /// real error, not a NaN to leak into tables and CSVs — it propagates
+    /// as the underlying [`QueueError`].
+    pub fn breakdown(&self) -> Result<RttBreakdown, QueueError> {
         let p = self.scenario.quantile;
         let upstream_ms = match &self.upstream {
-            Some(q) => q
-                .paper_mix()
-                .map(|m| m.quantile(p) * 1e3)
-                .unwrap_or(f64::NAN),
+            Some(q) => q.paper_mix()?.quantile(p) * 1e3,
             None => 0.0,
         };
         let stochastic_ms = self.stochastic_quantile_s() * 1e3;
         let deterministic_ms = self.scenario.deterministic_delay_s() * 1e3;
-        RttBreakdown {
+        Ok(RttBreakdown {
             deterministic_ms,
             upstream_ms,
             burst_wait_ms: self.downstream.wait_quantile(p) * 1e3,
             position_ms: self.total.position().quantile(p) * 1e3,
             stochastic_ms,
             rtt_ms: stochastic_ms + deterministic_ms,
-        }
+        })
     }
 }
 
@@ -158,7 +193,9 @@ mod tests {
         // Figure 3's headline: low K (burstier) → much larger quantiles.
         let at_k = |k| {
             RttModel::build(
-                &Scenario::paper_default().with_load(0.5).with_erlang_order(k),
+                &Scenario::paper_default()
+                    .with_load(0.5)
+                    .with_erlang_order(k),
             )
             .unwrap()
             .rtt_quantile_ms()
@@ -200,7 +237,7 @@ mod tests {
     #[test]
     fn breakdown_components_are_coherent() {
         let m = RttModel::build(&Scenario::paper_default().with_load(0.5)).unwrap();
-        let b = m.breakdown();
+        let b = m.breakdown().unwrap();
         assert!(b.deterministic_ms > 6.0 && b.deterministic_ms < 7.0);
         assert!(b.upstream_ms >= 0.0);
         assert!(b.burst_wait_ms > 0.0);
@@ -224,7 +261,10 @@ mod tests {
         let a = with_up.rtt_quantile_ms();
         let b = without.rtt_quantile_ms();
         assert!(a >= b);
-        assert!((a - b) / b < 0.1, "upstream contribution should be small: {a} vs {b}");
+        assert!(
+            (a - b) / b < 0.1,
+            "upstream contribution should be small: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -259,18 +299,25 @@ mod tests {
         // other K at the same load.
         let at_k = |k| {
             RttModel::build(
-                &Scenario::paper_default().with_load(0.5).with_erlang_order(k),
+                &Scenario::paper_default()
+                    .with_load(0.5)
+                    .with_erlang_order(k),
             )
             .unwrap()
             .rtt_quantile_ms()
         };
         let (k1, k2, k9) = (at_k(1), at_k(2), at_k(9));
-        assert!(k1 > k2 && k2 > k9, "K ordering with K=1: {k1} > {k2} > {k9}");
+        assert!(
+            k1 > k2 && k2 > k9,
+            "K ordering with K=1: {k1} > {k2} > {k9}"
+        );
         let m = RttModel::build(
-            &Scenario::paper_default().with_load(0.5).with_erlang_order(1),
+            &Scenario::paper_default()
+                .with_load(0.5)
+                .with_erlang_order(1),
         )
         .unwrap();
-        let b = m.breakdown();
+        let b = m.breakdown().unwrap();
         assert!(b.position_ms.is_finite() && b.position_ms > 0.0);
         assert!(b.rtt_ms.is_finite());
     }

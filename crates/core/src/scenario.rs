@@ -177,7 +177,10 @@ impl Scenario {
             });
         }
         if !(self.quantile > 0.0 && self.quantile < 1.0) {
-            return Err(QueueError::InvalidParameter { name: "quantile", value: self.quantile });
+            return Err(QueueError::InvalidParameter {
+                name: "quantile",
+                value: self.quantile,
+            });
         }
         let rho_d = self.downlink_load();
         if !(0.0 < rho_d && rho_d < 1.0) {
@@ -189,7 +192,10 @@ impl Scenario {
         }
         if let Some(tc) = self.client_interval_ms {
             if !(tc.is_finite() && tc > 0.0) {
-                return Err(QueueError::InvalidParameter { name: "client_interval_ms", value: tc });
+                return Err(QueueError::InvalidParameter {
+                    name: "client_interval_ms",
+                    value: tc,
+                });
             }
         }
         // Each access link must at least carry its own flow.
@@ -230,10 +236,14 @@ mod tests {
     #[test]
     fn ps75_saturates_uplink_before_downlink() {
         // §4: for P_S = 75 B a downlink load of 75/80 gives uplink load 1.
-        let s = Scenario::paper_default().with_server_packet(75.0).with_load(75.0 / 80.0);
+        let s = Scenario::paper_default()
+            .with_server_packet(75.0)
+            .with_load(75.0 / 80.0);
         assert!((s.uplink_load() - 1.0).abs() < 1e-12);
         assert!(s.validate().is_err());
-        let ok = Scenario::paper_default().with_server_packet(75.0).with_load(0.9);
+        let ok = Scenario::paper_default()
+            .with_server_packet(75.0)
+            .with_load(0.9);
         assert!((ok.uplink_load() - 0.96).abs() < 1e-12);
         assert!(ok.validate().is_ok());
     }

@@ -1,4 +1,10 @@
 //! Load sweeps — the x-axes of Figures 3 and 4.
+//!
+//! The free functions here are the *serial reference path*: one cold
+//! solve per cell, no threads, no cache. They define the ground truth
+//! that [`crate::engine::Engine::rtt_vs_load`] and
+//! [`crate::engine::Engine::rtt_surface`] must (and do) reproduce bit
+//! for bit; production callers should prefer the engine.
 
 use crate::rtt::RttModel;
 use crate::scenario::Scenario;

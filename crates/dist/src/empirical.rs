@@ -27,7 +27,11 @@ impl Empirical {
         } else {
             0.0
         };
-        Self { ecdf: Ecdf::new(sample), mean, variance }
+        Self {
+            ecdf: Ecdf::new(sample),
+            mean,
+            variance,
+        }
     }
 
     /// The underlying ECDF.

@@ -36,7 +36,10 @@ impl Erlang {
     /// Creates an `Erlang(k, rate)`.
     pub fn new(k: u32, rate: f64) -> Self {
         assert!(k >= 1, "Erlang: order must be >= 1");
-        assert!(rate.is_finite() && rate > 0.0, "Erlang: rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Erlang: rate must be positive"
+        );
         Self { k, rate }
     }
 

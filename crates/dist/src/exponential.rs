@@ -17,7 +17,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates an exponential with rate `λ > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "Exponential: rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential: rate must be positive"
+        );
         Self { rate }
     }
 

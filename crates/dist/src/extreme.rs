@@ -35,7 +35,10 @@ pub struct Extreme {
 impl Extreme {
     /// Creates `Ext(a, b)` with scale `b > 0`.
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a.is_finite() && b.is_finite() && b > 0.0, "Extreme: need finite a, b > 0");
+        assert!(
+            a.is_finite() && b.is_finite() && b > 0.0,
+            "Extreme: need finite a, b > 0"
+        );
         Self { a, b }
     }
 

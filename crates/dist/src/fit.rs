@@ -29,7 +29,10 @@ use fpsping_num::stats::Ecdf;
 /// assert_eq!(erlang_order_from_cov(0.19), 28); // the paper's value
 /// ```
 pub fn erlang_order_from_cov(cov: f64) -> u32 {
-    assert!(cov > 0.0 && cov.is_finite(), "erlang_order_from_cov: CoV must be positive");
+    assert!(
+        cov > 0.0 && cov.is_finite(),
+        "erlang_order_from_cov: CoV must be positive"
+    );
     (1.0 / (cov * cov)).round().max(1.0) as u32
 }
 
@@ -102,14 +105,22 @@ pub fn fit_erlang_tail(
         }
     }
     let (k, sse) = best.expect("fit_erlang_tail: no candidate produced a score");
-    ErlangTailFit { k, erlang: Erlang::with_mean(k, mean), sse, scan }
+    ErlangTailFit {
+        k,
+        erlang: Erlang::with_mean(k, mean),
+        sse,
+        scan,
+    }
 }
 
 /// Färber's procedure: least-squares fit of the `Ext(a, b)` density to a
 /// histogram density (pairs of `(bin_center, density)`), by Nelder–Mead
 /// from a moment-matched start.
 pub fn fit_extreme_pdf(density: &[(f64, f64)], init: Extreme) -> Extreme {
-    assert!(density.len() >= 3, "fit_extreme_pdf: need at least 3 histogram bins");
+    assert!(
+        density.len() >= 3,
+        "fit_extreme_pdf: need at least 3 histogram bins"
+    );
     let objective = |a: f64, b: f64| -> f64 {
         if b <= 0.0 {
             return f64::INFINITY;
@@ -255,7 +266,11 @@ mod tests {
         );
         assert!(!fit.scan.is_empty());
         // The scan must actually prefer the chosen K.
-        let min = fit.scan.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let min = fit
+            .scan
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
         assert!((min - fit.sse).abs() < 1e-15);
     }
 
@@ -283,7 +298,11 @@ mod tests {
             fpsping_num::stats::std_dev(&sample),
         );
         let fit = fit_extreme_pdf(&h.density(), init);
-        assert!((fit.location() - 120.0).abs() < 3.0, "a = {}", fit.location());
+        assert!(
+            (fit.location() - 120.0).abs() < 3.0,
+            "a = {}",
+            fit.location()
+        );
         assert!((fit.scale() - 36.0).abs() < 3.0, "b = {}", fit.scale());
     }
 

@@ -21,8 +21,14 @@ pub struct Gamma {
 impl Gamma {
     /// Creates a Gamma with the given shape and rate.
     pub fn new(shape: f64, rate: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0, "Gamma: shape must be positive");
-        assert!(rate.is_finite() && rate > 0.0, "Gamma: rate must be positive");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Gamma: shape must be positive"
+        );
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Gamma: rate must be positive"
+        );
         Self { shape, rate }
     }
 
@@ -30,7 +36,10 @@ impl Gamma {
     /// `rate = shape/mean` — the un-rounded version of the paper's
     /// Erlang-order rule.
     pub fn from_mean_cov(mean: f64, cov: f64) -> Self {
-        assert!(mean > 0.0 && cov > 0.0, "Gamma: mean and CoV must be positive");
+        assert!(
+            mean > 0.0 && cov > 0.0,
+            "Gamma: mean and CoV must be positive"
+        );
         let shape = 1.0 / (cov * cov);
         Self::new(shape, shape / mean)
     }
@@ -62,9 +71,7 @@ impl Gamma {
             }
             let v3 = v * v * v;
             let u = uniform01(rng);
-            if u < 1.0 - 0.0331 * z.powi(4)
-                || u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * z.powi(4) || u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
                 return d * v3;
             }
         }
@@ -98,7 +105,7 @@ impl Distribution for Gamma {
         (self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
             - self.rate * x
             - ln_gamma(self.shape))
-            .exp()
+        .exp()
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -126,9 +133,10 @@ impl Distribution for Gamma {
             return None;
         }
         // (λ/(λ-s))^α via the principal branch.
-        Some((Complex64::from_real(self.rate) / (self.rate - s)).powc(
-            Complex64::from_real(self.shape),
-        ))
+        Some(
+            (Complex64::from_real(self.rate) / (self.rate - s))
+                .powc(Complex64::from_real(self.shape)),
+        )
     }
 }
 

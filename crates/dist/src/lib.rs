@@ -197,7 +197,10 @@ pub(crate) mod test_util {
         for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
             let q = d.quantile(p);
             let back = d.cdf(q);
-            assert!((back - p).abs() < 1e-6, "quantile roundtrip p={p}: q={q}, F(q)={back}");
+            assert!(
+                (back - p).abs() < 1e-6,
+                "quantile roundtrip p={p}: q={q}, F(q)={back}"
+            );
         }
     }
 }

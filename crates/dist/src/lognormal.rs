@@ -18,14 +18,20 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates a lognormal whose logarithm is `N(mu, sigma²)`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma > 0.0, "LogNormal: need σ > 0");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "LogNormal: need σ > 0"
+        );
         Self { mu, sigma }
     }
 
     /// Constructs the lognormal with given *linear-scale* mean and CoV
     /// (moment matching): `σ² = ln(1 + CoV²)`, `μ = ln m - σ²/2`.
     pub fn from_mean_cov(mean: f64, cov: f64) -> Self {
-        assert!(mean > 0.0 && cov > 0.0, "LogNormal: mean and CoV must be positive");
+        assert!(
+            mean > 0.0 && cov > 0.0,
+            "LogNormal: mean and CoV must be positive"
+        );
         let sigma2 = (1.0 + cov * cov).ln();
         Self::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
     }

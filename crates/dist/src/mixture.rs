@@ -20,7 +20,10 @@ impl Mixture {
     /// Builds a mixture; weights are normalized to sum to 1 and must be
     /// positive.
     pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Self {
-        assert!(!components.is_empty(), "Mixture: need at least one component");
+        assert!(
+            !components.is_empty(),
+            "Mixture: need at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(total > 0.0, "Mixture: weights must sum to a positive value");
         assert!(
@@ -96,7 +99,10 @@ mod tests {
         // 33% fixed 72-byte packets, 67% size depending on players (we take
         // Det(100) as the second class for the test).
         Mixture::new(vec![
-            (0.33, Box::new(Deterministic::new(72.0)) as Box<dyn Distribution>),
+            (
+                0.33,
+                Box::new(Deterministic::new(72.0)) as Box<dyn Distribution>,
+            ),
             (0.67, Box::new(Deterministic::new(100.0))),
         ])
     }
@@ -104,7 +110,10 @@ mod tests {
     #[test]
     fn weights_are_normalized() {
         let m = Mixture::new(vec![
-            (2.0, Box::new(Exponential::new(1.0)) as Box<dyn Distribution>),
+            (
+                2.0,
+                Box::new(Exponential::new(1.0)) as Box<dyn Distribution>,
+            ),
             (6.0, Box::new(Exponential::new(2.0))),
         ]);
         let ws: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
@@ -121,7 +130,10 @@ mod tests {
     #[test]
     fn variance_law_of_total_variance() {
         let m = Mixture::new(vec![
-            (0.5, Box::new(Exponential::new(1.0)) as Box<dyn Distribution>),
+            (
+                0.5,
+                Box::new(Exponential::new(1.0)) as Box<dyn Distribution>,
+            ),
             (0.5, Box::new(Exponential::new(0.5))),
         ]);
         // E = 0.5·1 + 0.5·2 = 1.5; E[X²] = 0.5·2 + 0.5·8 = 5; Var = 2.75.
@@ -133,7 +145,10 @@ mod tests {
     fn erlang_mix_mgf_is_weighted_sum() {
         // The ΣE_K model of §3.2 for two servers.
         let m = Mixture::new(vec![
-            (0.4, Box::new(Erlang::new(9, 0.011)) as Box<dyn Distribution>),
+            (
+                0.4,
+                Box::new(Erlang::new(9, 0.011)) as Box<dyn Distribution>,
+            ),
             (0.6, Box::new(Erlang::new(20, 0.011))),
         ]);
         let s = Complex64::from_real(0.001);
@@ -150,7 +165,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let s = m.sample_n(&mut rng, 10_000);
         let small = s.iter().filter(|&&x| x == 72.0).count() as f64 / 10_000.0;
-        assert!((small - 0.33).abs() < 0.02, "fraction of 72-byte packets: {small}");
+        assert!(
+            (small - 0.33).abs() < 0.02,
+            "fraction of 72-byte packets: {small}"
+        );
     }
 
     #[test]

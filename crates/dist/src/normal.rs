@@ -18,7 +18,10 @@ pub struct Normal {
 impl Normal {
     /// Creates `N(mu, sigma²)` with `sigma > 0`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma > 0.0, "Normal: need σ > 0");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "Normal: need σ > 0"
+        );
         Self { mu, sigma }
     }
 

@@ -21,8 +21,14 @@ pub struct Pareto {
 impl Pareto {
     /// Creates a Pareto with scale `x_m > 0` and tail index `α > 0`.
     pub fn new(scale: f64, alpha: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "Pareto: scale must be positive");
-        assert!(alpha.is_finite() && alpha > 0.0, "Pareto: alpha must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Pareto: scale must be positive"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Pareto: alpha must be positive"
+        );
         Self { scale, alpha }
     }
 

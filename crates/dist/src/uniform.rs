@@ -19,7 +19,10 @@ pub struct Uniform {
 impl Uniform {
     /// Creates a uniform distribution on `[lo, hi]`, `lo < hi`.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Uniform: need lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Uniform: need lo < hi"
+        );
         Self { lo, hi }
     }
 

@@ -18,8 +18,14 @@ pub struct Weibull {
 impl Weibull {
     /// Creates a Weibull with shape `k` and scale `λ`.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0, "Weibull: shape must be positive");
-        assert!(scale.is_finite() && scale > 0.0, "Weibull: scale must be positive");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Weibull: shape must be positive"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Weibull: scale must be positive"
+        );
         Self { shape, scale }
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests across the distribution families.
 
 use fpsping_dist::{
-    Deterministic, Distribution, Erlang, Exponential, Extreme, Gamma, LogNormal, Mixture,
-    Normal, Pareto, Shifted, Uniform, Weibull,
+    Deterministic, Distribution, Erlang, Exponential, Extreme, Gamma, LogNormal, Mixture, Normal,
+    Pareto, Shifted, Uniform, Weibull,
 };
 use fpsping_num::Complex64;
 use proptest::prelude::*;

@@ -324,7 +324,11 @@ mod tests {
     fn powc_matches_real_pow() {
         let z = Complex64::from_real(2.5);
         let w = Complex64::from_real(1.7);
-        assert!(close(z.powc(w), Complex64::from_real(2.5f64.powf(1.7)), 1e-12));
+        assert!(close(
+            z.powc(w),
+            Complex64::from_real(2.5f64.powf(1.7)),
+            1e-12
+        ));
     }
 
     #[test]

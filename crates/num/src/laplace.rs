@@ -22,11 +22,7 @@ pub const DEFAULT_EULER_M: usize = 18;
 ///
 /// Absolute accuracy in double precision is roughly `1e-10` for smooth
 /// `f`; do not expect relative accuracy on values far below that.
-pub fn euler_inversion(
-    transform: impl Fn(Complex64) -> Complex64,
-    t: f64,
-    m: usize,
-) -> f64 {
+pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: usize) -> f64 {
     assert!(t > 0.0, "euler_inversion: t must be positive, got {t}");
     assert!(m >= 1, "euler_inversion: order must be >= 1");
     let n = 2 * m;
@@ -46,7 +42,11 @@ pub fn euler_inversion(
     for (k, &xik) in xi.iter().enumerate() {
         let beta = Complex64::new(a, std::f64::consts::PI * k as f64);
         let val = transform(beta / t).re;
-        let eta = if k % 2 == 0 { scale * xik } else { -scale * xik };
+        let eta = if k % 2 == 0 {
+            scale * xik
+        } else {
+            -scale * xik
+        };
         sum += eta * val;
     }
     sum / t

@@ -26,7 +26,10 @@ pub struct P2Quantile {
 impl P2Quantile {
     /// A fresh estimator of the `p`-quantile, `p ∈ (0, 1)`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p < 1.0, "P2Quantile: p must lie in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "P2Quantile: p must lie in (0,1), got {p}"
+        );
         Self {
             p,
             q: [0.0; 5],
@@ -54,7 +57,8 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
                 for i in 0..5 {
                     self.q[i] = self.init[i];
                 }
@@ -136,7 +140,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect()
@@ -161,7 +167,10 @@ mod tests {
 
     #[test]
     fn matches_exact_quantile_on_exponential_stream() {
-        let data: Vec<f64> = lcg_stream(300_000, 7).iter().map(|&u| -(1.0 - u).ln()).collect();
+        let data: Vec<f64> = lcg_stream(300_000, 7)
+            .iter()
+            .map(|&u| -(1.0 - u).ln())
+            .collect();
         let mut est = P2Quantile::new(0.99);
         for &x in &data {
             est.record(x);

@@ -16,7 +16,10 @@ pub fn horner(coeffs: &[f64], x: f64) -> f64 {
 
 /// Complex Horner evaluation, ascending-degree coefficients.
 pub fn horner_complex(coeffs: &[Complex64], x: Complex64) -> Complex64 {
-    coeffs.iter().rev().fold(Complex64::ZERO, |acc, &c| acc * x + c)
+    coeffs
+        .iter()
+        .rev()
+        .fold(Complex64::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Rising factorial (Pochhammer symbol) `(m)_l = m·(m+1)···(m+l-1)`,
@@ -54,7 +57,11 @@ pub fn partial_exp(x: f64, n: u32) -> f64 {
 /// complex for non-principal branches.
 pub fn partial_exp_complex(x: Complex64, n: u32) -> Complex64 {
     let mut term = Complex64::ONE;
-    let mut sum = if n > 0 { Complex64::ONE } else { Complex64::ZERO };
+    let mut sum = if n > 0 {
+        Complex64::ONE
+    } else {
+        Complex64::ZERO
+    };
     for i in 1..n {
         term *= x / i as f64;
         sum += term;
@@ -122,8 +129,7 @@ mod tests {
     fn partial_exp_is_erlang_tail() {
         // P(Erlang(3, λ=2) > t) = e^{-2t}(1 + 2t + (2t)²/2).
         let (lambda, t) = (2.0, 1.3);
-        let expect = (-lambda * t as f64).exp()
-            * (1.0 + lambda * t + (lambda * t).powi(2) / 2.0);
+        let expect = (-lambda * t as f64).exp() * (1.0 + lambda * t + (lambda * t).powi(2) / 2.0);
         let got = (-lambda * t as f64).exp() * partial_exp(lambda * t, 3);
         assert!((got - expect).abs() < 1e-14);
     }

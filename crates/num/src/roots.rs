@@ -67,10 +67,18 @@ pub fn bisection(
     let mut fa = f(a);
     let fb = f(b);
     if fa == 0.0 {
-        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa * fb > 0.0 {
         return Err(RootError::NoBracket { fa, fb });
@@ -79,7 +87,11 @@ pub fn bisection(
         let m = 0.5 * (a + b);
         let fm = f(m);
         if fm == 0.0 || (b - a).abs() < tol {
-            return Ok(RootResult { root: m, residual: fm.abs(), iterations: i });
+            return Ok(RootResult {
+                root: m,
+                residual: fm.abs(),
+                iterations: i,
+            });
         }
         if fa * fm < 0.0 {
             b = m;
@@ -89,7 +101,10 @@ pub fn bisection(
         }
     }
     let m = 0.5 * (a + b);
-    Err(RootError::NoConvergence { best: m, residual: f(m).abs() })
+    Err(RootError::NoConvergence {
+        best: m,
+        residual: f(m).abs(),
+    })
 }
 
 /// Brent's method on `[a, b]`; requires `f(a)·f(b) ≤ 0`.
@@ -106,10 +121,18 @@ pub fn brent(
     let (mut a, mut b) = (a0, b0);
     let (mut fa, mut fb) = (f(a), f(b));
     if fa == 0.0 {
-        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa * fb > 0.0 {
         return Err(RootError::NoBracket { fa, fb });
@@ -124,7 +147,11 @@ pub fn brent(
     let mut d = 0.0;
     for i in 0..max_iter {
         if fb == 0.0 || (b - a).abs() < tol {
-            return Ok(RootResult { root: b, residual: fb.abs(), iterations: i });
+            return Ok(RootResult {
+                root: b,
+                residual: fb.abs(),
+                iterations: i,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -166,7 +193,10 @@ pub fn brent(
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(RootError::NoConvergence { best: b, residual: fb.abs() })
+    Err(RootError::NoConvergence {
+        best: b,
+        residual: fb.abs(),
+    })
 }
 
 /// Newton–Raphson with a fallback bracket check.
@@ -184,22 +214,39 @@ pub fn newton(
     for i in 0..max_iter {
         let (v, dv) = f(x);
         if v == 0.0 {
-            return Ok(RootResult { root: x, residual: 0.0, iterations: i });
+            return Ok(RootResult {
+                root: x,
+                residual: 0.0,
+                iterations: i,
+            });
         }
         if dv == 0.0 || !dv.is_finite() {
-            return Err(RootError::NoConvergence { best: x, residual: v.abs() });
+            return Err(RootError::NoConvergence {
+                best: x,
+                residual: v.abs(),
+            });
         }
         let step = v / dv;
         x -= step;
         if !x.is_finite() {
-            return Err(RootError::NoConvergence { best: x0, residual: v.abs() });
+            return Err(RootError::NoConvergence {
+                best: x0,
+                residual: v.abs(),
+            });
         }
         if step.abs() < tol {
-            return Ok(RootResult { root: x, residual: f(x).0.abs(), iterations: i + 1 });
+            return Ok(RootResult {
+                root: x,
+                residual: f(x).0.abs(),
+                iterations: i + 1,
+            });
         }
     }
     let (v, _) = f(x);
-    Err(RootError::NoConvergence { best: x, residual: v.abs() })
+    Err(RootError::NoConvergence {
+        best: x,
+        residual: v.abs(),
+    })
 }
 
 /// Expand a bracket to the right until `f` changes sign, then solve with
@@ -222,7 +269,11 @@ pub fn brent_expand_right(
         let hi = lo + step;
         let fhi = f(hi);
         if flo == 0.0 {
-            return Ok(RootResult { root: lo, residual: 0.0, iterations: 0 });
+            return Ok(RootResult {
+                root: lo,
+                residual: 0.0,
+                iterations: 0,
+            });
         }
         if flo * fhi <= 0.0 {
             return brent(f, lo, hi, tol, max_iter);
@@ -231,7 +282,10 @@ pub fn brent_expand_right(
         flo = fhi;
         step *= 2.0;
     }
-    Err(RootError::NoConvergence { best: lo, residual: flo.abs() })
+    Err(RootError::NoConvergence {
+        best: lo,
+        residual: flo.abs(),
+    })
 }
 
 /// Result of a complex fixed-point iteration.
@@ -266,7 +320,11 @@ pub fn complex_fixed_point(
         let delta = (next - z).abs();
         z = next;
         if delta < tol {
-            return Some(ComplexFixedPoint { point: z, residual: delta, iterations: i + 1 });
+            return Some(ComplexFixedPoint {
+                point: z,
+                residual: delta,
+                iterations: i + 1,
+            });
         }
     }
     None
@@ -296,7 +354,11 @@ mod tests {
         // x = e^{-x} → x ≈ 0.5671432904097838 (omega constant).
         let r = brent(|x| x - (-x as f64).exp(), 0.0, 1.0, 1e-14, 100).unwrap();
         assert!((r.root - 0.567_143_290_409_783_8).abs() < 1e-12);
-        assert!(r.iterations < 20, "Brent should be fast, took {}", r.iterations);
+        assert!(
+            r.iterations < 20,
+            "Brent should be fast, took {}",
+            r.iterations
+        );
     }
 
     #[test]
@@ -317,7 +379,12 @@ mod tests {
         // f(x) = x^(1/3) has Newton diverging from any x≠0 (overshoots, sign flips,
         // magnitude doubles) — must not loop forever.
         let res = newton(
-            |x: f64| (x.signum() * x.abs().powf(1.0 / 3.0), x.abs().powf(-2.0 / 3.0) / 3.0),
+            |x: f64| {
+                (
+                    x.signum() * x.abs().powf(1.0 / 3.0),
+                    x.abs().powf(-2.0 / 3.0) / 3.0,
+                )
+            },
             1.0,
             1e-14,
             60,
@@ -354,7 +421,11 @@ mod tests {
         let phase = Complex64::new(0.0, 2.0 * std::f64::consts::PI * (k - 1) as f64 / kk as f64);
         let f = |z: Complex64| (((z - 1.0) / rho) + phase).exp();
         let r = complex_fixed_point(f, Complex64::ZERO, 1e-14, 100_000).unwrap();
-        assert!(r.point.abs() < 1.0, "|ζ| < 1 per Appendix C, got {}", r.point.abs());
+        assert!(
+            r.point.abs() < 1.0,
+            "|ζ| < 1 per Appendix C, got {}",
+            r.point.abs()
+        );
         assert!((f(r.point) - r.point).abs() < 1e-12);
         assert!(r.point.im.abs() > 1e-6, "non-principal branch is complex");
     }

@@ -138,7 +138,10 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// `P(Bin(n, p) ≥ k) = I_p(k, n-k+1)`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc: a,b must be positive");
-    assert!((0.0..=1.0).contains(&x), "beta_inc: x must be in [0,1], got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "beta_inc: x must be in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -246,7 +249,10 @@ pub fn std_normal_cdf(x: f64) -> f64 {
 /// Inverse of the standard normal CDF (Acklam's algorithm, |ε| < 1.15e-9,
 /// then one Newton refinement step → ~1e-15).
 pub fn std_normal_inv_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "std_normal_inv_cdf: p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "std_normal_inv_cdf: p in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,

@@ -167,7 +167,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "Histogram: hi must exceed lo");
         assert!(bins >= 1, "Histogram: need at least one bin");
-        Self { lo, hi, bins: vec![0; bins], below: 0, above: 0, count: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+            count: 0,
+        }
     }
 
     /// Records one observation.
@@ -230,7 +237,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Fresh accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -394,7 +407,9 @@ mod tests {
 
     #[test]
     fn online_stats_match_batch() {
-        let v: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 31.0).collect();
+        let v: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 31.0)
+            .collect();
         let mut o = OnlineStats::new();
         for &x in &v {
             o.record(x);

@@ -85,7 +85,13 @@ impl PositionFactor {
                 }
                 // ∫₀¹ e^{-βx/τ} dτ.
                 fpsping_num::quad::gauss_legendre_composite(
-                    |tau| if tau <= 0.0 { 0.0 } else { (-beta * x / tau).exp() },
+                    |tau| {
+                        if tau <= 0.0 {
+                            0.0
+                        } else {
+                            (-beta * x / tau).exp()
+                        }
+                    },
                     0.0,
                     1.0,
                     64,
@@ -147,8 +153,8 @@ impl TotalDelay {
     /// Assembles the model from already-built component mixes.
     pub fn from_mixes(upstream: ErlangMix, burst_wait: ErlangMix, position: ErlangMix) -> Self {
         let product = upstream.product(&burst_wait).product(&position);
-        let well_conditioned = product.coeff_l1() < CONDITION_LIMIT
-            && (product.total_mass() - 1.0).abs() < 1e-6;
+        let well_conditioned =
+            product.coeff_l1() < CONDITION_LIMIT && (product.total_mass() - 1.0).abs() < 1e-6;
         Self {
             upstream,
             burst_wait,
@@ -175,7 +181,9 @@ impl TotalDelay {
             None => ErlangMix::unit(),
         };
         if position.order() == 1 && matches!(position.position(), Position::Uniform) {
-            let pos = PositionFactor::LogK1 { beta: position.beta() };
+            let pos = PositionFactor::LogK1 {
+                beta: position.beta(),
+            };
             return Ok(Self {
                 upstream: up,
                 burst_wait: downstream.to_mix(),
@@ -184,7 +192,11 @@ impl TotalDelay {
                 well_conditioned: false,
             });
         }
-        Ok(Self::from_mixes(up, downstream.to_mix(), position.to_mix()?))
+        Ok(Self::from_mixes(
+            up,
+            downstream.to_mix(),
+            position.to_mix()?,
+        ))
     }
 
     /// Whether the eq.-(35) expansion exists and is numerically
@@ -232,7 +244,10 @@ impl TotalDelay {
     /// numerical inversion of the unexpanded product otherwise.
     pub fn tail(&self, x: f64) -> f64 {
         if self.well_conditioned {
-            self.product.as_ref().expect("well-conditioned implies product").tail(x)
+            self.product
+                .as_ref()
+                .expect("well-conditioned implies product")
+                .tail(x)
         } else if x == 0.0 {
             // P(total > 0) ≥ P(position > 0) = 1 (position is a.s.
             // positive for every supported law).
@@ -273,8 +288,17 @@ impl TotalDelay {
     /// the numerical-inversion fallback when the expansion is
     /// ill-conditioned or absent).
     pub fn quantile(&self, p: f64) -> f64 {
+        self.quantile_with_hint(p, None)
+    }
+
+    /// [`TotalDelay::quantile`] warm-started from a nearby known quantile
+    /// (a neighboring sweep cell's value). Like
+    /// [`ErlangMix::quantile_with_hint`], the hint only accelerates the
+    /// bracket search — the bracket itself, and therefore the root, is
+    /// bit-identical to the cold path's.
+    pub fn quantile_with_hint(&self, p: f64, hint: Option<f64>) -> f64 {
         if self.well_conditioned {
-            return self.product.as_ref().unwrap().quantile(p);
+            return self.product.as_ref().unwrap().quantile_with_hint(p, hint);
         }
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
@@ -282,15 +306,16 @@ impl TotalDelay {
             return 0.0;
         }
         let scale = self.mean().abs().max(1e-9);
-        let mut hi = scale;
-        let mut expansions = 0;
-        while self.tail(hi) > target && expansions < 200 {
-            hi *= 2.0;
-            expansions += 1;
-        }
-        fpsping_num::roots::brent(|x| self.tail(x.max(1e-15)) - target, 0.0, hi, 1e-10 * scale, 300)
-            .map(|r| r.root)
-            .unwrap_or(f64::NAN)
+        let hi = crate::erlang_mix::canonical_bracket(|x| self.tail(x) <= target, scale, hint);
+        fpsping_num::roots::brent(
+            |x| self.tail(x.max(1e-15)) - target,
+            0.0,
+            hi,
+            1e-10 * scale,
+            300,
+        )
+        .map(|r| r.root)
+        .unwrap_or(f64::NAN)
     }
 
     /// Method 2: p-quantile keeping only the dominant pole of eq. (35)
@@ -362,16 +387,28 @@ impl TotalDelay {
             hi *= 2.0;
             expansions += 1;
         }
-        fpsping_num::roots::brent(|x| self.tail_chernoff(x) - target, 0.0, hi, 1e-10 * scale, 300)
-            .map(|r| r.root)
-            .unwrap_or(f64::NAN)
+        fpsping_num::roots::brent(
+            |x| self.tail_chernoff(x) - target,
+            0.0,
+            hi,
+            1e-10 * scale,
+            300,
+        )
+        .map(|r| r.root)
+        .unwrap_or(f64::NAN)
     }
 
     /// Method 4: sum of the component quantiles ("the quantile of a sum of
     /// delay contributions can be approximated by the sum of the quantiles
     /// of the individual delay terms").
     pub fn quantile_sum_of_quantiles(&self, p: f64) -> f64 {
-        let q_mix = |m: &ErlangMix| if m.blocks.is_empty() { 0.0 } else { m.quantile(p) };
+        let q_mix = |m: &ErlangMix| {
+            if m.blocks.is_empty() {
+                0.0
+            } else {
+                m.quantile(p)
+            }
+        };
         q_mix(&self.upstream) + q_mix(&self.burst_wait) + self.position.quantile(p)
     }
 }

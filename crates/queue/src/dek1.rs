@@ -58,6 +58,54 @@ pub struct DEk1 {
     weights: Vec<Complex64>,
 }
 
+/// The *dimensionless* part of a D/E_K/1 solve: the branch roots ζⱼ and
+/// weights aⱼ of eqs. (26)–(27) depend only on `(K, ρ_d)`, not on the
+/// time scale `T`. Solving once per `(K, ρ_d)` and rescaling through
+/// [`DEk1::from_solution`] lets sweep engines share the expensive
+/// fixed-point/Newton work across cells — the reconstruction uses the
+/// exact same floating-point operations as [`DEk1::new`], so a cached
+/// rebuild is bit-identical to a fresh solve.
+#[derive(Debug, Clone)]
+pub struct DekSolution {
+    k: u32,
+    rho: f64,
+    zetas: Vec<Complex64>,
+    weights: Vec<Complex64>,
+}
+
+impl DekSolution {
+    /// Solves the branch equations for Erlang order `k` at load `rho`.
+    pub fn solve(k: u32, rho: f64) -> Result<Self, QueueError> {
+        if k < 1 {
+            return Err(QueueError::InvalidParameter {
+                name: "k",
+                value: k as f64,
+            });
+        }
+        if !(0.0..1.0).contains(&rho) || rho == 0.0 {
+            return Err(QueueError::UnstableLoad { rho });
+        }
+        let zetas = solve_zetas(k, rho)?;
+        let weights = solve_weights(&zetas);
+        Ok(Self {
+            k,
+            rho,
+            zetas,
+            weights,
+        })
+    }
+
+    /// Erlang order K.
+    pub fn order(&self) -> u32 {
+        self.k
+    }
+
+    /// Load ρ_d the roots were solved at.
+    pub fn load(&self) -> f64 {
+        self.rho
+    }
+}
+
 impl DEk1 {
     /// Builds and solves the queue from the Erlang order `k`, the mean
     /// burst *service time* `mean_service` (seconds of work per burst) and
@@ -66,7 +114,10 @@ impl DEk1 {
     /// The load `ρ_d = mean_service / t` must lie strictly in (0, 1).
     pub fn new(k: u32, mean_service: f64, t: f64) -> Result<Self, QueueError> {
         if k < 1 {
-            return Err(QueueError::InvalidParameter { name: "k", value: k as f64 });
+            return Err(QueueError::InvalidParameter {
+                name: "k",
+                value: k as f64,
+            });
         }
         if !(mean_service.is_finite() && mean_service > 0.0) {
             return Err(QueueError::InvalidParameter {
@@ -75,17 +126,63 @@ impl DEk1 {
             });
         }
         if !(t.is_finite() && t > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "t", value: t });
+            return Err(QueueError::InvalidParameter {
+                name: "t",
+                value: t,
+            });
         }
         let rho = mean_service / t;
-        if !(0.0..1.0).contains(&rho) || rho == 0.0 {
-            return Err(QueueError::UnstableLoad { rho });
+        let solution = DekSolution::solve(k, rho)?;
+        Ok(Self::rescale(&solution, mean_service, t))
+    }
+
+    /// Rebuilds the queue from a cached dimensionless [`DekSolution`] and
+    /// the time scale `(mean_service, t)`. The solution must have been
+    /// solved at exactly `mean_service / t` (bit-for-bit, so cached and
+    /// fresh results agree to the last ulp); the Erlang order is taken
+    /// from the solution.
+    pub fn from_solution(
+        solution: &DekSolution,
+        mean_service: f64,
+        t: f64,
+    ) -> Result<Self, QueueError> {
+        if !(mean_service.is_finite() && mean_service > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "mean_service",
+                value: mean_service,
+            });
         }
-        let beta = k as f64 / mean_service;
-        let zetas = solve_zetas(k, rho)?;
-        let alphas: Vec<Complex64> = zetas.iter().map(|&z| (1.0 - z) * beta).collect();
-        let weights = solve_weights(&zetas);
-        Ok(Self { k, beta, t, rho, zetas, alphas, weights })
+        if !(t.is_finite() && t > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "t",
+                value: t,
+            });
+        }
+        let rho = mean_service / t;
+        if rho.to_bits() != solution.rho.to_bits() {
+            return Err(QueueError::InvalidParameter {
+                name: "solution_rho",
+                value: rho,
+            });
+        }
+        Ok(Self::rescale(solution, mean_service, t))
+    }
+
+    /// Shared reconstruction path: attaches the time scale to the
+    /// dimensionless roots. Both `new` and `from_solution` funnel through
+    /// here, which is what makes cached rebuilds bit-identical.
+    fn rescale(solution: &DekSolution, mean_service: f64, t: f64) -> Self {
+        let beta = solution.k as f64 / mean_service;
+        let alphas: Vec<Complex64> = solution.zetas.iter().map(|&z| (1.0 - z) * beta).collect();
+        Self {
+            k: solution.k,
+            beta,
+            t,
+            rho: solution.rho,
+            zetas: solution.zetas.clone(),
+            alphas,
+            weights: solution.weights.clone(),
+        }
     }
 
     /// Erlang order K.
@@ -166,9 +263,15 @@ impl DEk1 {
             .weights
             .iter()
             .zip(&self.alphas)
-            .map(|(&a, &alpha)| PoleBlock { pole: alpha, coeffs: vec![a] })
+            .map(|(&a, &alpha)| PoleBlock {
+                pole: alpha,
+                coeffs: vec![a],
+            })
             .collect();
-        ErlangMix { constant: 1.0 - self.prob_wait(), blocks }
+        ErlangMix {
+            constant: 1.0 - self.prob_wait(),
+            blocks,
+        }
     }
 
     /// Residual of the pole-defining equation (54),
@@ -193,7 +296,9 @@ fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
         // Fixed point to modest precision (contraction factor |ζ|/ρ can
         // approach 1 near saturation)...
         let fp = complex_fixed_point(map, Complex64::ZERO, 1e-8, 2_000_000).ok_or(
-            QueueError::SolveFailure { what: "fixed-point iteration for ζ did not converge" },
+            QueueError::SolveFailure {
+                what: "fixed-point iteration for ζ did not converge",
+            },
         )?;
         // ...then Newton to machine precision: g(z) = z - map(z),
         // g'(z) = 1 - map(z)/ρ.
@@ -212,7 +317,9 @@ fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
             }
         }
         if !z.is_finite() || z.re >= 1.0 {
-            return Err(QueueError::SolveFailure { what: "ζ root left the Re z < 1 half-plane" });
+            return Err(QueueError::SolveFailure {
+                what: "ζ root left the Re z < 1 half-plane",
+            });
         }
         zetas.push(z);
     }
@@ -339,10 +446,7 @@ mod tests {
                 .zip(q.zetas())
                 .map(|(&a, &z)| a * z.powi(-m))
                 .sum();
-            assert!(
-                (s - Complex64::ONE).abs() < 1e-8,
-                "identity m={m}: {s}"
-            );
+            assert!((s - Complex64::ONE).abs() < 1e-8, "identity m={m}: {s}");
         }
     }
 
@@ -351,7 +455,10 @@ mod tests {
         for &(k, rho) in &[(2u32, 0.2), (9, 0.6), (20, 0.9)] {
             let q = DEk1::new(k, rho * 0.06, 0.06).unwrap();
             let w0 = q.wait_mgf(Complex64::ZERO);
-            assert!((w0 - Complex64::ONE).abs() < 1e-9, "K={k} ρ={rho}: W(0)={w0}");
+            assert!(
+                (w0 - Complex64::ONE).abs() < 1e-9,
+                "K={k} ρ={rho}: W(0)={w0}"
+            );
             let pw = q.prob_wait();
             assert!((0.0..1.0).contains(&pw), "P(wait) = {pw}");
             // Tail is 1-monotone-ish and within [0, 1] on a grid.
@@ -369,7 +476,11 @@ mod tests {
     #[test]
     fn low_load_bursts_rarely_wait() {
         let q = DEk1::new(20, 0.05 * 0.04, 0.04).unwrap();
-        assert!(q.prob_wait() < 1e-6, "P(wait) = {} at 5% load", q.prob_wait());
+        assert!(
+            q.prob_wait() < 1e-6,
+            "P(wait) = {} at 5% load",
+            q.prob_wait()
+        );
     }
 
     #[test]
@@ -380,7 +491,11 @@ mod tests {
         // must wait more than K = 20 at the same load.
         let q90 = DEk1::new(20, 0.9 * 0.04, 0.04).unwrap();
         let q50 = DEk1::new(20, 0.5 * 0.04, 0.04).unwrap();
-        assert!(q90.prob_wait() > 0.2, "P(wait) = {} at 90% load", q90.prob_wait());
+        assert!(
+            q90.prob_wait() > 0.2,
+            "P(wait) = {} at 90% load",
+            q90.prob_wait()
+        );
         assert!(q90.prob_wait() > 10.0 * q50.prob_wait());
         let bursty = DEk1::new(2, 0.9 * 0.04, 0.04).unwrap();
         assert!(bursty.prob_wait() > q90.prob_wait());
@@ -454,13 +569,22 @@ mod tests {
 
     #[test]
     fn rejects_unstable_and_invalid() {
-        assert!(matches!(DEk1::new(9, 0.06, 0.06), Err(QueueError::UnstableLoad { .. })));
-        assert!(matches!(DEk1::new(9, 0.07, 0.06), Err(QueueError::UnstableLoad { .. })));
+        assert!(matches!(
+            DEk1::new(9, 0.06, 0.06),
+            Err(QueueError::UnstableLoad { .. })
+        ));
+        assert!(matches!(
+            DEk1::new(9, 0.07, 0.06),
+            Err(QueueError::UnstableLoad { .. })
+        ));
         assert!(matches!(
             DEk1::new(9, -1.0, 0.06),
             Err(QueueError::InvalidParameter { .. })
         ));
-        assert!(matches!(DEk1::new(0, 0.01, 0.06), Err(QueueError::InvalidParameter { .. })));
+        assert!(matches!(
+            DEk1::new(0, 0.01, 0.06),
+            Err(QueueError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

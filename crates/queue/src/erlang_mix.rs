@@ -119,10 +119,44 @@ pub struct ErlangMix {
 /// [`ErlangMix::product`]; the second pole is nudged by this amount.
 const POLE_COLLISION_RTOL: f64 = 1e-7;
 
+/// Finds the canonical quantile bracket `scale·2ⁿ` with `n ∈ [0, 200]`
+/// minimal such that `done(scale·2ⁿ)` holds (or `n = 200` if none does —
+/// the same give-up point as a cold doubling search).
+///
+/// A valid `hint` (a nearby quantile) only changes *where the search
+/// starts*: the walk down/up still lands on the minimal satisfying `n`,
+/// so hinted and cold callers obtain the exact same bracket — and
+/// therefore bit-identical roots from any deterministic solve run on it.
+/// Doubling a finite positive float is exact, so `scale·2ⁿ` is the same
+/// value however it is reached.
+pub(crate) fn canonical_bracket(done: impl Fn(f64) -> bool, scale: f64, hint: Option<f64>) -> f64 {
+    const MAX_DOUBLINGS: i32 = 200;
+    let at = |n: i32| scale * 2f64.powi(n);
+    let mut n = match hint {
+        Some(h) if h.is_finite() && h > 0.0 => {
+            ((h / scale).log2().ceil()).clamp(0.0, MAX_DOUBLINGS as f64) as i32
+        }
+        _ => 0,
+    };
+    if done(at(n)) {
+        while n > 0 && done(at(n - 1)) {
+            n -= 1;
+        }
+    } else {
+        while n < MAX_DOUBLINGS && !done(at(n)) {
+            n += 1;
+        }
+    }
+    at(n)
+}
+
 impl ErlangMix {
     /// The MGF of the constant 0 (unit mass at the origin).
     pub fn unit() -> Self {
-        Self { constant: 1.0, blocks: Vec::new() }
+        Self {
+            constant: 1.0,
+            blocks: Vec::new(),
+        }
     }
 
     /// A single real-pole mix `c + Σ_m A_m (λ/(λ-s))^m`.
@@ -243,25 +277,30 @@ impl ErlangMix {
     /// For the paper's headline number use `p = 0.99999` (the 99.999 %
     /// quantile of §4).
     pub fn quantile(&self, p: f64) -> f64 {
+        self.quantile_with_hint(p, None)
+    }
+
+    /// [`ErlangMix::quantile`] warm-started from a nearby known quantile
+    /// (e.g. the same mix's quantile at a neighboring grid cell).
+    ///
+    /// The hint only short-circuits the bracket *search*: both paths end
+    /// on the identical canonical bracket `[0, scale·2ⁿ]` (`n` minimal
+    /// with the tail below target), so the hinted result is bit-identical
+    /// to the cold one — a cell evaluated through a sweep engine's warm
+    /// start can be diffed exactly against a fresh evaluation.
+    pub fn quantile_with_hint(&self, p: f64, hint: Option<f64>) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
         if self.tail(0.0) <= target {
             return 0.0;
         }
-        // Bracket: expand x until the tail falls below target.
         let scale = self
             .dominant_decay()
             .map(|d| 1.0 / d)
             .unwrap_or(1.0)
             .max(self.mean().abs())
             .max(1e-12);
-        let mut hi = scale;
-        for _ in 0..200 {
-            if self.tail(hi) <= target {
-                break;
-            }
-            hi *= 2.0;
-        }
+        let hi = canonical_bracket(|x| self.tail(x) <= target, scale, hint);
         let f = |x: f64| self.tail(x) - target;
         fpsping_num::roots::brent(f, 0.0, hi, 1e-12 * scale.max(1.0), 300)
             .map(|r| r.root)
@@ -355,7 +394,10 @@ impl ErlangMix {
         for b in &other.blocks {
             blocks.push(convolve_block(b, self));
         }
-        ErlangMix { constant: self.constant * other.constant, blocks }
+        ErlangMix {
+            constant: self.constant * other.constant,
+            blocks,
+        }
     }
 
     /// Returns a copy of `self` whose poles have been nudged away from any
@@ -498,7 +540,11 @@ mod tests {
         assert!((p.total_mass() - 1.0).abs() < 1e-12);
         for &t in &[0.2, 1.0, 3.0, 8.0] {
             let expect = 2.0 * (-t as f64).exp() - (-2.0 * t as f64).exp();
-            assert!((p.tail(t) - expect).abs() < 1e-11, "t={t}: {} vs {expect}", p.tail(t));
+            assert!(
+                (p.tail(t) - expect).abs() < 1e-11,
+                "t={t}: {} vs {expect}",
+                p.tail(t)
+            );
         }
         assert!((p.mean() - 1.5).abs() < 1e-12);
     }
@@ -531,8 +577,14 @@ mod tests {
         let wait = ErlangMix {
             constant: 0.5,
             blocks: vec![
-                PoleBlock { pole: Complex64::from_real(1.0), coeffs: vec![Complex64::from_real(0.3)] },
-                PoleBlock { pole: Complex64::from_real(2.5), coeffs: vec![Complex64::from_real(0.2)] },
+                PoleBlock {
+                    pole: Complex64::from_real(1.0),
+                    coeffs: vec![Complex64::from_real(0.3)],
+                },
+                PoleBlock {
+                    pole: Complex64::from_real(2.5),
+                    coeffs: vec![Complex64::from_real(0.2)],
+                },
             ],
         };
         let pos = ErlangMix::single_real_pole(0.0, 3.0, vec![0.5, 0.5]);
@@ -590,8 +642,14 @@ mod tests {
         let m = ErlangMix {
             constant: 0.6,
             blocks: vec![
-                PoleBlock { pole, coeffs: vec![coef] },
-                PoleBlock { pole: pole.conj(), coeffs: vec![coef.conj()] },
+                PoleBlock {
+                    pole,
+                    coeffs: vec![coef],
+                },
+                PoleBlock {
+                    pole: pole.conj(),
+                    coeffs: vec![coef.conj()],
+                },
             ],
         };
         assert!((m.total_mass() - 1.0).abs() < 0.2); // mass ≈ 1 by design
@@ -626,8 +684,14 @@ mod tests {
         let m = ErlangMix {
             constant: 0.4,
             blocks: vec![
-                PoleBlock { pole: Complex64::from_real(0.5), coeffs: vec![Complex64::from_real(0.35)] },
-                PoleBlock { pole: Complex64::from_real(5.0), coeffs: vec![Complex64::from_real(0.25)] },
+                PoleBlock {
+                    pole: Complex64::from_real(0.5),
+                    coeffs: vec![Complex64::from_real(0.35)],
+                },
+                PoleBlock {
+                    pole: Complex64::from_real(5.0),
+                    coeffs: vec![Complex64::from_real(0.25)],
+                },
             ],
         };
         let x = 20.0;

@@ -49,7 +49,7 @@ pub mod nddd1;
 pub mod position;
 
 pub use combine::{PositionFactor, TotalDelay};
-pub use dek1::DEk1;
+pub use dek1::{DEk1, DekSolution};
 pub use erlang_mix::ErlangMix;
 pub use mg1::Mg1;
 pub use multi_server::{MultiServerDownstream, ServerClass};

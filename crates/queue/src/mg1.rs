@@ -21,6 +21,7 @@ use crate::erlang_mix::ErlangMix;
 use crate::QueueError;
 use fpsping_dist::{Distribution, Mixture};
 use fpsping_num::Complex64;
+use std::sync::OnceLock;
 
 /// An M/G/1 queue: Poisson(λ) arrivals, i.i.d. service from a
 /// [`Distribution`].
@@ -43,6 +44,11 @@ pub struct Mg1 {
     lambda: f64,
     service: Box<dyn Distribution>,
     rho: f64,
+    // The dominant pole γ depends only on (λ, service law); it is solved
+    // lazily once and shared by every paper_mix()/wait_tail_approx() call
+    // on this queue. `with_dominant_pole` pre-seeds it from an external
+    // cache.
+    pole: OnceLock<f64>,
 }
 
 impl Mg1 {
@@ -50,31 +56,67 @@ impl Mg1 {
     /// given service-time law (seconds). Requires `ρ = λ·E[S] ∈ (0, 1)`.
     pub fn new(lambda: f64, service: Box<dyn Distribution>) -> Result<Self, QueueError> {
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "lambda", value: lambda });
+            return Err(QueueError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
         }
         let mean = service.mean();
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "service mean", value: mean });
+            return Err(QueueError::InvalidParameter {
+                name: "service mean",
+                value: mean,
+            });
         }
         let rho = lambda * mean;
         if !(0.0 < rho && rho < 1.0) {
             return Err(QueueError::UnstableLoad { rho });
         }
-        Ok(Self { lambda, service, rho })
+        Ok(Self {
+            lambda,
+            service,
+            rho,
+            pole: OnceLock::new(),
+        })
+    }
+
+    /// Builds an M/G/1 whose dominant pole γ is already known (e.g. from
+    /// a solver cache keyed on `(λ, packet mix)`), skipping the Brent
+    /// solve entirely. The caller is responsible for `gamma` being the
+    /// pole of exactly this `(lambda, service)` pair — it must have come
+    /// from [`Mg1::dominant_pole`] on an identically-parameterised queue.
+    pub fn with_dominant_pole(
+        lambda: f64,
+        service: Box<dyn Distribution>,
+        gamma: f64,
+    ) -> Result<Self, QueueError> {
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "gamma",
+                value: gamma,
+            });
+        }
+        let q = Self::new(lambda, service)?;
+        let _ = q.pole.set(gamma);
+        Ok(q)
     }
 
     /// Multi-class construction (eq. 13): class `i` contributes Poisson
     /// arrivals of rate `λᵢ` with its own service law; the aggregate is
     /// M/G/1 with `λ = Σλᵢ` and the λ-weighted service mixture.
-    pub fn multi_class(
-        classes: Vec<(f64, Box<dyn Distribution>)>,
-    ) -> Result<Self, QueueError> {
+    pub fn multi_class(classes: Vec<(f64, Box<dyn Distribution>)>) -> Result<Self, QueueError> {
         if classes.is_empty() {
-            return Err(QueueError::InvalidParameter { name: "classes", value: 0.0 });
+            return Err(QueueError::InvalidParameter {
+                name: "classes",
+                value: 0.0,
+            });
         }
         let lambda: f64 = classes.iter().map(|(l, _)| *l).sum();
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "lambda", value: lambda });
+            return Err(QueueError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
         }
         let service = Mixture::new(classes);
         Self::new(lambda, Box::new(service))
@@ -122,8 +164,19 @@ impl Mg1 {
     /// positive root of `λ(B(γ) - 1) = γ`.
     ///
     /// This is the decay rate in eq. (14). Fails only for pathological
-    /// service laws (e.g. heavy tails with no MGF on `s > 0`).
+    /// service laws (e.g. heavy tails with no MGF on `s > 0`). The root
+    /// solve runs at most once per queue; repeated calls return the
+    /// memoized value.
     pub fn dominant_pole(&self) -> Result<f64, QueueError> {
+        if let Some(&g) = self.pole.get() {
+            return Ok(g);
+        }
+        let g = self.solve_dominant_pole()?;
+        let _ = self.pole.set(g);
+        Ok(g)
+    }
+
+    fn solve_dominant_pole(&self) -> Result<f64, QueueError> {
         let f = |s: f64| -> Option<f64> {
             let b = self.service.mgf(Complex64::from_real(s))?;
             let v = self.lambda * (b.re - 1.0) - s;
@@ -182,7 +235,9 @@ impl Mg1 {
             }
             expansions += 1;
             if expansions > 400 {
-                return Err(QueueError::SolveFailure { what: "dominant pole bracket expansion" });
+                return Err(QueueError::SolveFailure {
+                    what: "dominant pole bracket expansion",
+                });
             }
         }
         let _ = f_hi;
@@ -198,14 +253,20 @@ impl Mg1 {
         }
         fpsping_num::roots::brent(g, a, hi, 1e-14 * scale.max(1.0), 300)
             .map(|r| r.root)
-            .map_err(|_| QueueError::SolveFailure { what: "dominant pole Brent solve" })
+            .map_err(|_| QueueError::SolveFailure {
+                what: "dominant pole Brent solve",
+            })
     }
 
     /// The paper's approximation (eq. 14):
     /// `D_u(s) ≈ (1-ρ) + ρ·γ/(γ-s)` as an [`ErlangMix`].
     pub fn paper_mix(&self) -> Result<ErlangMix, QueueError> {
         let gamma = self.dominant_pole()?;
-        Ok(ErlangMix::exponential_with_atom(1.0 - self.rho, self.rho, gamma))
+        Ok(ErlangMix::exponential_with_atom(
+            1.0 - self.rho,
+            self.rho,
+            gamma,
+        ))
     }
 
     /// Tail of the paper's approximation: `P(W > x) ≈ ρ·e^{-γx}`.
@@ -243,7 +304,10 @@ pub fn mdd1(lambda: f64, tau: f64) -> Result<Mg1, QueueError> {
 /// inversion is weakest near the kinks of this CDF at `t = kτ`, where
 /// this formula is the better reference — the tests demonstrate both.)
 pub fn mdd1_wait_cdf_exact(lambda: f64, tau: f64, t: f64) -> f64 {
-    assert!(lambda > 0.0 && tau > 0.0, "mdd1_wait_cdf_exact: positive parameters");
+    assert!(
+        lambda > 0.0 && tau > 0.0,
+        "mdd1_wait_cdf_exact: positive parameters"
+    );
     let rho = lambda * tau;
     assert!(rho < 1.0, "mdd1_wait_cdf_exact: unstable load {rho}");
     if t < 0.0 {
@@ -253,8 +317,8 @@ pub fn mdd1_wait_cdf_exact(lambda: f64, tau: f64, t: f64) -> f64 {
     let mut sum = 0.0f64;
     for k in 0..=kmax {
         let a = lambda * (k as f64 * tau - t); // ≤ 0
-        // [a]^k/k! e^{-a} computed in log space for the magnitude, sign
-        // tracked separately: sign = (-1)^k for a < 0.
+                                               // [a]^k/k! e^{-a} computed in log space for the magnitude, sign
+                                               // tracked separately: sign = (-1)^k for a < 0.
         let term = if k == 0 {
             (-a).exp()
         } else {
@@ -380,7 +444,10 @@ mod tests {
     fn multi_class_reduces_to_weighted_mixture() {
         // Two gamer classes (eq. 13): λ₁ with Det(τ₁), λ₂ with Det(τ₂).
         let q = Mg1::multi_class(vec![
-            (30.0, Box::new(Deterministic::new(0.01)) as Box<dyn Distribution>),
+            (
+                30.0,
+                Box::new(Deterministic::new(0.01)) as Box<dyn Distribution>,
+            ),
             (10.0, Box::new(Deterministic::new(0.02))),
         ])
         .unwrap();
@@ -454,14 +521,17 @@ mod tests {
         for (i, &t) in ts.iter().enumerate() {
             let mc = cnt[i] as f64 / n as f64;
             let fx = mdd1_wait_cdf_exact(lambda, tau, t);
-            assert!((fx - mc).abs() < 1.5e-3, "t={t}: Franx {fx:.6} vs MC {mc:.6}");
+            assert!(
+                (fx - mc).abs() < 1.5e-3,
+                "t={t}: Franx {fx:.6} vs MC {mc:.6}"
+            );
         }
     }
 
     #[test]
     fn franx_formula_boundary_values() {
         let (lambda, tau) = (40.0, 0.01); // ρ = 0.4
-        // P(W = 0) = 1-ρ.
+                                          // P(W = 0) = 1-ρ.
         assert!((mdd1_wait_cdf_exact(lambda, tau, 0.0) - 0.6).abs() < 1e-12);
         assert_eq!(mdd1_wait_cdf_exact(lambda, tau, -1.0), 0.0);
         // Monotone in t.
@@ -483,9 +553,8 @@ mod tests {
         let q = mdd1(lambda, tau).unwrap();
         let gamma = q.dominant_pole().unwrap();
         let (t1, t2) = (0.1, 0.14);
-        let r = (mdd1_wait_tail_exact(lambda, tau, t1)
-            / mdd1_wait_tail_exact(lambda, tau, t2))
-        .ln()
+        let r = (mdd1_wait_tail_exact(lambda, tau, t1) / mdd1_wait_tail_exact(lambda, tau, t2))
+            .ln()
             / (t2 - t1);
         assert!((r - gamma).abs() < 0.02 * gamma, "decay {r} vs γ {gamma}");
     }

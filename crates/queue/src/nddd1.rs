@@ -50,13 +50,22 @@ impl NDdd1 {
     /// Builds the queue; requires `ρ = n·τ/d ∈ (0, 1)`.
     pub fn new(n: u64, d: f64, tau: f64) -> Result<Self, QueueError> {
         if n == 0 {
-            return Err(QueueError::InvalidParameter { name: "n", value: 0.0 });
+            return Err(QueueError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+            });
         }
         if !(d.is_finite() && d > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "d", value: d });
+            return Err(QueueError::InvalidParameter {
+                name: "d",
+                value: d,
+            });
         }
         if !(tau.is_finite() && tau > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "tau", value: tau });
+            return Err(QueueError::InvalidParameter {
+                name: "tau",
+                value: tau,
+            });
         }
         let rho = n as f64 * tau / d;
         if rho >= 1.0 {
@@ -328,7 +337,10 @@ mod tests {
             );
             prev_gap = gap;
         }
-        assert!(prev_gap < 0.2, "limit log-gap should shrink, got {prev_gap}");
+        assert!(
+            prev_gap < 0.2,
+            "limit log-gap should shrink, got {prev_gap}"
+        );
     }
 
     #[test]

@@ -59,14 +59,23 @@ impl PositionDelay {
     /// `beta = K/b̄` (per second) and the given position law.
     pub fn new(k: u32, beta: f64, position: Position) -> Result<Self, QueueError> {
         if k < 1 {
-            return Err(QueueError::InvalidParameter { name: "k", value: k as f64 });
+            return Err(QueueError::InvalidParameter {
+                name: "k",
+                value: k as f64,
+            });
         }
         if !(beta.is_finite() && beta > 0.0) {
-            return Err(QueueError::InvalidParameter { name: "beta", value: beta });
+            return Err(QueueError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
         }
         if let Position::Spot(theta) = position {
             if !(theta > 0.0 && theta <= 1.0) {
-                return Err(QueueError::InvalidParameter { name: "theta", value: theta });
+                return Err(QueueError::InvalidParameter {
+                    name: "theta",
+                    value: theta,
+                });
             }
         }
         Ok(Self { k, beta, position })
@@ -117,7 +126,10 @@ impl PositionDelay {
             }
             Position::Uniform => {
                 if self.k == 1 {
-                    return Err(QueueError::InvalidParameter { name: "k (uniform needs K > 1)", value: 1.0 });
+                    return Err(QueueError::InvalidParameter {
+                        name: "k (uniform needs K > 1)",
+                        value: 1.0,
+                    });
                 }
                 // Uniform mixture over Erlang(m, β), m = 1..K-1 (eq. 34).
                 let w = 1.0 / (self.k - 1) as f64;
@@ -264,7 +276,11 @@ mod tests {
         /// Test-only constructor for the K = 1 uniform case (the public
         /// `to_mix` refuses it; `tail` still works by quadrature).
         fn uniform_k1_for_tests(beta: f64) -> Self {
-            Self { k: 1, beta, position: Position::Uniform }
+            Self {
+                k: 1,
+                beta,
+                position: Position::Uniform,
+            }
         }
     }
 

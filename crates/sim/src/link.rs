@@ -33,7 +33,10 @@ impl Link {
     /// Builds a link with the given line rate, propagation delay and
     /// discipline.
     pub fn new(rate_bps: f64, propagation: SimTime, discipline: Discipline) -> Self {
-        assert!(rate_bps > 0.0 && rate_bps.is_finite(), "Link: rate must be positive");
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "Link: rate must be positive"
+        );
         Self {
             rate_bps,
             propagation,
@@ -94,7 +97,10 @@ impl Link {
     /// delivered packet (after propagation, i.e. the caller should treat
     /// `now + propagation` as the arrival instant) and the next action.
     pub fn complete(&mut self, now: SimTime) -> (Packet, LinkAction) {
-        let done = self.in_service.take().expect("complete called on idle link");
+        let done = self
+            .in_service
+            .take()
+            .expect("complete called on idle link");
         self.packets_sent += 1;
         self.bytes_sent += done.size_bytes;
         let action = match self.queue.dequeue() {

@@ -271,8 +271,15 @@ impl Network {
         assert!(cfg.n_clients >= 1, "need at least one client");
         assert!(cfg.tick_ms > 0.0, "tick must be positive");
         if let Some(ov) = &cfg.client_overrides {
-            assert_eq!(ov.len(), cfg.n_clients, "client_overrides length must equal n_clients");
-            assert!(ov.iter().all(|&(t, s)| t > 0.0 && s >= 1.0), "override values must be positive");
+            assert_eq!(
+                ov.len(),
+                cfg.n_clients,
+                "client_overrides length must equal n_clients"
+            );
+            assert!(
+                ov.iter().all(|&(t, s)| t > 0.0 && s >= 1.0),
+                "override values must be positive"
+            );
         }
         let mut links = Vec::with_capacity(2 * cfg.n_clients + 2);
         for _ in 0..cfg.n_clients {
@@ -324,7 +331,11 @@ impl Network {
 
     fn schedule(&mut self, time: SimTime, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { time, seq: self.seq, ev }));
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     fn offer(&mut self, link: usize, p: Packet) {
@@ -526,7 +537,8 @@ impl Network {
             self.packets_down += 1;
             self.capture(fpsping_traffic::Direction::ServerToClient, &p);
             if self.warm() {
-                self.downstream_delay.record((self.now - p.created).as_secs());
+                self.downstream_delay
+                    .record((self.now - p.created).as_secs());
                 if let Some(sent) = p.ack_of {
                     self.ping_rtt.record((self.now - sent).as_secs());
                 }
@@ -548,12 +560,8 @@ mod tests {
     use fpsping_dist::Deterministic;
 
     fn small_cfg(n: usize, ps: f64, t_ms: f64, seed: u64) -> NetworkConfig {
-        let mut cfg = NetworkConfig::paper_scenario(
-            n,
-            Box::new(Deterministic::new(ps)),
-            t_ms,
-            seed,
-        );
+        let mut cfg =
+            NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(ps)), t_ms, seed);
         cfg.duration = SimTime::from_secs(30.0);
         cfg.warmup = SimTime::from_secs(1.0);
         cfg
@@ -647,7 +655,10 @@ mod tests {
     #[test]
     fn background_elastic_raises_game_delay_under_fifo() {
         let mut with_bg = small_cfg(20, 125.0, 40.0, 7);
-        with_bg.background = Some(BackgroundConfig { load: 0.45, packet_bytes: 1500.0 });
+        with_bg.background = Some(BackgroundConfig {
+            load: 0.45,
+            packet_bytes: 1500.0,
+        });
         let with_bg = with_bg.run();
         let without = small_cfg(20, 125.0, 40.0, 7).run();
         assert!(
@@ -695,10 +706,18 @@ mod tests {
         let trace = rep.trace.expect("capture requested");
         let stats = fpsping_traffic::TraceStats::compute(&trace, 5.0);
         // ~ (40-2)s / 40ms bursts of 12 × 150 B.
-        assert!((900..=980).contains(&stats.n_bursts), "bursts {}", stats.n_bursts);
+        assert!(
+            (900..=980).contains(&stats.n_bursts),
+            "bursts {}",
+            stats.n_bursts
+        );
         assert!((stats.server_packet.0 - 150.0).abs() < 1e-6);
         assert!((stats.burst_iat.0 - 40.0).abs() < 0.2);
-        assert!(stats.burst_iat.1 < 0.02, "burst IAT CoV {}", stats.burst_iat.1);
+        assert!(
+            stats.burst_iat.1 < 0.02,
+            "burst IAT CoV {}",
+            stats.burst_iat.1
+        );
         assert!((stats.burst_size.0 - 1800.0).abs() < 10.0);
         assert!((stats.client_packet.0 - 80.0).abs() < 1e-6);
     }
@@ -774,7 +793,10 @@ mod tests {
         // with C' = w·C, and beat FIFO at the same total load by a wide
         // margin.
         let game_weight = 0.4;
-        let bg = Some(BackgroundConfig { load: 0.7, packet_bytes: 1500.0 });
+        let bg = Some(BackgroundConfig {
+            load: 0.7,
+            packet_bytes: 1500.0,
+        });
         let mk = |disc, bg: Option<BackgroundConfig>, c_bps: f64, seed| {
             let mut cfg = small_cfg(50, 125.0, 40.0, seed);
             cfg.c_bps = c_bps;
@@ -809,7 +831,10 @@ mod tests {
         let mk = |disc, seed| {
             let mut cfg = small_cfg(20, 125.0, 40.0, seed);
             cfg.discipline = disc;
-            cfg.background = Some(BackgroundConfig { load: 0.45, packet_bytes: 1500.0 });
+            cfg.background = Some(BackgroundConfig {
+                load: 0.45,
+                packet_bytes: 1500.0,
+            });
             cfg.run()
         };
         let fifo = mk(Discipline::Fifo, 8);

@@ -79,7 +79,10 @@ impl DelayProbe {
     /// threshold: `(threshold, probability)`.
     pub fn tail_probabilities(&self) -> Vec<(f64, f64)> {
         let n = self.stats.count().max(1) as f64;
-        self.thresholds.iter().map(|&(t, c)| (t, c as f64 / n)).collect()
+        self.thresholds
+            .iter()
+            .map(|&(t, c)| (t, c as f64 / n))
+            .collect()
     }
 
     /// How many samples were not stored (counters still saw them).
@@ -111,7 +114,10 @@ impl DelayProbe {
         let quantiles = if self.samples.is_empty() {
             Vec::new()
         } else {
-            quantile_levels.iter().map(|&p| (p, self.quantile(p))).collect()
+            quantile_levels
+                .iter()
+                .map(|&p| (p, self.quantile(p)))
+                .collect()
         };
         ProbeSummary {
             count: self.count(),

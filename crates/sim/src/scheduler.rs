@@ -292,7 +292,10 @@ mod tests {
         let games = (0..10)
             .filter(|_| q.dequeue().unwrap().class == TrafficClass::Game)
             .count();
-        assert!((7..=9).contains(&games), "game departures in first 10: {games}");
+        assert!(
+            (7..=9).contains(&games),
+            "game departures in first 10: {games}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ impl SimTime {
 
     /// From seconds (rounds to the nearest nanosecond).
     pub fn from_secs(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimTime: seconds must be non-negative, got {s}");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime: seconds must be non-negative, got {s}"
+        );
         SimTime((s * 1e9).round() as u64)
     }
 

@@ -93,7 +93,10 @@ impl TraceStats {
         let client_sizes = trace.sizes(Direction::ClientToServer);
         let client_iats = trace.per_flow_inter_arrivals(Direction::ClientToServer);
         let burst_sizes: Vec<f64> = bursts.iter().map(|b| b.size_bytes).collect();
-        let burst_iats: Vec<f64> = bursts.windows(2).map(|w| w[1].start_ms - w[0].start_ms).collect();
+        let burst_iats: Vec<f64> = bursts
+            .windows(2)
+            .map(|w| w[1].start_ms - w[0].start_ms)
+            .collect();
         // Within-burst CoV range.
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -110,7 +113,11 @@ impl TraceStats {
             for b in &bursts {
                 *counts.entry(b.packets).or_insert(0usize) += 1;
             }
-            counts.into_iter().max_by_key(|&(_, c)| c).map(|(k, _)| k).unwrap_or(0)
+            counts
+                .into_iter()
+                .max_by_key(|&(_, c)| c)
+                .map(|(k, _)| k)
+                .unwrap_or(0)
         };
         let short = bursts.iter().filter(|b| b.packets < modal).count();
         Self {
@@ -136,11 +143,21 @@ mod tests {
     use crate::trace::PacketRecord;
 
     fn server_pkt(t: f64, s: f64) -> PacketRecord {
-        PacketRecord { time_ms: t, size_bytes: s, direction: Direction::ServerToClient, flow: 0 }
+        PacketRecord {
+            time_ms: t,
+            size_bytes: s,
+            direction: Direction::ServerToClient,
+            flow: 0,
+        }
     }
 
     fn client_pkt(t: f64, s: f64, flow: u16) -> PacketRecord {
-        PacketRecord { time_ms: t, size_bytes: s, direction: Direction::ClientToServer, flow }
+        PacketRecord {
+            time_ms: t,
+            size_bytes: s,
+            direction: Direction::ClientToServer,
+            flow,
+        }
     }
 
     #[test]
@@ -149,7 +166,10 @@ mod tests {
         let mut recs = Vec::new();
         for b in 0..2 {
             for p in 0..3 {
-                recs.push(server_pkt(b as f64 * 47.0 + p as f64 * 0.1, 150.0 + p as f64));
+                recs.push(server_pkt(
+                    b as f64 * 47.0 + p as f64 * 0.1,
+                    150.0 + p as f64,
+                ));
             }
         }
         let trace = Trace::from_records(recs);
@@ -162,7 +182,11 @@ mod tests {
 
     #[test]
     fn gap_threshold_controls_grouping() {
-        let recs = vec![server_pkt(0.0, 100.0), server_pkt(3.0, 100.0), server_pkt(20.0, 100.0)];
+        let recs = vec![
+            server_pkt(0.0, 100.0),
+            server_pkt(3.0, 100.0),
+            server_pkt(20.0, 100.0),
+        ];
         let trace = Trace::from_records(recs);
         assert_eq!(detect_bursts(&trace, 5.0).len(), 2);
         assert_eq!(detect_bursts(&trace, 2.0).len(), 3);

@@ -92,13 +92,19 @@ pub fn halo(players_per_xbox: u32) -> GameModel {
         source: "Lang/Armitage, ATNAC 2003 (paper §2.1)",
         client: ClientModel {
             packet_size: Box::new(Mixture::new(vec![
-                (0.33, Box::new(Deterministic::new(72.0)) as Box<dyn Distribution>),
+                (
+                    0.33,
+                    Box::new(Deterministic::new(72.0)) as Box<dyn Distribution>,
+                ),
                 (0.67, Box::new(Deterministic::new(dependent_size))),
             ])),
             // Effective mixture of the 201 ms fixed stream and the 66 ms
             // hardware stream.
             inter_arrival_ms: Box::new(Mixture::new(vec![
-                (0.33, Box::new(Deterministic::new(201.0)) as Box<dyn Distribution>),
+                (
+                    0.33,
+                    Box::new(Deterministic::new(201.0)) as Box<dyn Distribution>,
+                ),
                 (0.67, Box::new(Deterministic::new(66.0))),
             ])),
         },
@@ -213,9 +219,7 @@ mod tests {
 
     #[test]
     fn quake3_server_size_grows_with_players_and_saturates() {
-        assert!(
-            quake3(2).server.mean_packet_size() < quake3(12).server.mean_packet_size()
-        );
+        assert!(quake3(2).server.mean_packet_size() < quake3(12).server.mean_packet_size());
         assert!(quake3(40).server.mean_packet_size() <= 400.0);
     }
 

@@ -43,7 +43,10 @@ impl std::fmt::Display for TraceIoError {
                 write!(f, "line {line}: cannot parse number `{field}`")
             }
             TraceIoError::BadDirection { line, field } => {
-                write!(f, "line {line}: direction must be `up` or `down`, got `{field}`")
+                write!(
+                    f,
+                    "line {line}: direction must be `up` or `down`, got `{field}`"
+                )
             }
             TraceIoError::Io(msg) => write!(f, "io error: {msg}"),
         }
@@ -93,14 +96,24 @@ pub fn trace_from_csv(text: &str) -> Result<Trace, TraceIoError> {
             "up" => Direction::ClientToServer,
             "down" => Direction::ServerToClient,
             other => {
-                return Err(TraceIoError::BadDirection { line: line_no, field: other.to_string() })
+                return Err(TraceIoError::BadDirection {
+                    line: line_no,
+                    field: other.to_string(),
+                })
             }
         };
-        let flow = fields[3].parse::<u16>().map_err(|_| TraceIoError::BadNumber {
-            line: line_no,
-            field: fields[3].to_string(),
-        })?;
-        records.push(PacketRecord { time_ms, size_bytes, direction, flow });
+        let flow = fields[3]
+            .parse::<u16>()
+            .map_err(|_| TraceIoError::BadNumber {
+                line: line_no,
+                field: fields[3].to_string(),
+            })?;
+        records.push(PacketRecord {
+            time_ms,
+            size_bytes,
+            direction,
+            flow,
+        });
     }
     Ok(Trace::from_records(records))
 }
@@ -123,7 +136,11 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_records() {
-        let cfg = LanPartyConfig { players: 3, duration_ms: 3_000.0, ..Default::default() };
+        let cfg = LanPartyConfig {
+            players: 3,
+            duration_ms: 3_000.0,
+            ..Default::default()
+        };
         let lan = cfg.generate(5);
         let csv = trace_to_csv(&lan.trace);
         let back = trace_from_csv(&csv).unwrap();
@@ -138,8 +155,12 @@ mod tests {
 
     #[test]
     fn analysis_survives_round_trip() {
-        let lan = LanPartyConfig { players: 4, duration_ms: 20_000.0, ..Default::default() }
-            .generate(6);
+        let lan = LanPartyConfig {
+            players: 4,
+            duration_ms: 20_000.0,
+            ..Default::default()
+        }
+        .generate(6);
         let back = trace_from_csv(&trace_to_csv(&lan.trace)).unwrap();
         let a = crate::analysis::TraceStats::compute(&lan.trace, 5.0);
         let b = crate::analysis::TraceStats::compute(&back, 5.0);
@@ -173,8 +194,12 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let lan = LanPartyConfig { players: 2, duration_ms: 2_000.0, ..Default::default() }
-            .generate(7);
+        let lan = LanPartyConfig {
+            players: 2,
+            duration_ms: 2_000.0,
+            ..Default::default()
+        }
+        .generate(7);
         let dir = std::env::temp_dir().join("fpsping_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.csv");

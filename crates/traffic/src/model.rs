@@ -67,8 +67,7 @@ impl ServerModel {
 
     /// Mean downstream bit rate toward `n` clients (bit/s).
     pub fn mean_bitrate_bps(&self, n_clients: usize) -> f64 {
-        n_clients as f64 * self.mean_packet_size() * 8.0
-            / (self.mean_burst_interval_ms() / 1000.0)
+        n_clients as f64 * self.mean_packet_size() * 8.0 / (self.mean_burst_interval_ms() / 1000.0)
     }
 
     /// Draws the next burst: `(inter_arrival_ms, per-client packet sizes)`.

@@ -220,16 +220,56 @@ mod tests {
         let lan = LanPartyConfig::default().generate(0xC0FFEE);
         let st = TraceStats::compute(&lan.trace, 5.0);
         // Table 3 targets with sampling tolerance on a 6-minute trace.
-        assert!((st.server_packet.0 - 154.0).abs() < 2.0, "server pkt mean {}", st.server_packet.0);
-        assert!((st.server_packet.1 - 0.28).abs() < 0.02, "server pkt cov {}", st.server_packet.1);
-        assert!((st.burst_iat.0 - 47.0).abs() < 1.0, "burst IAT mean {}", st.burst_iat.0);
-        assert!((st.burst_iat.1 - 0.07).abs() < 0.02, "burst IAT cov {}", st.burst_iat.1);
-        assert!((st.burst_size.0 - 1852.0).abs() < 60.0, "burst size mean {}", st.burst_size.0);
-        assert!((st.burst_size.1 - 0.19).abs() < 0.025, "burst size cov {}", st.burst_size.1);
-        assert!((st.client_packet.0 - 73.0).abs() < 1.0, "client pkt mean {}", st.client_packet.0);
-        assert!((st.client_packet.1 - 0.06).abs() < 0.01, "client pkt cov {}", st.client_packet.1);
-        assert!((st.client_iat.0 - 30.0).abs() < 1.0, "client IAT mean {}", st.client_iat.0);
-        assert!((st.client_iat.1 - 0.65).abs() < 0.05, "client IAT cov {}", st.client_iat.1);
+        assert!(
+            (st.server_packet.0 - 154.0).abs() < 2.0,
+            "server pkt mean {}",
+            st.server_packet.0
+        );
+        assert!(
+            (st.server_packet.1 - 0.28).abs() < 0.02,
+            "server pkt cov {}",
+            st.server_packet.1
+        );
+        assert!(
+            (st.burst_iat.0 - 47.0).abs() < 1.0,
+            "burst IAT mean {}",
+            st.burst_iat.0
+        );
+        assert!(
+            (st.burst_iat.1 - 0.07).abs() < 0.02,
+            "burst IAT cov {}",
+            st.burst_iat.1
+        );
+        assert!(
+            (st.burst_size.0 - 1852.0).abs() < 60.0,
+            "burst size mean {}",
+            st.burst_size.0
+        );
+        assert!(
+            (st.burst_size.1 - 0.19).abs() < 0.025,
+            "burst size cov {}",
+            st.burst_size.1
+        );
+        assert!(
+            (st.client_packet.0 - 73.0).abs() < 1.0,
+            "client pkt mean {}",
+            st.client_packet.0
+        );
+        assert!(
+            (st.client_packet.1 - 0.06).abs() < 0.01,
+            "client pkt cov {}",
+            st.client_packet.1
+        );
+        assert!(
+            (st.client_iat.0 - 30.0).abs() < 1.0,
+            "client IAT mean {}",
+            st.client_iat.0
+        );
+        assert!(
+            (st.client_iat.1 - 0.65).abs() < 0.05,
+            "client IAT cov {}",
+            st.client_iat.1
+        );
     }
 
     #[test]
@@ -245,7 +285,10 @@ mod tests {
         let lan = LanPartyConfig::default().generate(2);
         let n = lan.true_burst_sizes.len() as f64;
         let missing_rate = lan.bursts_with_missing_packet as f64 / n;
-        assert!((missing_rate - 0.005).abs() < 0.004, "missing rate {missing_rate}");
+        assert!(
+            (missing_rate - 0.005).abs() < 0.004,
+            "missing rate {missing_rate}"
+        );
         // ~0.08% delayed bursts → a handful in ~7700.
         assert!(lan.delayed_bursts >= 1 && lan.delayed_bursts <= 30);
     }
@@ -281,7 +324,11 @@ mod tests {
 
     #[test]
     fn small_party_still_generates() {
-        let cfg = LanPartyConfig { players: 2, duration_ms: 10_000.0, ..Default::default() };
+        let cfg = LanPartyConfig {
+            players: 2,
+            duration_ms: 10_000.0,
+            ..Default::default()
+        };
         let lan = cfg.generate(5);
         assert!(!lan.trace.is_empty());
         let st = TraceStats::compute(&lan.trace, 5.0);

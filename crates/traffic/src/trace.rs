@@ -44,7 +44,9 @@ impl Trace {
     /// Appends a record (must be in time order; debug-asserted).
     pub fn push(&mut self, r: PacketRecord) {
         debug_assert!(
-            self.records.last().is_none_or(|last| last.time_ms <= r.time_ms),
+            self.records
+                .last()
+                .is_none_or(|last| last.time_ms <= r.time_ms),
             "records must be appended in time order"
         );
         self.records.push(r);
@@ -117,7 +119,12 @@ mod tests {
     use super::*;
 
     fn rec(t: f64, s: f64, dir: Direction, flow: u16) -> PacketRecord {
-        PacketRecord { time_ms: t, size_bytes: s, direction: dir, flow }
+        PacketRecord {
+            time_ms: t,
+            size_bytes: s,
+            direction: dir,
+            flow,
+        }
     }
 
     #[test]

@@ -12,18 +12,25 @@ fn main() {
     println!("Dimensioning the aggregation link for FPS gaming (paper §4)");
     println!("P_S = 125 B, P_C = 80 B, T = 40 ms, C = 5 Mbps, 99.999% quantile");
     println!();
-    println!("{:>10} {:>8} {:>10} {:>8} {:>14}", "budget", "K", "rho_max", "N_max", "RTT@max [ms]");
+    println!(
+        "{:>10} {:>8} {:>10} {:>8} {:>14}",
+        "budget", "K", "rho_max", "N_max", "RTT@max [ms]"
+    );
     for &budget_ms in &[30.0, 50.0, 100.0, 150.0] {
         for &k in &[2u32, 9, 20] {
-            let base = Scenario::paper_default().with_erlang_order(k).with_tick_ms(40.0);
+            let base = Scenario::paper_default()
+                .with_erlang_order(k)
+                .with_tick_ms(40.0);
             match max_load(&base, budget_ms) {
                 Ok(r) => println!(
-                    "{:>8.0}ms {:>8} {:>9.1}% {:>8} {:>14.1}",
+                    "{:>8.0}ms {:>8} {:>9.1}% {:>8} {:>14}",
                     budget_ms,
                     k,
                     100.0 * r.rho_max,
                     r.n_max,
                     r.rtt_at_max_ms
+                        .map(|v| format!("{v:.1}"))
+                        .unwrap_or_else(|| "n/a".to_string())
                 ),
                 Err(e) => println!("{budget_ms:>8.0}ms {k:>8} failed: {e}"),
             }

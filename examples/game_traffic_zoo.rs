@@ -44,12 +44,7 @@ fn main() {
             ..Scenario::paper_default()
         };
         match max_load(&base, 50.0) {
-            Ok(r) => println!(
-                "{:<24} {:>9.1}% {:>8}",
-                g.name,
-                100.0 * r.rho_max,
-                r.n_max
-            ),
+            Ok(r) => println!("{:<24} {:>9.1}% {:>8}", g.name, 100.0 * r.rho_max, r.n_max),
             Err(e) => println!("{:<24} infeasible: {e}", g.name),
         }
     }

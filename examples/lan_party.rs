@@ -20,12 +20,23 @@ fn main() {
     println!("packets captured : {}", lan.trace.len());
     println!("bursts detected  : {}", stats.n_bursts);
     println!();
-    println!("{:<28} {:>10} {:>8}   (paper Table 3)", "quantity", "mean", "CoV");
+    println!(
+        "{:<28} {:>10} {:>8}   (paper Table 3)",
+        "quantity", "mean", "CoV"
+    );
     let rows = [
-        ("server→client packet [B]", stats.server_packet, (154.0, 0.28)),
+        (
+            "server→client packet [B]",
+            stats.server_packet,
+            (154.0, 0.28),
+        ),
         ("burst inter-arrival [ms]", stats.burst_iat, (47.0, 0.07)),
         ("burst size [B]", stats.burst_size, (1852.0, 0.19)),
-        ("client→server packet [B]", stats.client_packet, (73.0, 0.06)),
+        (
+            "client→server packet [B]",
+            stats.client_packet,
+            (73.0, 0.06),
+        ),
         ("client inter-arrival [ms]", stats.client_iat, (30.0, 0.65)),
     ];
     for (name, (m, c), (pm, pc)) in rows {

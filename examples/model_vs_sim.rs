@@ -34,11 +34,9 @@ fn main() {
         // ill-conditioned.
         let det_down =
             8.0 * scenario.server_packet_bytes * (1.0 / scenario.c_bps + 1.0 / scenario.r_down_bps);
-        let pos = fpsping_queue::PositionDelay::uniform(
-            k,
-            k as f64 / scenario.mean_burst_service_s(),
-        )
-        .unwrap();
+        let pos =
+            fpsping_queue::PositionDelay::uniform(k, k as f64 / scenario.mean_burst_service_s())
+                .unwrap();
         let down_mix = fpsping_queue::TotalDelay::new(None, model.downstream(), &pos).unwrap();
         let mean_dn_ms = (down_mix.mean() + det_down) * 1e3;
         let p999_ms = (down_mix.quantile(0.999) + det_down) * 1e3;

@@ -18,18 +18,33 @@ fn main() {
         .with_tick_ms(40.0);
 
     let model = RttModel::build(&scenario).expect("stable scenario");
-    let b = model.breakdown();
+    let b = model.breakdown().expect("well-conditioned scenario");
 
     println!("fpsping quickstart — paper §4 reference scenario");
     println!("------------------------------------------------");
-    println!("gamers (eq. 37)           : {:>8.0}", scenario.gamer_count());
-    println!("downlink load ρ_d         : {:>8.2}", scenario.downlink_load());
-    println!("uplink load ρ_u           : {:>8.2}", scenario.uplink_load());
+    println!(
+        "gamers (eq. 37)           : {:>8.0}",
+        scenario.gamer_count()
+    );
+    println!(
+        "downlink load ρ_d         : {:>8.2}",
+        scenario.downlink_load()
+    );
+    println!(
+        "uplink load ρ_u           : {:>8.2}",
+        scenario.uplink_load()
+    );
     println!();
     println!("99.999% RTT quantile breakdown (ms):");
-    println!("  deterministic (serialization) : {:>8.3}", b.deterministic_ms);
+    println!(
+        "  deterministic (serialization) : {:>8.3}",
+        b.deterministic_ms
+    );
     println!("  upstream M/G/1 queueing       : {:>8.3}", b.upstream_ms);
-    println!("  downstream burst wait (D/E_K/1): {:>7.3}", b.burst_wait_ms);
+    println!(
+        "  downstream burst wait (D/E_K/1): {:>7.3}",
+        b.burst_wait_ms
+    );
     println!("  within-burst position delay   : {:>8.3}", b.position_ms);
     println!("  combined stochastic quantile  : {:>8.3}", b.stochastic_ms);
     println!("  ------------------------------------------");

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): the whole workspace must build in release,
+# every test must pass, and formatting must be clean. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all --check
+
+echo "tier-1: OK"

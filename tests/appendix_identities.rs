@@ -25,7 +25,12 @@ fn erlang_service_mix(k: u32, beta: f64) -> ErlangMix {
 /// pole/weight solution is assumed — only the MGF algebra.
 #[test]
 fn lindley_fixed_point_identity() {
-    for &(k, rho, t) in &[(2u32, 0.5, 0.04), (5, 0.7, 0.06), (9, 0.6, 0.04), (20, 0.85, 0.05)] {
+    for &(k, rho, t) in &[
+        (2u32, 0.5, 0.04),
+        (5, 0.7, 0.06),
+        (9, 0.6, 0.04),
+        (20, 0.85, 0.05),
+    ] {
         let q = DEk1::new(k, rho * t, t).unwrap();
         let v = q.to_mix().product(&erlang_service_mix(k, q.beta()));
         for i in 1..=10 {
@@ -54,7 +59,11 @@ fn boundary_conditions_at_beta() {
         for deriv_order in 0..k {
             let value = mix.derivative(beta, deriv_order);
             // Magnitude scale: sum of |terms| of the derivative.
-            let mut scale = if deriv_order == 0 { mix.constant.abs() } else { 0.0 };
+            let mut scale = if deriv_order == 0 {
+                mix.constant.abs()
+            } else {
+                0.0
+            };
             for b in &mix.blocks {
                 scale += b.derivative(beta, deriv_order).abs();
             }
@@ -71,7 +80,12 @@ fn boundary_conditions_at_beta() {
 /// given eq. (22), so it must hold automatically.
 #[test]
 fn weight_normalization_identity() {
-    for &(k, rho, t) in &[(2u32, 0.3, 0.04), (7, 0.6, 0.05), (12, 0.8, 0.06), (20, 0.9, 0.04)] {
+    for &(k, rho, t) in &[
+        (2u32, 0.3, 0.04),
+        (7, 0.6, 0.05),
+        (12, 0.8, 0.06),
+        (20, 0.9, 0.04),
+    ] {
         let q = DEk1::new(k, rho * t, t).unwrap();
         let beta = q.beta();
         let mut acc = Complex64::ZERO;

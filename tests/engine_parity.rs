@@ -1,0 +1,175 @@
+//! The engine's contract, end to end: parallel + cached + warm-started
+//! evaluation is *bit-identical* to the serial seed path — not merely
+//! close. Caching reuses exact solved objects and the warm start only
+//! accelerates finding the same canonical bracket, so every last bit of
+//! every cell must agree.
+
+use fpsping::engine::{Engine, EngineConfig, SolverCache};
+use fpsping::{sweep, RttModel, Scenario};
+use fpsping_dist::Deterministic;
+use fpsping_queue::{DEk1, Mg1};
+use proptest::prelude::*;
+
+#[test]
+fn parallel_surface_matches_serial_cell_for_cell() {
+    // The full paper surface: 18 loads × K ∈ {2, 9, 20}.
+    let base = Scenario::paper_default();
+    let ks = [2u32, 9, 20];
+    let loads = sweep::paper_load_grid();
+    let serial = sweep::rtt_surface(&base, &ks, &loads);
+    for jobs in [1usize, 2, 5] {
+        let engine = Engine::new(EngineConfig::with_jobs(jobs));
+        // Two passes: the first populates the cache, the second must be
+        // served from it — both bit-identical to the serial reference.
+        for pass in 0..2 {
+            let fast = engine.rtt_surface(&base, &ks, &loads);
+            assert_eq!(fast.len(), serial.len());
+            for (li, (frow, srow)) in fast.iter().zip(&serial).enumerate() {
+                for (ki, (f, s)) in frow.iter().zip(srow).enumerate() {
+                    assert_eq!(
+                        f.map(f64::to_bits),
+                        s.map(f64::to_bits),
+                        "jobs={jobs} pass={pass} load row {li}, K column {ki}: {f:?} != {s:?}"
+                    );
+                }
+            }
+        }
+        let stats = engine.cache_stats();
+        // Cold pass: the K-columns at a given load share one upstream
+        // pole solve. Second pass: every cell is a whole-cell memo hit.
+        assert!(
+            stats.pole_hits > 0,
+            "jobs={jobs}: K-columns must share pole solves: {stats:?}"
+        );
+        assert_eq!(
+            stats.rtt_hits, stats.rtt_misses,
+            "jobs={jobs}: second pass must be all memo hits: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_for_every_job_count() {
+    let base = Scenario::paper_default();
+    let loads = sweep::paper_load_grid();
+    let serial = sweep::rtt_vs_load(&base, &loads);
+    for jobs in [1usize, 3, 7, 32] {
+        let engine = Engine::new(EngineConfig::with_jobs(jobs));
+        let fast = engine.rtt_vs_load(&base, &loads);
+        assert_eq!(fast.len(), serial.len(), "jobs={jobs}");
+        for (f, s) in fast.iter().zip(&serial) {
+            assert_eq!(f.rho_d, s.rho_d);
+            assert_eq!(
+                f.rtt_ms.map(f64::to_bits),
+                s.rtt_ms.map(f64::to_bits),
+                "rho={}",
+                s.rho_d
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_dimensioning_matches_serial_reference() {
+    // The engine bisection (cached, warm-started) must land on exactly
+    // the serial result for the paper's worked example.
+    let base = Scenario::paper_default();
+    let engine = Engine::new(EngineConfig::default());
+    let fast = engine.max_load(&base, 50.0).unwrap();
+    let reference = Engine::serial().max_load(&base, 50.0).unwrap();
+    assert_eq!(fast.rho_max.to_bits(), reference.rho_max.to_bits());
+    assert_eq!(fast.n_max, reference.n_max);
+    assert_eq!(
+        fast.rtt_at_max_ms.map(f64::to_bits),
+        reference.rtt_at_max_ms.map(f64::to_bits)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached D/E_K/1 rebuilds are bit-identical to fresh solves across
+    /// random (K, ρ) sequences, including repeat visits (cache hits).
+    #[test]
+    fn cached_dek_rebuild_is_bit_identical(
+        ks in proptest::collection::vec(1u32..28, 2..5),
+        services in proptest::collection::vec(0.002f64..0.038, 2..5),
+    ) {
+        let cache = SolverCache::default();
+        let t = 0.040;
+        // Two passes over the same sequence: pass 0 populates, pass 1 hits.
+        for _pass in 0..2 {
+            for &k in &ks {
+                for &mean_service in &services {
+                    let rho = mean_service / t;
+                    let fresh = DEk1::new(k, mean_service, t).unwrap();
+                    let sol = cache.dek_solution(k, rho).unwrap();
+                    let cached = DEk1::from_solution(&sol, mean_service, t).unwrap();
+                    for p in [0.9, 0.999, 0.99999] {
+                        prop_assert_eq!(
+                            fresh.wait_quantile(p).to_bits(),
+                            cached.wait_quantile(p).to_bits(),
+                            "K={} rho={} p={}", k, rho, p
+                        );
+                    }
+                }
+            }
+        }
+        // Random draws may repeat (K, ρ): count distinct keys, not draws.
+        let distinct: std::collections::HashSet<(u32, u64)> = ks
+            .iter()
+            .flat_map(|&k| services.iter().map(move |&m| (k, (m / t).to_bits())))
+            .collect();
+        let total = 2 * ks.len() * services.len();
+        let stats = cache.stats();
+        prop_assert_eq!(stats.dek_misses as usize, distinct.len());
+        prop_assert_eq!(stats.dek_hits as usize, total - distinct.len());
+    }
+
+    /// A pole-injected M/D/1 behaves bit-identically to one that solved
+    /// its own pole.
+    #[test]
+    fn cached_mg1_pole_is_bit_identical(
+        lambda in 200.0f64..2500.0,
+        tau in 2e-5f64..3e-4,
+    ) {
+        prop_assume!(lambda * tau < 0.95);
+        let fresh = Mg1::new(lambda, Box::new(Deterministic::new(tau))).unwrap();
+        let cache = SolverCache::default();
+        let g1 = cache.mdd1_pole(lambda, tau).unwrap();
+        let g2 = cache.mdd1_pole(lambda, tau).unwrap();
+        prop_assert_eq!(fresh.dominant_pole().unwrap().to_bits(), g1.to_bits());
+        prop_assert_eq!(g1.to_bits(), g2.to_bits(), "hit must equal miss");
+        let injected =
+            Mg1::with_dominant_pole(lambda, Box::new(Deterministic::new(tau)), g1).unwrap();
+        let p = 0.99999;
+        prop_assert_eq!(
+            fresh.paper_mix().unwrap().quantile(p).to_bits(),
+            injected.paper_mix().unwrap().quantile(p).to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-model check: the cached engine build and an arbitrarily
+    /// (even badly) hinted quantile both reproduce the cold path's bits.
+    #[test]
+    fn engine_model_and_warm_start_are_bit_identical(
+        k in 1u32..22,
+        rho in 0.05f64..0.9,
+        hint_ms in 0.01f64..2000.0,
+    ) {
+        let engine = Engine::new(EngineConfig::default());
+        let s = Scenario::paper_default().with_load(rho).with_erlang_order(k);
+        let cold = RttModel::build(&s).unwrap().rtt_quantile_ms();
+        let cached_model = engine.build_model(&s).unwrap();
+        prop_assert_eq!(cold.to_bits(), cached_model.rtt_quantile_ms().to_bits());
+        prop_assert_eq!(
+            cold.to_bits(),
+            cached_model.rtt_quantile_ms_with_hint(Some(hint_ms)).to_bits(),
+            "hint {} must not change the result", hint_ms
+        );
+    }
+}

@@ -31,15 +31,17 @@ fn analytic_downstream(scenario: &Scenario, k: u32) -> (fpsping_queue::TotalDela
     let beta = k as f64 / scenario.mean_burst_service_s();
     let pos = PositionDelay::uniform(k, beta).unwrap();
     let td = fpsping_queue::TotalDelay::new(None, model.downstream(), &pos).unwrap();
-    let det = 8.0 * scenario.server_packet_bytes
-        * (1.0 / scenario.c_bps + 1.0 / scenario.r_down_bps);
+    let det =
+        8.0 * scenario.server_packet_bytes * (1.0 / scenario.c_bps + 1.0 / scenario.r_down_bps);
     (td, det)
 }
 
 #[test]
 fn downstream_mean_matches_simulation_k9() {
     let k = 9u32;
-    let scenario = Scenario::paper_default().with_load(0.5).with_erlang_order(k);
+    let scenario = Scenario::paper_default()
+        .with_load(0.5)
+        .with_erlang_order(k);
     let (mix, det) = analytic_downstream(&scenario, k);
     let analytic = mix.mean() + det;
     let rep = simulate(&scenario, k, 120.0, 0xAB01);
@@ -53,7 +55,9 @@ fn downstream_mean_matches_simulation_k9() {
 #[test]
 fn downstream_p999_matches_simulation_k9() {
     let k = 9u32;
-    let scenario = Scenario::paper_default().with_load(0.6).with_erlang_order(k);
+    let scenario = Scenario::paper_default()
+        .with_load(0.6)
+        .with_erlang_order(k);
     let (mix, det) = analytic_downstream(&scenario, k);
     let analytic = mix.quantile(0.999) + det;
     let rep = simulate(&scenario, k, 240.0, 0xAB02);
@@ -73,7 +77,9 @@ fn downstream_p999_matches_simulation_k9() {
 #[test]
 fn downstream_mean_matches_simulation_k2_bursty() {
     let k = 2u32;
-    let scenario = Scenario::paper_default().with_load(0.5).with_erlang_order(k);
+    let scenario = Scenario::paper_default()
+        .with_load(0.5)
+        .with_erlang_order(k);
     let (mix, det) = analytic_downstream(&scenario, k);
     let analytic = mix.mean() + det;
     let rep = simulate(&scenario, k, 180.0, 0xAB03);
@@ -89,7 +95,9 @@ fn burst_wait_tail_matches_dek1() {
     // The D/E_K/1 burst-wait law against the simulator's first-packet
     // wait probe, at a load where waits are common.
     let k = 9u32;
-    let scenario = Scenario::paper_default().with_load(0.8).with_erlang_order(k);
+    let scenario = Scenario::paper_default()
+        .with_load(0.8)
+        .with_erlang_order(k);
     let model = RttModel::build(&scenario).unwrap();
     let rep = simulate(&scenario, k, 240.0, 0xAB04);
     for &(thr, sim_p) in &rep.burst_wait.tails {
@@ -129,7 +137,11 @@ fn upstream_wait_approaches_mdd1_on_average() {
 fn utilizations_match_eq37_loads() {
     let scenario = Scenario::paper_default().with_load(0.6);
     let rep = simulate(&scenario, 9, 60.0, 0xAB06);
-    assert!((rep.down_utilization - 0.6).abs() < 0.03, "down util {}", rep.down_utilization);
+    assert!(
+        (rep.down_utilization - 0.6).abs() < 0.03,
+        "down util {}",
+        rep.down_utilization
+    );
     assert!(
         (rep.up_utilization - scenario.uplink_load()).abs() < 0.03,
         "up util {} vs ρ_u {}",
@@ -146,8 +158,7 @@ fn application_ping_exceeds_model_rtt_by_alignment_wait() {
     let scenario = Scenario::paper_default().with_load(0.4);
     let model = RttModel::build(&scenario).unwrap();
     let rep = simulate(&scenario, 9, 120.0, 0xAB07);
-    let model_mean =
-        model.total().mean() + scenario.deterministic_delay_s();
+    let model_mean = model.total().mean() + scenario.deterministic_delay_s();
     let sim_ping = rep.ping_rtt.mean_s;
     let t = scenario.t_ms / 1e3;
     assert!(

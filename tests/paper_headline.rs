@@ -13,7 +13,9 @@ fn dimensioning_bands() {
         (20, 0.48..0.72, 96..145),
     ];
     for (k, rho_band, n_band) in cases {
-        let base = Scenario::paper_default().with_erlang_order(k).with_tick_ms(40.0);
+        let base = Scenario::paper_default()
+            .with_erlang_order(k)
+            .with_tick_ms(40.0);
         let r = max_load(&base, 50.0).unwrap();
         assert!(
             rho_band.contains(&r.rho_max),
@@ -35,7 +37,9 @@ fn figure3_shape() {
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
     let sweep = |k: u32| {
         rtt_vs_load(
-            &Scenario::paper_default().with_tick_ms(60.0).with_erlang_order(k),
+            &Scenario::paper_default()
+                .with_tick_ms(60.0)
+                .with_erlang_order(k),
             &loads,
         )
     };
@@ -46,7 +50,11 @@ fn figure3_shape() {
             k9[i].rtt_ms.unwrap(),
             k20[i].rtt_ms.unwrap(),
         );
-        assert!(a > b && b > c, "load {}: {a} > {b} > {c} violated", loads[i]);
+        assert!(
+            a > b && b > c,
+            "load {}: {a} > {b} > {c} violated",
+            loads[i]
+        );
     }
     // Linearity at low load (stochastic part ∝ ρ within 15%).
     let det = Scenario::paper_default()
@@ -55,7 +63,11 @@ fn figure3_shape() {
         * 1e3;
     let s1 = k9[0].rtt_ms.unwrap() - det; // 5%
     let s2 = k9[1].rtt_ms.unwrap() - det; // 10%
-    assert!((s2 / s1 - 2.0).abs() < 0.3, "low-load linearity: ratio {}", s2 / s1);
+    assert!(
+        (s2 / s1 - 2.0).abs() < 0.3,
+        "low-load linearity: ratio {}",
+        s2 / s1
+    );
     // Blow-up toward saturation: the last step grows super-linearly.
     let tail_growth = k9[17].rtt_ms.unwrap() / k9[16].rtt_ms.unwrap();
     let mid_growth = k9[9].rtt_ms.unwrap() / k9[8].rtt_ms.unwrap();
@@ -68,11 +80,9 @@ fn figure3_shape() {
 fn figure4_t_proportionality() {
     for &rho in &[0.1, 0.3, 0.5, 0.7, 0.9] {
         let q = |t: f64| {
-            RttModel::build(
-                &Scenario::paper_default().with_tick_ms(t).with_load(rho),
-            )
-            .unwrap()
-            .stochastic_quantile_s()
+            RttModel::build(&Scenario::paper_default().with_tick_ms(t).with_load(rho))
+                .unwrap()
+                .stochastic_quantile_s()
         };
         let ratio = q(60.0) / q(40.0);
         assert!(
@@ -99,8 +109,14 @@ fn figure3_robust_to_server_packet_size() {
             .stochastic_quantile_s()
         };
         let (a, b, c) = (q(125.0), q(100.0), q(75.0));
-        assert!((a - b).abs() < 0.05 * a, "rho={rho}: 125 vs 100 differ: {a} vs {b}");
-        assert!((a - c).abs() < 0.08 * a, "rho={rho}: 125 vs 75 differ: {a} vs {c}");
+        assert!(
+            (a - b).abs() < 0.05 * a,
+            "rho={rho}: 125 vs 100 differ: {a} vs {b}"
+        );
+        assert!(
+            (a - c).abs() < 0.08 * a,
+            "rho={rho}: 125 vs 75 differ: {a} vs {c}"
+        );
     }
 }
 
@@ -115,8 +131,7 @@ fn capacity_only_moves_serialization() {
     fat.r_up_bps = 1_280_000.0;
     let q_base = RttModel::build(&base).unwrap().rtt_quantile_ms();
     let q_fat = RttModel::build(&fat).unwrap().rtt_quantile_ms();
-    let det_shift =
-        (base.deterministic_delay_s() - fat.deterministic_delay_s()) * 1e3;
+    let det_shift = (base.deterministic_delay_s() - fat.deterministic_delay_s()) * 1e3;
     // The RTT difference is explained by the serialization shift to
     // within a small upstream-queueing remainder.
     assert!(

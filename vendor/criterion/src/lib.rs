@@ -1,0 +1,312 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates-io registry, so this
+//! in-tree crate provides a minimal wall-clock benchmark harness with
+//! the API surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Differences from upstream criterion, by design:
+//!
+//! * No statistical analysis, plots, or saved baselines — each bench
+//!   reports the median time per iteration from a fixed number of
+//!   timed batches.
+//! * `--test` mode (what `cargo test --benches` passes) runs every
+//!   bench exactly once, so benches double as smoke tests.
+//! * Positional CLI arguments are treated as substring filters on the
+//!   bench id, like upstream; all flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Runs the closure handed to [`Bencher::iter`] and times it.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier built from a parameter's `Display` form.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id whose text is the parameter itself (used inside groups).
+    pub fn from_parameter<D: std::fmt::Display>(parameter: D) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id of the form `function_name/parameter`.
+    pub fn new<S: Into<String>, D: std::fmt::Display>(function_name: S, parameter: D) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Clone)]
+struct Settings {
+    sample_count: u64,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Settings {
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+fn run_one(settings: &Settings, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+    if !settings.matches(id) {
+        return;
+    }
+    if settings.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        println!("{id}: ok (test mode)");
+        return;
+    }
+    // Calibrate the per-batch iteration count so one batch takes
+    // roughly 25 ms (or give up doubling beyond 2^20 iterations).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= Duration::from_millis(25) || iters >= (1 << 20) {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples = Vec::with_capacity(settings.sample_count as usize);
+    for _ in 0..settings.sample_count {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let best = samples[0];
+    println!(
+        "{id}: median {} / best {} ({iters} iters x {} samples)",
+        format_time(median),
+        format_time(best),
+        samples.len()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named group of related benches sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench (upstream's
+    /// `sample_size`; here each sample is one timed batch).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = (n as u64).max(2);
+        self
+    }
+
+    /// Runs a bench named `{group}/{id}`.
+    pub fn bench_function<S: std::fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &full, f);
+        self
+    }
+
+    /// Runs a parameterised bench named `{group}/{id}` with `input`
+    /// passed through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; retained for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings {
+                sample_count: 10,
+                test_mode: false,
+                filters: Vec::new(),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the CLI arguments cargo forwards to bench binaries:
+    /// positional substring filters, `--test` (run once), everything
+    /// else ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.settings.test_mode = true,
+                "--bench" | "--profile-time" => {
+                    // `--profile-time` takes a value; `--bench` is a bare
+                    // marker flag from cargo.
+                    if arg == "--profile-time" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with("--") => {}
+                s => self.settings.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone bench.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        run_one(&settings, id, f);
+        self
+    }
+}
+
+/// Declares a bench group function, matching upstream's signature.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 100);
+        assert!(b.elapsed > Duration::ZERO || n == 100);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+        assert_eq!(BenchmarkId::new("solve", 9).to_string(), "solve/9");
+    }
+
+    #[test]
+    fn filters_match_substrings() {
+        let s = Settings {
+            sample_count: 2,
+            test_mode: true,
+            filters: vec!["dek1".to_string()],
+        };
+        assert!(s.matches("dek1_solve/9"));
+        assert!(!s.matches("rtt_quantile/k9"));
+        let open = Settings {
+            sample_count: 2,
+            test_mode: true,
+            filters: vec![],
+        };
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion::default();
+        c.settings.test_mode = true;
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates-io registry, so this
+//! in-tree crate re-implements the subset of proptest that the workspace
+//! uses: the [`proptest!`] item macro (with the `#![proptest_config]`
+//! inner attribute), the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! assertion macros, [`strategy::Strategy`] implementations for numeric
+//! ranges, `prop::collection::vec`, and a deterministic
+//! [`test_runner::TestRunner`].
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the drawn inputs verbatim.
+//! * **Deterministic seeding.** Every test runs the same sequence of
+//!   cases on every invocation (no persistence files needed; any
+//!   `*.proptest-regressions` files are ignored).
+//! * Only the strategies this workspace uses are implemented: `Range`
+//!   and `RangeInclusive` over the primitive numeric types, and
+//!   `prop::collection::vec` with a `Range<usize>` length.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an associated type from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: std::fmt::Debug;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u = rng.unit_f64();
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u = rng.unit_f64();
+            self.start() + u * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    self.start() + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// A strategy producing `Vec`s of an element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner.
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed — the property is violated.
+        Fail(String),
+        /// The drawn inputs did not satisfy a `prop_assume!` precondition;
+        /// the case is discarded without counting.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// A rejected (discarded) case with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections before the test errors out.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// The deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from `[0, 1)` with 53-bit resolution.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs the configured number of cases against a property closure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration and the fixed shim seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self {
+                config,
+                rng: TestRng::new(0x5EED_F00D_CA5E_0001),
+            }
+        }
+
+        /// Runs cases until `config.cases` pass, a case fails, or the
+        /// reject budget is exhausted.
+        pub fn run<F>(&mut self, mut case: F) -> Result<(), String>
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                match case(&mut self.rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            return Err(format!(
+                                "too many prop_assume! rejections ({rejected}) after {passed} passing cases"
+                            ));
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(format!("property failed on case {passed}: {msg}"));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// The `prop::` path used by prelude gluers (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, k in 1u32..=9) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let outcome = runner.run(|__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        __proptest_rng,
+                    );
+                )*
+                let __proptest_inputs: ::std::string::String =
+                    [$( format!(concat!(stringify!($arg), " = {:?}"), $arg) ),*]
+                        .join(", ");
+                let __proptest_case =
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                __proptest_case().map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(msg) => {
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "{msg}\n  inputs: {__proptest_inputs}"
+                        ))
+                    }
+                    reject => reject,
+                })
+            });
+            if let Err(msg) = outcome {
+                panic!("{}", msg);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (with an optional formatted message) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l,
+            r,
+            stringify!($lhs),
+            stringify!($rhs)
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (without counting it) when the precondition
+/// is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let mut calls = 0;
+        runner
+            .run(|_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let r = runner.run(|_| Err(TestCaseError::fail("boom")));
+        assert!(r.unwrap_err().contains("boom"));
+    }
+
+    #[test]
+    fn runner_bounds_rejects() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1));
+        let r = runner.run(|_| Err(TestCaseError::reject("never")));
+        assert!(r.unwrap_err().contains("rejections"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds; assume/assert plumbing works.
+        #[test]
+        fn strategies_in_bounds(
+            x in -2.0f64..3.0,
+            k in 1u32..=25,
+            n in 1u64..200,
+            m in 1usize..4,
+            v in prop::collection::vec(0.0f64..1.0, 1..50),
+        ) {
+            prop_assume!(x.is_finite());
+            prop_assert!((-2.0..3.0).contains(&x), "x out of range: {x}");
+            prop_assert!((1..=25).contains(&k));
+            prop_assert!((1..200).contains(&n));
+            prop_assert!((1..4).contains(&m));
+            prop_assert!(v.len() < 50 && !v.is_empty());
+            prop_assert!(v.iter().all(|u| (0.0..1.0).contains(u)));
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+    }
+}

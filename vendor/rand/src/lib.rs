@@ -1,0 +1,193 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment cannot reach a crates-io registry, so this
+//! in-tree crate provides the (small) subset of `rand`'s API that the
+//! workspace uses: the object-safe [`RngCore`] trait, [`SeedableRng`]
+//! with `seed_from_u64`, and [`rngs::StdRng`].
+//!
+//! `StdRng` here is **not** bit-compatible with upstream `rand`'s
+//! ChaCha-based `StdRng`; it is a xoshiro256++ generator seeded through
+//! SplitMix64 (the reference seeding procedure from Blackman & Vigna).
+//! Every use in this workspace is Monte-Carlo estimation against
+//! statistical tolerances, for which xoshiro256++'s quality is ample,
+//! and determinism per seed is all the tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core random-number-generator trait (object safe — used as
+/// `&mut dyn RngCore` throughout the workspace).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array in upstream `rand`).
+    type Seed: Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// exactly like upstream `rand` documents for small seeds.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence (Steele, Lea & Flood).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // The all-zero state is the one invalid xoshiro state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let x = self.step();
+                for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                    *b = s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_mapping_covers_unit_interval() {
+        // The workspace's standard uniform recipe: (x >> 11) · 2⁻⁵³.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0f64;
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..n {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            min = min.min(u);
+            max = max.max(u);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+        assert!(min < 1e-3 && max > 1.0 - 1e-3);
+    }
+
+    #[test]
+    fn fill_bytes_is_nontrivial() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 33];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn object_safety() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let _ = dyn_rng.next_u64();
+        let _ = dyn_rng.next_u32();
+    }
+}
