@@ -2,11 +2,17 @@
 //! binary prints the topology, instantiates it in the simulator, and runs
 //! a smoke-test session so the figure's architecture is demonstrably the
 //! one every other experiment uses.
+//!
+//! Flags: `--reps R` replicates the smoke run with independent seeds and
+//! reports 95% confidence half-widths; `--jobs J` spreads replications
+//! over threads; `--stream-quantiles` bounds probe memory.
 
+use fpsping_bench::{ms_with_ci, SimArgs};
 use fpsping_dist::Deterministic;
-use fpsping_sim::{NetworkConfig, SimTime};
+use fpsping_sim::{NetworkConfig, SimEngine, SimTime};
 
 fn main() {
+    let args = SimArgs::from_env();
     println!("Figure 2 — client-server architecture for interactive gaming");
     println!();
     println!("  client 1 ──128kbps──┐                              ┌──1024kbps── client 1");
@@ -15,11 +21,17 @@ fn main() {
     println!("  client N ──128kbps──┘        (bottleneck C)        └──1024kbps── client N");
     println!();
     let n = 12;
-    let mut cfg =
-        NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), 40.0, 0xF1_62);
-    cfg.duration = SimTime::from_secs(30.0);
-    let rep = cfg.run();
-    println!("smoke run: N = {n}, T = 40 ms, P_S = 125 B, 30 simulated seconds");
+    let engine = SimEngine::new(args.engine_config(0xF1_62));
+    let rep = engine.run(|_| {
+        let mut cfg =
+            NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), 40.0, 0);
+        cfg.duration = SimTime::from_secs(30.0);
+        cfg
+    });
+    println!(
+        "smoke run: N = {n}, T = 40 ms, P_S = 125 B, 30 simulated seconds × {} replication(s)",
+        rep.reps
+    );
     println!("  events processed      : {}", rep.events);
     println!("  upstream packets      : {}", rep.packets_upstream);
     println!("  downstream packets    : {}", rep.packets_downstream);
@@ -28,15 +40,18 @@ fn main() {
         rep.up_utilization, rep.down_utilization
     );
     println!(
-        "  mean upstream delay   : {:.3} ms",
-        rep.upstream_delay.mean_s * 1e3
+        "  mean upstream delay   : {}",
+        ms_with_ci(rep.upstream_delay.mean_s, rep.upstream_delay.mean_ci95_s)
     );
     println!(
-        "  mean downstream delay : {:.3} ms",
-        rep.downstream_delay.mean_s * 1e3
+        "  mean downstream delay : {}",
+        ms_with_ci(
+            rep.downstream_delay.mean_s,
+            rep.downstream_delay.mean_ci95_s
+        )
     );
     println!(
-        "  mean application ping : {:.3} ms",
-        rep.ping_rtt.mean_s * 1e3
+        "  mean application ping : {}",
+        ms_with_ci(rep.ping_rtt.mean_s, rep.ping_rtt.mean_ci95_s)
     );
 }

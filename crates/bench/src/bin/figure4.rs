@@ -3,10 +3,18 @@
 //! T = 60 ms — and verifies the paper's observation that the RTT is
 //! virtually proportional to T (ratio ≈ 3/2) when the downlink dominates.
 
+//!
+//! Flags: `--jobs J` parallelizes the analytic sweep; `--reps R` (R > 1)
+//! cross-checks the T-proportionality at ρ_d = 0.5 with R simulated
+//! replications; `--stream-quantiles` bounds the cross-check's memory.
+
 use fpsping::{Engine, EngineConfig, Scenario};
-use fpsping_bench::write_csv;
+use fpsping_bench::{ms_with_ci, write_csv, SimArgs};
+use fpsping_dist::Deterministic;
+use fpsping_sim::{NetworkConfig, SimEngine, SimTime};
 
 fn main() {
+    let args = SimArgs::from_env();
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
     let s40 = Scenario::paper_default()
         .with_tick_ms(40.0)
@@ -16,7 +24,7 @@ fn main() {
         .with_erlang_order(9);
     // The (K, ρ_d) solver cache is T-invariant: the T = 60 ms series
     // rebuilds every D/E_K/1 from the T = 40 ms solves.
-    let engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::with_jobs(args.jobs));
     let p40 = engine.rtt_vs_load(&s40, &loads);
     let p60 = engine.rtt_vs_load(&s60, &loads);
 
@@ -46,4 +54,32 @@ fn main() {
     println!();
     println!("Paper: 'the RTT for T = 60 ms is about 3/2 times as high as the RTT");
     println!("for T = 40 ms' — the stochastic ratio column should sit near 1.5.");
+    if args.reps > 1 {
+        println!();
+        println!(
+            "Simulation cross-check (ρ_d = 0.5, K = 9, {} replications):",
+            args.reps
+        );
+        let mut means = Vec::new();
+        for (t_ms, scenario) in [(40.0, &s40), (60.0, &s60)] {
+            let n = scenario.clone().with_load(0.5).gamer_count().round() as usize;
+            let sim = SimEngine::new(args.engine_config(0xF164 ^ t_ms as u64));
+            let rep = sim.run(|_| {
+                let mut cfg =
+                    NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), t_ms, 0);
+                cfg.duration = SimTime::from_secs(120.0);
+                cfg.warmup = SimTime::from_secs(5.0);
+                cfg
+            });
+            println!(
+                "  T = {t_ms} ms, N = {n:>3}: sim mean ping {}",
+                ms_with_ci(rep.ping_rtt.mean_s, rep.ping_rtt.mean_ci95_s)
+            );
+            means.push(rep.ping_rtt.mean_s);
+        }
+        println!(
+            "  simulated mean-ping ratio T=60/T=40: {:.3}",
+            means[1] / means[0]
+        );
+    }
 }

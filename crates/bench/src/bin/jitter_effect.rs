@@ -10,58 +10,77 @@
 //! Erlang-order fit!) degrade even though the server's true behaviour
 //! never changes.
 
-use fpsping_bench::write_csv;
+//!
+//! Flags: `--reps R` averages the measured statistics over R independent
+//! sessions (the fitted K then comes from the averaged CoV); `--jobs J`
+//! runs replications in parallel.
+
+use fpsping_bench::{write_csv, SimArgs};
 use fpsping_dist::fit::erlang_order_from_cov;
 use fpsping_dist::{Distribution, Exponential, Uniform};
-use fpsping_sim::{BurstSizing, NetworkConfig, SimTime};
+use fpsping_sim::{BurstSizing, NetworkConfig, SimEngine, SimTime};
 use fpsping_traffic::TraceStats;
 
 fn main() {
+    let args = SimArgs::from_env();
     println!("Jitter vs measured traffic statistics (true: 12 players, T = 40 ms,");
-    println!("burst sizes Erlang K = 9 — every row measures the SAME server)");
+    println!(
+        "burst sizes Erlang K = 9 — every row measures the SAME server; {} session(s)/row)",
+        args.reps
+    );
     println!();
     println!(
         "{:<22} | {:>8} {:>10} {:>10} {:>11} {:>8}",
         "downlink jitter", "bursts", "IAT mean", "IAT CoV", "size CoV", "K(CoV)"
     );
-    let run = |jitter: Option<Box<dyn Distribution>>| {
-        let mut cfg = NetworkConfig::paper_scenario(
-            12,
-            Box::new(fpsping_dist::Deterministic::new(150.0)),
-            40.0,
-            0x11778,
-        );
-        cfg.burst_sizing = BurstSizing::ErlangBurst { k: 9 };
-        cfg.capture_trace = true;
-        cfg.downlink_jitter_ms = jitter;
-        cfg.duration = SimTime::from_secs(240.0);
-        let rep = cfg.run();
-        TraceStats::compute(&rep.trace.unwrap(), 5.0)
-    };
-    let cases: Vec<(String, Option<Box<dyn Distribution>>)> = vec![
-        ("none".into(), None),
-        ("U(0, 2 ms)".into(), Some(Box::new(Uniform::new(0.0, 2.0)))),
-        ("U(0, 4 ms)".into(), Some(Box::new(Uniform::new(0.0, 4.0)))),
-        (
-            "Exp(mean 3 ms)".into(),
-            Some(Box::new(Exponential::with_mean(3.0))),
-        ),
-        (
-            "Exp(mean 8 ms)".into(),
-            Some(Box::new(Exponential::with_mean(8.0))),
-        ),
+    let engine = SimEngine::new(args.engine_config(0x11778));
+    // Jitter laws are built inside the per-replication factory (each
+    // replication needs its own boxed distribution), so the cases are
+    // constructors, not values.
+    type JitterMaker = fn() -> Option<Box<dyn Distribution>>;
+    let cases: Vec<(&str, JitterMaker)> = vec![
+        ("none", || None),
+        ("U(0, 2 ms)", || Some(Box::new(Uniform::new(0.0, 2.0)))),
+        ("U(0, 4 ms)", || Some(Box::new(Uniform::new(0.0, 4.0)))),
+        ("Exp(mean 3 ms)", || {
+            Some(Box::new(Exponential::with_mean(3.0)))
+        }),
+        ("Exp(mean 8 ms)", || {
+            Some(Box::new(Exponential::with_mean(8.0)))
+        }),
     ];
     let mut csv = Vec::new();
-    for (name, jitter) in cases {
-        let st = run(jitter);
-        let k_fit = erlang_order_from_cov(st.burst_size.1.max(1e-6));
+    for (name, make_jitter) in cases {
+        let rep = engine.run(|_| {
+            let mut cfg = NetworkConfig::paper_scenario(
+                12,
+                Box::new(fpsping_dist::Deterministic::new(150.0)),
+                40.0,
+                0,
+            );
+            cfg.burst_sizing = BurstSizing::ErlangBurst { k: 9 };
+            cfg.capture_trace = true;
+            cfg.downlink_jitter_ms = make_jitter();
+            cfg.duration = SimTime::from_secs(240.0);
+            cfg
+        });
+        // Average the measured statistics over the replications.
+        let stats: Vec<TraceStats> = rep
+            .per_rep
+            .iter()
+            .map(|r| TraceStats::compute(r.trace.as_ref().unwrap(), 5.0))
+            .collect();
+        let r = stats.len() as f64;
+        let n_bursts = stats.iter().map(|s| s.n_bursts as f64).sum::<f64>() / r;
+        let iat_mean = stats.iter().map(|s| s.burst_iat.0).sum::<f64>() / r;
+        let iat_cov = stats.iter().map(|s| s.burst_iat.1).sum::<f64>() / r;
+        let size_cov = stats.iter().map(|s| s.burst_size.1).sum::<f64>() / r;
+        let k_fit = erlang_order_from_cov(size_cov.max(1e-6));
         println!(
-            "{name:<22} | {:>8} {:>10.2} {:>10.4} {:>11.4} {:>8}",
-            st.n_bursts, st.burst_iat.0, st.burst_iat.1, st.burst_size.1, k_fit
+            "{name:<22} | {n_bursts:>8.0} {iat_mean:>10.2} {iat_cov:>10.4} {size_cov:>11.4} {k_fit:>8}",
         );
         csv.push(format!(
-            "{name},{},{:.4},{:.5},{:.5},{k_fit}",
-            st.n_bursts, st.burst_iat.0, st.burst_iat.1, st.burst_size.1
+            "{name},{n_bursts:.1},{iat_mean:.4},{iat_cov:.5},{size_cov:.5},{k_fit}"
         ));
     }
     write_csv(

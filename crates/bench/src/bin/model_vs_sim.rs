@@ -2,15 +2,25 @@
 //! the packet-level simulator across loads and Erlang orders. The paper
 //! had no public testbed; this is the reproduction's ground truth.
 
+//!
+//! Flags: `--reps R` runs R independent replications per cell (the sim
+//! columns become across-replication means and the CSV gains 95% CI
+//! half-widths); `--jobs J` parallelizes them; `--stream-quantiles`
+//! bounds probe memory for long runs.
+
 use fpsping::{RttModel, Scenario};
-use fpsping_bench::write_csv;
+use fpsping_bench::{write_csv, SimArgs};
 use fpsping_dist::Deterministic;
 use fpsping_queue::PositionDelay;
-use fpsping_sim::{BurstSizing, NetworkConfig, SimTime};
+use fpsping_sim::{BurstSizing, NetworkConfig, SimEngine, SimTime};
 
 fn main() {
+    let args = SimArgs::from_env();
     let t_ms = 40.0;
-    println!("Model vs simulation: downstream delay (tick → client arrival)");
+    println!(
+        "Model vs simulation: downstream delay (tick → client arrival), {} replication(s)/cell",
+        args.reps
+    );
     println!(
         "{:>4} {:>6} {:>6} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
         "K", "rho", "N", "mean[ms]", "sim", "p99[ms]", "sim", "p99.9[ms]", "sim"
@@ -36,36 +46,46 @@ fn main() {
             let a_p99 = (down.quantile(0.99) + det_down) * 1e3;
             let a_p999 = (down.quantile(0.999) + det_down) * 1e3;
 
-            let mut cfg = NetworkConfig::paper_scenario(
-                n,
-                Box::new(Deterministic::new(scenario.server_packet_bytes)),
-                t_ms,
-                0x5EED ^ ((k as u64) << 8) ^ (rho * 100.0) as u64,
-            );
-            cfg.burst_sizing = BurstSizing::ErlangBurst { k };
-            cfg.duration = SimTime::from_secs(240.0);
-            cfg.warmup = SimTime::from_secs(5.0);
-            let rep = cfg.run();
+            let master = 0x5EED ^ ((k as u64) << 8) ^ (rho * 100.0) as u64;
+            let engine = SimEngine::new(args.engine_config(master));
+            let rep = engine.run(|_| {
+                let mut cfg = NetworkConfig::paper_scenario(
+                    n,
+                    Box::new(Deterministic::new(scenario.server_packet_bytes)),
+                    t_ms,
+                    0,
+                );
+                cfg.burst_sizing = BurstSizing::ErlangBurst { k };
+                cfg.duration = SimTime::from_secs(240.0);
+                cfg.warmup = SimTime::from_secs(5.0);
+                cfg
+            });
+            let down = &rep.downstream_delay;
             let q = |p: f64| {
-                rep.downstream_delay
-                    .quantiles
+                down.quantiles
                     .iter()
-                    .find(|(x, _)| (*x - p).abs() < 1e-9)
-                    .map(|(_, v)| v * 1e3)
-                    .unwrap_or(f64::NAN)
+                    .find(|e| (e.p - p).abs() < 1e-9)
+                    .map(|e| (e.value_s * 1e3, e.ci95_s.map(|c| c * 1e3)))
+                    .unwrap_or((f64::NAN, None))
             };
-            let (s_mean, s_p99, s_p999) = (rep.downstream_delay.mean_s * 1e3, q(0.99), q(0.999));
+            let s_mean = down.mean_s * 1e3;
+            let s_mean_ci = down.mean_ci95_s.map(|c| c * 1e3);
+            let ((s_p99, s_p99_ci), (s_p999, s_p999_ci)) = (q(0.99), q(0.999));
             println!(
                 "{k:>4} {rho:>6.2} {n:>6} | {a_mean:>11.2} {s_mean:>11.2} | {a_p99:>11.2} {s_p99:>11.2} | {a_p999:>11.2} {s_p999:>11.2}",
             );
+            let ci = |c: Option<f64>| c.map(|v| format!("{v:.4}")).unwrap_or_default();
             csv.push(format!(
-                "{k},{rho},{n},{a_mean:.4},{s_mean:.4},{a_p99:.4},{s_p99:.4},{a_p999:.4},{s_p999:.4}"
+                "{k},{rho},{n},{a_mean:.4},{s_mean:.4},{},{a_p99:.4},{s_p99:.4},{},{a_p999:.4},{s_p999:.4},{}",
+                ci(s_mean_ci),
+                ci(s_p99_ci),
+                ci(s_p999_ci)
             ));
         }
     }
     write_csv(
         "model_vs_sim_downstream.csv",
-        "k,rho,n,analytic_mean_ms,sim_mean_ms,analytic_p99_ms,sim_p99_ms,analytic_p999_ms,sim_p999_ms",
+        "k,rho,n,analytic_mean_ms,sim_mean_ms,sim_mean_ci_ms,analytic_p99_ms,sim_p99_ms,sim_p99_ci_ms,analytic_p999_ms,sim_p999_ms,sim_p999_ci_ms",
         &csv,
     );
     println!();

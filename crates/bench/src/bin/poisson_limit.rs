@@ -3,13 +3,18 @@
 //! converge to the M/D/1 expressions, and the simulated aggregation-node
 //! wait approaches the M/D/1 prediction.
 
-use fpsping_bench::write_csv;
+//!
+//! Flags: `--reps R --jobs J --stream-quantiles` control the simulation
+//! cross-check (replications, threads, probe memory).
+
+use fpsping_bench::{ms_with_ci, write_csv, SimArgs};
 use fpsping_dist::Deterministic;
 use fpsping_queue::mg1::mdd1;
 use fpsping_queue::nddd1::NDdd1;
-use fpsping_sim::{NetworkConfig, SimTime};
+use fpsping_sim::{NetworkConfig, SimEngine, SimTime};
 
 fn main() {
+    let args = SimArgs::from_env();
     let tau = 0.000_128; // 80 B on 5 Mbps
     let rho = 0.5;
     let w = 0.001; // 1 ms
@@ -41,16 +46,22 @@ fn main() {
 
     // Simulation cross-check at one population size.
     println!();
-    println!("Simulated aggregation wait vs M/D/1 (N = 100 gamers):");
+    println!(
+        "Simulated aggregation wait vs M/D/1 (N = 100 gamers, {} replication(s)):",
+        args.reps
+    );
     let n = 100usize;
     let t_ms = n as f64 * tau * 1e3 / rho;
-    let mut cfg =
-        NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), t_ms, 0x90155);
-    cfg.duration = SimTime::from_secs(120.0);
-    let rep = cfg.run();
+    let engine = SimEngine::new(args.engine_config(0x90155));
+    let rep = engine.run(|_| {
+        let mut cfg =
+            NetworkConfig::paper_scenario(n, Box::new(Deterministic::new(125.0)), t_ms, 0);
+        cfg.duration = SimTime::from_secs(120.0);
+        cfg
+    });
     println!(
-        "  sim mean wait  : {:.4} ms | M/D/1 mean: {:.4} ms",
-        rep.agg_wait.mean_s * 1e3,
+        "  sim mean wait  : {} | M/D/1 mean: {:.4} ms",
+        ms_with_ci(rep.agg_wait.mean_s, rep.agg_wait.mean_ci95_s),
         md1.mean_wait() * 1e3
     );
     println!("  (the simulated N·D/D/1 wait sits below its Poisson limit at finite N,");

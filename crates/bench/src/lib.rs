@@ -4,9 +4,106 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use fpsping_sim::SimEngineConfig;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+
+/// Replication flags shared by every simulation-backed reproduction
+/// binary: `--reps R --jobs J --stream-quantiles`.
+///
+/// Defaults (`reps = 1`, `jobs = 0` = all cores, exact quantiles) keep
+/// the binaries' single-run behaviour; raising `--reps` switches them to
+/// the replicated engine with 95% confidence half-widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    /// Independent replications R.
+    pub reps: usize,
+    /// Worker threads (0 = all cores).
+    pub jobs: usize,
+    /// O(1)-memory streaming (P²) quantiles instead of raw samples.
+    pub stream_quantiles: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        Self {
+            reps: 1,
+            jobs: 0,
+            stream_quantiles: false,
+        }
+    }
+}
+
+impl SimArgs {
+    /// Parses the flags from an argument list; unknown flags error.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut out = Self::default();
+        let mut i = 0usize;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--reps" | "--jobs" => {
+                    let flag = args[i].clone();
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("flag {flag}: `{v}` is not a non-negative integer"))?;
+                    if flag == "--reps" {
+                        if n == 0 {
+                            return Err("--reps must be at least 1".into());
+                        }
+                        out.reps = n;
+                    } else {
+                        out.jobs = n;
+                    }
+                    i += 2;
+                }
+                "--stream-quantiles" => {
+                    out.stream_quantiles = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a usage message on
+    /// error — the standard front door for the reproduction binaries.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("usage: [--reps R] [--jobs J] [--stream-quantiles]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The replicated-engine configuration these flags describe, under
+    /// the given master seed.
+    pub fn engine_config(&self, master_seed: u64) -> SimEngineConfig {
+        SimEngineConfig {
+            reps: self.reps,
+            jobs: self.jobs,
+            master_seed,
+            stream_quantiles: self.stream_quantiles,
+        }
+    }
+}
+
+/// Formats `value ± half-width` in milliseconds, omitting the half-width
+/// when no confidence interval exists (single replication).
+pub fn ms_with_ci(value_s: f64, ci_s: Option<f64>) -> String {
+    match ci_s {
+        Some(hw) => format!("{:.3} ± {:.3} ms", value_s * 1e3, hw * 1e3),
+        None => format!("{:.3} ms", value_s * 1e3),
+    }
+}
 
 /// The repository-level `results/` directory (created on demand).
 pub fn results_dir() -> PathBuf {
@@ -57,5 +154,42 @@ mod tests {
         let rows = series_rows(&[(0.5, 1e-5)]);
         assert_eq!(rows.len(), 1);
         assert!(rows[0].starts_with("0.500000,"));
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn sim_args_defaults_and_flags() {
+        assert_eq!(SimArgs::parse(argv("")).unwrap(), SimArgs::default());
+        let a = SimArgs::parse(argv("--reps 8 --jobs 2 --stream-quantiles")).unwrap();
+        assert_eq!(
+            a,
+            SimArgs {
+                reps: 8,
+                jobs: 2,
+                stream_quantiles: true
+            }
+        );
+        let ec = a.engine_config(42);
+        assert_eq!(ec.reps, 8);
+        assert_eq!(ec.jobs, 2);
+        assert_eq!(ec.master_seed, 42);
+        assert!(ec.stream_quantiles);
+    }
+
+    #[test]
+    fn sim_args_rejects_bad_input() {
+        assert!(SimArgs::parse(argv("--reps")).is_err());
+        assert!(SimArgs::parse(argv("--reps 0")).is_err());
+        assert!(SimArgs::parse(argv("--reps x")).is_err());
+        assert!(SimArgs::parse(argv("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn ci_formatting() {
+        assert_eq!(ms_with_ci(0.0125, None), "12.500 ms");
+        assert_eq!(ms_with_ci(0.0125, Some(0.0005)), "12.500 ± 0.500 ms");
     }
 }

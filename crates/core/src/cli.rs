@@ -28,6 +28,21 @@ pub enum Command {
         /// Worker threads for the sweep engine (0 = all cores).
         jobs: usize,
     },
+    /// `sim` — replicated packet-level simulation of the scenario.
+    Sim {
+        /// The base scenario.
+        scenario: Scenario,
+        /// Independent replications R.
+        reps: usize,
+        /// Worker threads (0 = all cores).
+        jobs: usize,
+        /// O(1)-memory streaming quantiles instead of raw samples.
+        stream_quantiles: bool,
+        /// Simulated seconds per replication.
+        sim_seconds: f64,
+        /// Master seed for the replication seed derivation.
+        seed: u64,
+    },
     /// `help` — usage text.
     Help,
 }
@@ -54,6 +69,7 @@ COMMANDS:
     quantile     RTT quantile + per-component breakdown for one scenario
     dimension    maximum load / gamers under a ping budget (needs --budget-ms)
     sweep        RTT quantile across the 5%..90% load grid
+    sim          replicated packet-level simulation (95% CIs with --reps > 1)
     help         this text
 
 FLAGS (all optional; defaults are the paper's §4 scenario):
@@ -69,8 +85,12 @@ FLAGS (all optional; defaults are the paper's §4 scenario):
     --rdown-kbps <R>         access downlink rate in kbit/s  [default 1024]
     --quantile <p>           quantile level                  [default 0.99999]
     --budget-ms <B>          RTT budget (dimension only)
-    --jobs <N>               sweep worker threads; 0 = all cores [default 0]
+    --jobs <N>               sweep/sim worker threads; 0 = all cores [default 0]
     --no-upstream            drop the upstream M/G/1 term
+    --reps <R>               sim: independent replications      [default 1]
+    --stream-quantiles       sim: O(1)-memory P-squared quantiles
+    --sim-seconds <S>        sim: simulated seconds per replication [default 60]
+    --seed <S>               sim: master seed                   [default 24301]
 ";
 
 fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, ParseError> {
@@ -90,6 +110,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut scenario = Scenario::paper_default();
     let mut budget_ms: Option<f64> = None;
     let mut jobs = 0usize;
+    let mut reps = 1usize;
+    let mut stream_quantiles = false;
+    let mut sim_seconds = 60.0f64;
+    let mut seed = 0x5EEDu64;
     let mut i = 1usize;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -139,6 +163,34 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 scenario.include_upstream = false;
                 consumed = 1;
             }
+            "--reps" => {
+                let n = parse_f64(flag, value)?;
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(ParseError(format!(
+                        "--reps must be a positive integer, got {n}"
+                    )));
+                }
+                reps = n as usize;
+            }
+            "--stream-quantiles" => {
+                stream_quantiles = true;
+                consumed = 1;
+            }
+            "--sim-seconds" => {
+                let s = parse_f64(flag, value)?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--sim-seconds must be positive, got {s}"
+                    )));
+                }
+                sim_seconds = s;
+            }
+            "--seed" => {
+                let v = value.ok_or_else(|| ParseError("flag --seed needs a value".into()))?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| ParseError(format!("flag --seed: `{v}` is not a u64")))?;
+            }
             other => return Err(ParseError(format!("unknown flag `{other}` (try `help`)"))),
         }
         i += consumed;
@@ -154,6 +206,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "sweep" => Ok(Command::Sweep { scenario, jobs }),
+        "sim" => Ok(Command::Sim {
+            scenario,
+            reps,
+            jobs,
+            stream_quantiles,
+            sim_seconds,
+            seed,
+        }),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `help`)"
         ))),
@@ -207,6 +267,95 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 r.n_max,
                 rtt_at_max
             );
+        }
+        Command::Sim {
+            scenario: s,
+            reps,
+            jobs,
+            stream_quantiles,
+            sim_seconds,
+            seed,
+        } => {
+            use fpsping_sim::{BurstSizing, NetworkConfig, SimEngine, SimEngineConfig, SimTime};
+            s.validate().map_err(|e| e.to_string())?;
+            let n = s.gamer_count().round().max(1.0) as usize;
+            let engine = SimEngine::new(SimEngineConfig {
+                reps: *reps,
+                jobs: *jobs,
+                master_seed: *seed,
+                stream_quantiles: *stream_quantiles,
+            });
+            let rep = engine.run(|_| {
+                let mut cfg = NetworkConfig::paper_scenario(
+                    n,
+                    Box::new(fpsping_dist::Deterministic::new(s.server_packet_bytes)),
+                    s.t_ms,
+                    0,
+                );
+                cfg.client_packet_bytes =
+                    Box::new(fpsping_dist::Deterministic::new(s.client_packet_bytes));
+                cfg.client_interval_ms = Box::new(fpsping_dist::Deterministic::new(
+                    s.effective_client_interval_ms(),
+                ));
+                cfg.r_up_bps = s.r_up_bps;
+                cfg.r_down_bps = s.r_down_bps;
+                cfg.c_bps = s.c_bps;
+                cfg.burst_sizing = BurstSizing::ErlangBurst { k: s.erlang_order };
+                cfg.duration = SimTime::from_secs(*sim_seconds);
+                cfg
+            });
+            let _ = writeln!(
+                out,
+                "simulated: N={n} K={} T={} ms P_S={} B — {} × {sim_seconds} s (jobs={}, {} quantiles)",
+                s.erlang_order,
+                s.t_ms,
+                s.server_packet_bytes,
+                rep.reps,
+                engine.effective_jobs(),
+                if *stream_quantiles { "streaming" } else { "exact" }
+            );
+            let _ = writeln!(
+                out,
+                "  events {} | packets up/down {}/{} | util up/down {:.3}/{:.3}",
+                rep.events,
+                rep.packets_upstream,
+                rep.packets_downstream,
+                rep.up_utilization,
+                rep.down_utilization
+            );
+            let ci = |v: Option<f64>| match v {
+                Some(hw) => format!(" ± {:.3}", hw * 1e3),
+                None => String::new(),
+            };
+            for (name, probe) in [
+                ("upstream delay", &rep.upstream_delay),
+                ("downstream delay", &rep.downstream_delay),
+                ("application ping", &rep.ping_rtt),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "  {name:<17}: mean {:.3}{} ms",
+                    probe.mean_s * 1e3,
+                    ci(probe.mean_ci95_s)
+                );
+            }
+            for q in &rep.ping_rtt.quantiles {
+                // Clean percent label: 0.99999 → "99.999", 0.5 → "50".
+                let label = format!("{:.3}", q.p * 100.0);
+                let label = label.trim_end_matches('0').trim_end_matches('.');
+                let _ = writeln!(
+                    out,
+                    "    ping p{label:<7}: {:.3}{} ms",
+                    q.value_s * 1e3,
+                    ci(q.ci95_s)
+                );
+            }
+            if *reps < 2 {
+                let _ = writeln!(
+                    out,
+                    "  (single replication — pass --reps R for 95% confidence intervals)"
+                );
+            }
         }
         Command::Sweep { scenario: s, jobs } => {
             let engine = Engine::new(EngineConfig::with_jobs(*jobs));
@@ -304,6 +453,71 @@ mod tests {
         }
         assert!(parse(&argv("sweep --jobs -1")).is_err());
         assert!(parse(&argv("sweep --jobs 1.5")).is_err());
+    }
+
+    #[test]
+    fn sim_takes_replication_flags() {
+        match parse(&argv(
+            "sim --reps 8 --jobs 2 --stream-quantiles --sim-seconds 10 --seed 7",
+        ))
+        .unwrap()
+        {
+            Command::Sim {
+                reps,
+                jobs,
+                stream_quantiles,
+                sim_seconds,
+                seed,
+                ..
+            } => {
+                assert_eq!(reps, 8);
+                assert_eq!(jobs, 2);
+                assert!(stream_quantiles);
+                assert_eq!(sim_seconds, 10.0);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("sim")).unwrap() {
+            Command::Sim {
+                reps,
+                jobs,
+                stream_quantiles,
+                ..
+            } => {
+                assert_eq!(reps, 1, "default single replication");
+                assert_eq!(jobs, 0, "default all cores");
+                assert!(!stream_quantiles);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("sim --reps 0")).is_err());
+        assert!(parse(&argv("sim --reps 1.5")).is_err());
+        assert!(parse(&argv("sim --sim-seconds -3")).is_err());
+        assert!(parse(&argv("sim --seed -1")).is_err());
+    }
+
+    #[test]
+    fn run_sim_reports_confidence_intervals() {
+        let cmd = parse(&argv(
+            "sim --gamers 6 --reps 3 --jobs 2 --sim-seconds 5 --seed 11",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("application ping"), "{out}");
+        assert!(out.contains("±"), "R=3 must print CIs: {out}");
+        assert!(out.contains("p99.999"), "{out}");
+    }
+
+    #[test]
+    fn run_sim_is_deterministic_across_jobs() {
+        let a = run(&parse(&argv("sim --gamers 6 --reps 3 --jobs 1 --sim-seconds 5")).unwrap())
+            .unwrap();
+        let b = run(&parse(&argv("sim --gamers 6 --reps 3 --jobs 3 --sim-seconds 5")).unwrap())
+            .unwrap();
+        // Everything but the printed jobs count is identical.
+        let strip = |s: &str| s.replace("jobs=1", "jobs=N").replace("jobs=3", "jobs=N");
+        assert_eq!(strip(&a), strip(&b));
     }
 
     #[test]

@@ -117,6 +117,79 @@ impl P2Quantile {
         self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
     }
 
+    /// Absorbs another estimator of the **same level**, as if this
+    /// estimator had also seen (a statistically equivalent version of)
+    /// the other's stream.
+    ///
+    /// P² keeps five markers, not the sample, so an exact merge is
+    /// impossible in general; this uses the standard count-weighted
+    /// combination: interior marker heights average with weights
+    /// proportional to the observation counts, the extreme markers take
+    /// the true combined min/max, and marker positions add. The result
+    /// is a valid P² state (heights and positions stay monotone) that
+    /// can keep absorbing observations, and its estimate converges to
+    /// the true quantile as both streams grow — see the module tests for
+    /// the measured error against exact order statistics.
+    ///
+    /// Either side may still be in its initialization phase (fewer than
+    /// five observations); those observations are replayed exactly.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            self.p == other.p,
+            "P2Quantile::merge: levels differ ({} vs {})",
+            self.p,
+            other.p
+        );
+        if other.count == 0 {
+            return;
+        }
+        // A side without a marker structure yet contributes its raw
+        // observations verbatim.
+        if other.init.len() < 5 && other.count == other.init.len() as u64 {
+            for &x in &other.init {
+                self.record(x);
+            }
+            return;
+        }
+        if self.init.len() < 5 && self.count == self.init.len() as u64 {
+            let mine = std::mem::take(&mut self.init);
+            *self = other.clone();
+            for x in mine {
+                self.record(x);
+            }
+            return;
+        }
+        let (n1, n2) = (self.count as f64, other.count as f64);
+        let w = n1 / (n1 + n2);
+        for i in 1..4 {
+            self.q[i] = w * self.q[i] + (1.0 - w) * other.q[i];
+        }
+        self.q[0] = self.q[0].min(other.q[0]);
+        self.q[4] = self.q[4].max(other.q[4]);
+        self.count += other.count;
+        let total = self.count as f64;
+        // Positions add (ranks in the pooled stream); pin the ends and
+        // keep the interior strictly inside them.
+        self.n[0] = 1.0;
+        self.n[4] = total;
+        for i in 1..4 {
+            self.n[i] = (self.n[i] + other.n[i])
+                .max(self.n[i - 1] + 1.0)
+                .min(total - (4 - i) as f64);
+        }
+        // Desired positions follow the closed form for the pooled count.
+        self.np = [
+            1.0,
+            1.0 + 2.0 * self.p,
+            1.0 + 4.0 * self.p,
+            3.0 + 2.0 * self.p,
+            5.0,
+        ];
+        for (np, dn) in self.np.iter_mut().zip(self.dn) {
+            *np += (total - 5.0) * dn;
+        }
+    }
+
     /// The current quantile estimate. Exact for fewer than five
     /// observations (falls back to order statistics).
     pub fn estimate(&self) -> f64 {
@@ -203,6 +276,95 @@ mod tests {
         // Markers 0 and 4 hold min and max.
         assert_eq!(est.q[0], 0.5);
         assert_eq!(est.q[4], 11.0);
+    }
+
+    #[test]
+    fn merge_of_split_stream_matches_exact_quantile() {
+        for &p in &[0.5, 0.9, 0.99] {
+            let data = lcg_stream(200_000, 99);
+            let (mut a, mut b) = (P2Quantile::new(p), P2Quantile::new(p));
+            for (i, &x) in data.iter().enumerate() {
+                if i % 2 == 0 {
+                    a.record(x);
+                } else {
+                    b.record(x);
+                }
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), data.len() as u64);
+            let exact = crate::stats::quantile_unsorted(&data, p);
+            assert!(
+                (a.estimate() - exact).abs() < 0.02,
+                "p={p}: merged {} vs exact {exact}",
+                a.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_handles_initialization_phases() {
+        // other still in init: its observations replay exactly.
+        let mut a = P2Quantile::new(0.5);
+        for &x in &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            a.record(x);
+        }
+        let mut b = P2Quantile::new(0.5);
+        b.record(0.5);
+        b.record(8.0);
+        let count_before = a.count();
+        a.merge(&b);
+        assert_eq!(a.count(), count_before + 2);
+        assert_eq!(a.q[0], 0.5, "replayed min updates the low marker");
+        assert_eq!(a.q[4], 8.0, "replayed max updates the high marker");
+
+        // self in init, other structured: adopt the structure, replay ours.
+        let mut c = P2Quantile::new(0.5);
+        c.record(100.0);
+        let mut d = P2Quantile::new(0.5);
+        for i in 0..50 {
+            d.record(i as f64);
+        }
+        c.merge(&d);
+        assert_eq!(c.count(), 51);
+        assert_eq!(c.q[4], 100.0);
+        // Empty other is a no-op.
+        let before = c.estimate();
+        c.merge(&P2Quantile::new(0.5));
+        assert_eq!(c.estimate(), before);
+    }
+
+    #[test]
+    fn merged_estimator_keeps_absorbing_observations() {
+        let data = lcg_stream(100_000, 5);
+        let (mut a, mut b) = (P2Quantile::new(0.9), P2Quantile::new(0.9));
+        for &x in &data[..30_000] {
+            a.record(x);
+        }
+        for &x in &data[30_000..60_000] {
+            b.record(x);
+        }
+        a.merge(&b);
+        for &x in &data[60_000..] {
+            a.record(x);
+        }
+        let exact = crate::stats::quantile_unsorted(&data, 0.9);
+        assert!(
+            (a.estimate() - exact).abs() < 0.02,
+            "merged-then-fed {} vs exact {exact}",
+            a.estimate()
+        );
+        // Marker invariants survive the merge + continued feeding.
+        for i in 0..4 {
+            assert!(a.q[i] <= a.q[i + 1], "heights monotone: {:?}", a.q);
+            assert!(a.n[i] < a.n[i + 1], "positions monotone: {:?}", a.n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "levels differ")]
+    fn merge_rejects_level_mismatch() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge(&P2Quantile::new(0.9));
     }
 
     #[test]

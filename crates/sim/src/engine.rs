@@ -1,0 +1,491 @@
+//! Replicated simulation engine.
+//!
+//! One simulation run is a single sample path: its quantile estimates
+//! carry unknown error. The standard remedy (independent replications)
+//! runs the same scenario R times with independent random streams and
+//! treats each replication's statistics as one i.i.d. observation, so a
+//! Student-t confidence interval across replications quantifies the
+//! error (Law & Kelton, *Simulation Modeling and Analysis*, ch. 9).
+//!
+//! [`SimEngine`] implements that methodology:
+//!
+//! * **Deterministic seeding.** Replication `i` is seeded with element
+//!   `i` of the SplitMix64 output sequence started at the master seed
+//!   ([`replication_seed`]). The mapping depends only on
+//!   `(master_seed, i)` — never on thread count or scheduling — so
+//!   replication `i` produces bit-identical results whether the batch
+//!   runs on 1 thread or 16, and seeds never collide (the SplitMix64
+//!   finalizer is a bijection, so distinct `i` give distinct seeds for
+//!   any fixed master).
+//! * **Parallel execution.** Replications are distributed over scoped
+//!   worker threads in contiguous chunks; results land in a
+//!   replication-indexed vector, so downstream merging sees them in the
+//!   fixed order `0..R` regardless of which thread finished first.
+//! * **Merging.** Per-metric, the engine pools every replication's
+//!   probe (exact count-weighted moments; pooled samples or merged P²
+//!   markers for quantiles) *and* computes the across-replication mean
+//!   and 95% confidence half-width of each statistic from the R
+//!   per-replication estimates.
+
+use crate::network::{Measurements, Network, NetworkConfig, SimReport, QUANTILE_LEVELS};
+use crate::probe::DelayProbe;
+use fpsping_num::stats::t_critical_95;
+
+/// How a batch of replications is run.
+#[derive(Debug, Clone)]
+pub struct SimEngineConfig {
+    /// Number of independent replications R (at least 1).
+    pub reps: usize,
+    /// Worker threads; `0` means all available cores.
+    pub jobs: usize,
+    /// Master seed; replication `i` derives its own seed from this via
+    /// [`replication_seed`].
+    pub master_seed: u64,
+    /// Run every replication's probes in streaming (P²) mode: O(1)
+    /// memory per quantile level instead of a raw sample store.
+    pub stream_quantiles: bool,
+}
+
+impl Default for SimEngineConfig {
+    fn default() -> Self {
+        Self {
+            reps: 1,
+            jobs: 1,
+            master_seed: 0,
+            stream_quantiles: false,
+        }
+    }
+}
+
+impl SimEngineConfig {
+    /// A config with the given replication count (jobs = 1, seed 0).
+    pub fn with_reps(reps: usize) -> Self {
+        Self {
+            reps,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = all cores).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Enables or disables streaming quantiles.
+    pub fn stream_quantiles(mut self, on: bool) -> Self {
+        self.stream_quantiles = on;
+        self
+    }
+}
+
+/// The seed of replication `rep` under `master_seed`: element `rep` of
+/// the SplitMix64 output sequence started at the master seed.
+///
+/// SplitMix64's output function is a bijection of the (odd-increment)
+/// counter, so for a fixed master every replication index maps to a
+/// distinct seed — no collisions for any batch size.
+pub fn replication_seed(master_seed: u64, rep: u64) -> u64 {
+    let mut z = master_seed.wrapping_add((rep.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One quantile level's merged estimate.
+#[derive(Debug, Clone)]
+pub struct QuantileEstimate {
+    /// Quantile level `p`.
+    pub p: f64,
+    /// Mean of the R per-replication quantile estimates — the point
+    /// estimate the confidence interval is centered on.
+    pub value_s: f64,
+    /// 95% confidence half-width across replications (`None` when R < 2).
+    pub ci95_s: Option<f64>,
+    /// The quantile of the pooled probe (all replications' samples or
+    /// merged P² markers together).
+    pub pooled_s: f64,
+}
+
+/// One delay metric merged across replications.
+#[derive(Debug, Clone)]
+pub struct MergedProbe {
+    /// Total observations across all replications.
+    pub count: u64,
+    /// Pooled (count-weighted) mean delay in seconds — exact, via
+    /// streaming-moment merge.
+    pub mean_s: f64,
+    /// 95% confidence half-width of the mean, from the R
+    /// per-replication means (`None` when R < 2).
+    pub mean_ci95_s: Option<f64>,
+    /// Pooled standard deviation in seconds.
+    pub std_dev_s: f64,
+    /// Maximum over all replications.
+    pub max_s: f64,
+    /// Merged quantile estimates at the standard levels.
+    pub quantiles: Vec<QuantileEstimate>,
+    /// Pooled exact tail probabilities at the preset thresholds.
+    pub tails: Vec<(f64, f64)>,
+}
+
+/// The merged result of R replications, plus each replication's own
+/// report (in replication order) for inspection.
+#[derive(Debug)]
+pub struct ReplicatedReport {
+    /// Number of replications merged.
+    pub reps: usize,
+    /// The master seed the batch was derived from.
+    pub master_seed: u64,
+    /// Client send → server arrival.
+    pub upstream_delay: MergedProbe,
+    /// Server tick → client arrival.
+    pub downstream_delay: MergedProbe,
+    /// Queueing delay at the aggregation node onto C (upstream).
+    pub agg_wait: MergedProbe,
+    /// Queueing delay of the first packet of each burst downstream.
+    pub burst_wait: MergedProbe,
+    /// Full application ping (includes server tick alignment).
+    pub ping_rtt: MergedProbe,
+    /// Mean upstream-bottleneck utilization across replications.
+    pub up_utilization: f64,
+    /// Mean downstream-bottleneck utilization across replications.
+    pub down_utilization: f64,
+    /// Total events processed across all replications.
+    pub events: u64,
+    /// Total packets delivered to the server.
+    pub packets_upstream: u64,
+    /// Total packets delivered to clients.
+    pub packets_downstream: u64,
+    /// Each replication's own summarized report, index = replication.
+    pub per_rep: Vec<SimReport>,
+}
+
+/// Runs R independent replications of a scenario (possibly in parallel)
+/// and merges them. See the module docs for the methodology.
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    cfg: SimEngineConfig,
+}
+
+impl SimEngine {
+    /// An engine with the given batch configuration.
+    pub fn new(cfg: SimEngineConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The batch configuration.
+    pub fn config(&self) -> &SimEngineConfig {
+        &self.cfg
+    }
+
+    /// The worker-thread count actually used (`jobs = 0` resolved to the
+    /// host's available parallelism, then capped at the replication
+    /// count).
+    pub fn effective_jobs(&self) -> usize {
+        let jobs = if self.cfg.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.jobs
+        };
+        jobs.clamp(1, self.cfg.reps.max(1))
+    }
+
+    /// Runs the batch. `make_cfg(rep)` builds replication `rep`'s
+    /// scenario; the engine overrides its `seed` with
+    /// [`replication_seed`]`(master_seed, rep)` and its
+    /// `stream_quantiles` flag with the engine's own, so every
+    /// replication differs *only* in its random stream.
+    ///
+    /// The merged report is a deterministic function of
+    /// `(config, make_cfg)` — bit-identical across `jobs` settings.
+    pub fn run<F>(&self, make_cfg: F) -> ReplicatedReport
+    where
+        F: Fn(usize) -> NetworkConfig + Sync,
+    {
+        let reps = self.cfg.reps.max(1);
+        let jobs = self.effective_jobs();
+        let run_one = |rep: usize| -> Measurements {
+            let mut cfg = make_cfg(rep);
+            cfg.seed = replication_seed(self.cfg.master_seed, rep as u64);
+            cfg.stream_quantiles = self.cfg.stream_quantiles;
+            Network::new(cfg).run_measurements()
+        };
+        let results = par_map(reps, jobs, run_one);
+        self.merge(results)
+    }
+
+    /// Merges per-replication measurements, in replication order.
+    fn merge(&self, mut reps: Vec<Measurements>) -> ReplicatedReport {
+        let r = reps.len();
+        let upstream_delay = merge_metric(&mut reps, |m| &mut m.upstream_delay);
+        let downstream_delay = merge_metric(&mut reps, |m| &mut m.downstream_delay);
+        let agg_wait = merge_metric(&mut reps, |m| &mut m.agg_wait);
+        let burst_wait = merge_metric(&mut reps, |m| &mut m.burst_wait);
+        let ping_rtt = merge_metric(&mut reps, |m| &mut m.ping_rtt);
+        let up_utilization = reps.iter().map(|m| m.up_utilization).sum::<f64>() / r as f64;
+        let down_utilization = reps.iter().map(|m| m.down_utilization).sum::<f64>() / r as f64;
+        let events = reps.iter().map(|m| m.events).sum();
+        let packets_upstream = reps.iter().map(|m| m.packets_upstream).sum();
+        let packets_downstream = reps.iter().map(|m| m.packets_downstream).sum();
+        ReplicatedReport {
+            reps: r,
+            master_seed: self.cfg.master_seed,
+            upstream_delay,
+            downstream_delay,
+            agg_wait,
+            burst_wait,
+            ping_rtt,
+            up_utilization,
+            down_utilization,
+            events,
+            packets_upstream,
+            packets_downstream,
+            per_rep: reps.into_iter().map(Measurements::into_report).collect(),
+        }
+    }
+}
+
+/// Mean and 95% t-interval half-width of `xs`, treating each element as
+/// one i.i.d. replication observation. Half-width is `None` when fewer
+/// than two observations exist.
+fn mean_ci95(xs: &[f64]) -> (f64, Option<f64>) {
+    let n = xs.len();
+    assert!(n > 0, "mean of empty replication set");
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return (mean, None);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let hw = t_critical_95((n - 1) as u64) * (var / n as f64).sqrt();
+    (mean, Some(hw))
+}
+
+/// Merges one metric's probe across replications: pooled probe for
+/// count-weighted moments/tails, per-replication estimates for the
+/// confidence intervals.
+fn merge_metric<G>(reps: &mut [Measurements], get: G) -> MergedProbe
+where
+    G: Fn(&mut Measurements) -> &mut DelayProbe,
+{
+    let mut pooled: Option<DelayProbe> = None;
+    for m in reps.iter_mut() {
+        match &mut pooled {
+            None => pooled = Some(get(m).clone()),
+            Some(p) => p.merge(get(m)),
+        }
+    }
+    let mut pooled = pooled.expect("merge_metric on empty replication set");
+    // Replications with observations; ones without contribute nothing to
+    // quantile/mean spreads (their probe has no estimate to offer).
+    let rep_means: Vec<f64> = reps
+        .iter_mut()
+        .filter_map(|m| {
+            let probe = get(m);
+            (probe.count() > 0).then(|| probe.mean())
+        })
+        .collect();
+    let mean_ci = if rep_means.is_empty() {
+        None
+    } else {
+        mean_ci95(&rep_means).1
+    };
+    let quantiles = if pooled.count() == 0 {
+        Vec::new()
+    } else {
+        QUANTILE_LEVELS
+            .iter()
+            .map(|&p| {
+                let estimates: Vec<f64> = reps
+                    .iter_mut()
+                    .filter_map(|m| {
+                        let probe = get(m);
+                        (probe.count() > 0).then(|| probe.quantile(p))
+                    })
+                    .collect();
+                let (value_s, ci95_s) = mean_ci95(&estimates);
+                QuantileEstimate {
+                    p,
+                    value_s,
+                    ci95_s,
+                    pooled_s: pooled.quantile(p),
+                }
+            })
+            .collect()
+    };
+    MergedProbe {
+        count: pooled.count(),
+        mean_s: pooled.mean(),
+        mean_ci95_s: mean_ci,
+        std_dev_s: pooled.std_dev(),
+        max_s: pooled.max(),
+        quantiles,
+        tails: pooled.tail_probabilities(),
+    }
+}
+
+/// Maps `f` over `0..n` on `jobs` scoped threads, contiguous chunks,
+/// results in index order. `f` runs exactly once per index; which thread
+/// runs it never affects the output vector's order.
+fn par_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(jobs);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, slots) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(c * chunk + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("par_map worker left a hole"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsping_dist::Deterministic;
+
+    fn tiny_cfg(_rep: usize) -> NetworkConfig {
+        let mut cfg =
+            NetworkConfig::paper_scenario(4, Box::new(Deterministic::new(125.0)), 40.0, 0);
+        cfg.duration = crate::time::SimTime::from_secs(5.0);
+        cfg.warmup = crate::time::SimTime::from_secs(0.5);
+        cfg
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for master in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            seen.clear();
+            for rep in 0..4096u64 {
+                assert!(
+                    seen.insert(replication_seed(master, rep)),
+                    "collision at master={master} rep={rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_seed_is_pure() {
+        assert_eq!(replication_seed(7, 3), replication_seed(7, 3));
+        assert_ne!(replication_seed(7, 3), replication_seed(8, 3));
+        assert_ne!(replication_seed(7, 3), replication_seed(7, 4));
+    }
+
+    #[test]
+    fn single_rep_matches_direct_run() {
+        // reps=1 through the engine must reproduce a direct run with the
+        // derived seed, bit for bit.
+        let engine = SimEngine::new(SimEngineConfig::with_reps(1).master_seed(99));
+        let merged = engine.run(tiny_cfg);
+        let mut direct_cfg = tiny_cfg(0);
+        direct_cfg.seed = replication_seed(99, 0);
+        let direct = direct_cfg.run();
+        assert_eq!(merged.per_rep.len(), 1);
+        assert_eq!(merged.events, direct.events);
+        assert_eq!(
+            merged.ping_rtt.mean_s.to_bits(),
+            direct.ping_rtt.mean_s.to_bits()
+        );
+        assert_eq!(merged.ping_rtt.mean_ci95_s, None);
+        assert_eq!(
+            merged.per_rep[0].downstream_delay.quantiles,
+            direct.downstream_delay.quantiles
+        );
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_merged_report() {
+        let serial = SimEngine::new(SimEngineConfig::with_reps(5).master_seed(7).jobs(1));
+        let parallel = SimEngine::new(SimEngineConfig::with_reps(5).master_seed(7).jobs(4));
+        let a = serial.run(tiny_cfg);
+        let b = parallel.run(tiny_cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.ping_rtt.count, b.ping_rtt.count);
+        assert_eq!(a.ping_rtt.mean_s.to_bits(), b.ping_rtt.mean_s.to_bits());
+        assert_eq!(
+            a.ping_rtt.mean_ci95_s.map(f64::to_bits),
+            b.ping_rtt.mean_ci95_s.map(f64::to_bits)
+        );
+        for (qa, qb) in a.ping_rtt.quantiles.iter().zip(&b.ping_rtt.quantiles) {
+            assert_eq!(qa.value_s.to_bits(), qb.value_s.to_bits());
+            assert_eq!(qa.pooled_s.to_bits(), qb.pooled_s.to_bits());
+        }
+        for (ra, rb) in a.per_rep.iter().zip(&b.per_rep) {
+            assert_eq!(ra.events, rb.events);
+            assert_eq!(
+                ra.upstream_delay.mean_s.to_bits(),
+                rb.upstream_delay.mean_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_intervals_shrink_with_more_reps() {
+        let few = SimEngine::new(SimEngineConfig::with_reps(2).master_seed(5)).run(tiny_cfg);
+        let many = SimEngine::new(SimEngineConfig::with_reps(8).master_seed(5)).run(tiny_cfg);
+        let hw_few = few.ping_rtt.mean_ci95_s.expect("R=2 has a CI");
+        let hw_many = many.ping_rtt.mean_ci95_s.expect("R=8 has a CI");
+        assert!(hw_few > 0.0);
+        assert!(
+            hw_many < hw_few,
+            "CI should shrink: R=2 gives {hw_few}, R=8 gives {hw_many}"
+        );
+    }
+
+    #[test]
+    fn streaming_mode_merges_and_bounds_memory() {
+        let engine = SimEngine::new(
+            SimEngineConfig::with_reps(3)
+                .master_seed(11)
+                .stream_quantiles(true),
+        );
+        let exact = SimEngine::new(SimEngineConfig::with_reps(3).master_seed(11));
+        let s = engine.run(tiny_cfg);
+        let e = exact.run(tiny_cfg);
+        assert_eq!(s.ping_rtt.count, e.ping_rtt.count);
+        // Streaming medians track the exact ones. The per-replication
+        // sample counts here are small (a few hundred), so this is a
+        // sanity band; the tight P² error bound is asserted on 10⁶-sample
+        // runs in the probe tests.
+        let sq = s.ping_rtt.quantiles.iter().find(|q| q.p == 0.5).unwrap();
+        let eq = e.ping_rtt.quantiles.iter().find(|q| q.p == 0.5).unwrap();
+        for (got, want) in [(sq.pooled_s, eq.pooled_s), (sq.value_s, eq.value_s)] {
+            assert!(
+                (got - want).abs() < 0.2 * want.abs().max(1e-9),
+                "streaming median {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for jobs in [1, 2, 3, 7, 16] {
+            let out = par_map(13, jobs, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(par_map(0, 4, |i| i).is_empty());
+    }
+}

@@ -34,18 +34,25 @@
 //! * [`probe`] — delay probes: streaming moments, bounded sample
 //!   reservoirs, threshold exceedance counters,
 //! * [`network`] — the Figure-2 topology: configuration, event loop, and
-//!   the [`network::SimReport`] of measured delays.
+//!   the [`network::SimReport`] of measured delays,
+//! * [`rng`] — batched RNG draws with a sequence-exactness guarantee,
+//! * [`engine`] — the replicated-simulation engine: R independent
+//!   replications across threads, deterministic per-replication seeds,
+//!   merged estimates with 95% confidence intervals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod link;
 pub mod network;
 pub mod packet;
 pub mod probe;
+pub mod rng;
 pub mod scheduler;
 pub mod time;
 
+pub use engine::{MergedProbe, ReplicatedReport, SimEngine, SimEngineConfig};
 pub use network::{BurstSizing, NetworkConfig, SimReport};
 pub use packet::{Packet, TrafficClass};
 pub use time::SimTime;

@@ -2,15 +2,19 @@
 //! under a configurable discipline.
 
 use crate::packet::Packet;
-use crate::scheduler::{Discipline, Scheduler};
+use crate::scheduler::{Discipline, Scheduler, SchedulerKind};
 use crate::time::SimTime;
 
 /// A transmission link with rate, propagation delay and an output queue.
+///
+/// The queue is a [`SchedulerKind`] enum stored inline — discipline
+/// dispatch in the per-packet hot path is a match, not a virtual call,
+/// and building a link performs no queue allocation.
 #[derive(Debug)]
 pub struct Link {
     rate_bps: f64,
     propagation: SimTime,
-    queue: Box<dyn Scheduler>,
+    queue: SchedulerKind,
     in_service: Option<Packet>,
     /// Running counters.
     pub packets_sent: u64,

@@ -21,13 +21,17 @@
 use crate::link::{Link, LinkAction};
 use crate::packet::{Packet, TrafficClass};
 use crate::probe::{DelayProbe, ProbeSummary};
+use crate::rng::BatchRng;
 use crate::scheduler::Discipline;
 use crate::time::SimTime;
 use fpsping_dist::{uniform01, Distribution};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The quantile levels every [`SimReport`] exports (and the levels a
+/// streaming-mode probe tracks).
+pub const QUANTILE_LEVELS: [f64; 6] = [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999];
 
 /// Background elastic traffic on the bottleneck links (Section 1's
 /// competing TCP-like class), modeled as Poisson arrivals of fixed-size
@@ -116,6 +120,11 @@ pub struct NetworkConfig {
     pub warmup: SimTime,
     /// RNG seed.
     pub seed: u64,
+    /// Track quantiles with O(1)-memory streaming P² estimators instead
+    /// of raw sample vectors — for runs long enough that even
+    /// `max_samples` truncates (the [`QUANTILE_LEVELS`] are tracked;
+    /// moments and exceedance counters stay exact either way).
+    pub stream_quantiles: bool,
     /// Max raw samples per probe (exceedance counters stay exact).
     pub max_samples: usize,
     /// Tail thresholds (seconds) for exact exceedance counting.
@@ -160,6 +169,7 @@ impl NetworkConfig {
             duration: SimTime::from_secs(60.0),
             warmup: SimTime::from_secs(2.0),
             seed,
+            stream_quantiles: false,
             max_samples: 2_000_000,
             tail_thresholds_s: vec![0.010, 0.025, 0.050, 0.100, 0.200],
             client_overrides: None,
@@ -197,6 +207,56 @@ pub struct SimReport {
     pub trace: Option<fpsping_traffic::Trace>,
 }
 
+/// The raw measurement state of one finished run: live [`DelayProbe`]s
+/// plus counters, before summarization. The replication engine merges
+/// these across independent runs; [`Measurements::into_report`] collapses
+/// one into a [`SimReport`].
+#[derive(Debug)]
+pub struct Measurements {
+    /// Client send → server arrival.
+    pub upstream_delay: DelayProbe,
+    /// Server tick → client arrival.
+    pub downstream_delay: DelayProbe,
+    /// Queueing delay at the aggregation node onto C (upstream).
+    pub agg_wait: DelayProbe,
+    /// Queueing delay of the first packet of each burst downstream.
+    pub burst_wait: DelayProbe,
+    /// Full application ping (includes server tick alignment).
+    pub ping_rtt: DelayProbe,
+    /// Utilization of the upstream bottleneck.
+    pub up_utilization: f64,
+    /// Utilization of the downstream bottleneck.
+    pub down_utilization: f64,
+    /// Total events processed.
+    pub events: u64,
+    /// Packets delivered to clients.
+    pub packets_downstream: u64,
+    /// Packets delivered to the server.
+    pub packets_upstream: u64,
+    /// Captured packet trace (when `capture_trace` was set).
+    pub trace: Option<fpsping_traffic::Trace>,
+}
+
+impl Measurements {
+    /// Summarizes every probe at the standard [`QUANTILE_LEVELS`].
+    pub fn into_report(mut self) -> SimReport {
+        let q = QUANTILE_LEVELS;
+        SimReport {
+            upstream_delay: self.upstream_delay.summarize(&q),
+            downstream_delay: self.downstream_delay.summarize(&q),
+            agg_wait: self.agg_wait.summarize(&q),
+            burst_wait: self.burst_wait.summarize(&q),
+            ping_rtt: self.ping_rtt.summarize(&q),
+            up_utilization: self.up_utilization,
+            down_utilization: self.down_utilization,
+            events: self.events,
+            packets_downstream: self.packets_downstream,
+            packets_upstream: self.packets_upstream,
+            trace: self.trace,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     ClientEmit(u32),
@@ -230,13 +290,21 @@ impl Ord for Scheduled {
 }
 
 /// The running simulation.
+///
+/// The event loop is allocation-free in steady state: packets are `Copy`
+/// and live inline in the calendar heap's `Scheduled` entries (the heap
+/// itself is the event pool — preallocated, and `pop`/`push` recycle its
+/// storage), link queues sit inline in their links behind enum dispatch,
+/// and the per-tick burst scratch (`tick_order`/`tick_sizes`) is reused
+/// across ticks. The only growth left is amortized: probe sample vectors
+/// (absent in streaming mode) and the optional capture trace.
 pub struct Network {
     cfg: NetworkConfig,
     links: Vec<Link>,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     now: SimTime,
-    rng: StdRng,
+    rng: BatchRng,
     // Probes.
     upstream_delay: DelayProbe,
     downstream_delay: DelayProbe,
@@ -250,6 +318,9 @@ pub struct Network {
     packets_up: u64,
     packets_down: u64,
     captured: Vec<fpsping_traffic::PacketRecord>,
+    // Reused per-tick scratch: burst emission order and per-packet sizes.
+    tick_order: Vec<usize>,
+    tick_sizes: Vec<f64>,
 }
 
 impl Network {
@@ -293,22 +364,34 @@ impl Network {
         let max_samples = cfg.max_samples;
         let thr = cfg.tail_thresholds_s.clone();
         let n = cfg.n_clients;
+        let probe = || {
+            if cfg.stream_quantiles {
+                DelayProbe::streaming(&QUANTILE_LEVELS, &thr)
+            } else {
+                DelayProbe::new(max_samples, &thr)
+            }
+        };
         let mut net = Self {
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: BatchRng::seed_from_u64(cfg.seed),
             links,
-            heap: BinaryHeap::new(),
+            // Steady state holds at most a handful of events per link
+            // (one completion or delivery in flight) plus one emit per
+            // source; preallocate so the heap never grows mid-run.
+            heap: BinaryHeap::with_capacity(4 * n + 64),
             seq: 0,
             now: SimTime::ZERO,
-            upstream_delay: DelayProbe::new(max_samples, &thr),
-            downstream_delay: DelayProbe::new(max_samples, &thr),
-            agg_wait: DelayProbe::new(max_samples, &thr),
-            burst_wait: DelayProbe::new(max_samples, &thr),
-            ping_rtt: DelayProbe::new(max_samples, &thr),
+            upstream_delay: probe(),
+            downstream_delay: probe(),
+            agg_wait: probe(),
+            burst_wait: probe(),
+            ping_rtt: probe(),
             last_arrival: vec![None; n],
             events: 0,
             packets_up: 0,
             packets_down: 0,
             captured: Vec::new(),
+            tick_order: (0..n).collect(),
+            tick_sizes: Vec::with_capacity(n),
             cfg,
         };
         // Clients start with random phases within one interval.
@@ -350,7 +433,14 @@ impl Network {
     }
 
     /// Runs to completion and reports.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_measurements().into_report()
+    }
+
+    /// Runs to completion and returns the raw measurement state (live
+    /// probes rather than summaries) — what the replication engine
+    /// merges across independent runs.
+    pub fn run_measurements(mut self) -> Measurements {
         let end = self.cfg.duration;
         while let Some(Reverse(s)) = self.heap.pop() {
             if s.time > end {
@@ -367,13 +457,12 @@ impl Network {
             }
         }
         let dur = (self.cfg.duration.saturating_sub(SimTime::ZERO)).as_secs();
-        let q = [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999];
-        SimReport {
-            upstream_delay: self.upstream_delay.summarize(&q),
-            downstream_delay: self.downstream_delay.summarize(&q),
-            agg_wait: self.agg_wait.summarize(&q),
-            burst_wait: self.burst_wait.summarize(&q),
-            ping_rtt: self.ping_rtt.summarize(&q),
+        Measurements {
+            upstream_delay: self.upstream_delay,
+            downstream_delay: self.downstream_delay,
+            agg_wait: self.agg_wait,
+            burst_wait: self.burst_wait,
+            ping_rtt: self.ping_rtt,
             up_utilization: self.links[self.cfg.n_clients].busy_time.as_secs() / dur,
             down_utilization: self.links[self.cfg.n_clients + 1].busy_time.as_secs() / dur,
             events: self.events,
@@ -418,34 +507,43 @@ impl Network {
     }
 
     fn on_server_tick(&mut self) {
-        // One packet per client, optionally shuffled emission order.
+        // One packet per client, optionally shuffled emission order. The
+        // order and size buffers are reused across ticks — no per-burst
+        // heap traffic. The identity reset keeps the Fisher–Yates draw
+        // sequence identical to the old fresh-vector code.
         let n = self.cfg.n_clients;
-        let mut order: Vec<usize> = (0..n).collect();
+        self.tick_order.clear();
+        self.tick_order.extend(0..n);
         if self.cfg.shuffle_burst_order {
             for k in (1..n).rev() {
                 let j = (self.rng.next_u64() % (k as u64 + 1)) as usize;
-                order.swap(k, j);
+                self.tick_order.swap(k, j);
             }
         }
         // Per-packet sizes according to the configured burst law.
-        let sizes: Vec<f64> = match self.cfg.burst_sizing {
-            BurstSizing::IidPerPacket => (0..n)
-                .map(|_| self.cfg.server_packet_bytes.sample(&mut self.rng).max(1.0))
-                .collect(),
+        self.tick_sizes.clear();
+        match self.cfg.burst_sizing {
+            BurstSizing::IidPerPacket => {
+                for _ in 0..n {
+                    self.tick_sizes
+                        .push(self.cfg.server_packet_bytes.sample(&mut self.rng).max(1.0));
+                }
+            }
             BurstSizing::ErlangBurst { k } => {
                 let mean_total = n as f64 * self.cfg.server_packet_bytes.mean();
                 let total = fpsping_dist::Erlang::with_mean(k, mean_total)
                     .sample(&mut self.rng)
                     .max(n as f64);
-                vec![total / n as f64; n]
+                self.tick_sizes.resize(n, total / n as f64);
             }
             BurstSizing::BurstFromDistribution(ref d) => {
                 let total = d.sample(&mut self.rng).max(n as f64);
-                vec![total / n as f64; n]
+                self.tick_sizes.resize(n, total / n as f64);
             }
-        };
-        for (pos, &client) in order.iter().enumerate() {
-            let size = sizes[pos];
+        }
+        for pos in 0..n {
+            let client = self.tick_order[pos];
+            let size = self.tick_sizes[pos];
             let mut p = Packet::game(size, client as u32, self.now);
             p.burst_position = pos as u32;
             p.ack_of = self.last_arrival[client].take();

@@ -1,17 +1,37 @@
-//! Delay probes: streaming moments plus bounded sample storage and
-//! threshold exceedance counters for deep-tail estimation.
+//! Delay probes: streaming moments plus either bounded raw-sample storage
+//! (exact quantiles) or O(1)-memory P² streaming quantiles, and threshold
+//! exceedance counters for deep-tail estimation.
 
+use fpsping_num::p2::P2Quantile;
 use fpsping_num::stats::OnlineStats;
 
-/// Collects a delay population: exact streaming moments, a bounded sample
-/// vector for quantiles, and exact exceedance counts at preset
-/// thresholds (for tail probabilities deeper than the sample bound can
-/// resolve).
+/// How a probe answers quantile queries.
+#[derive(Debug, Clone)]
+enum SampleStore {
+    /// Raw samples up to a bound; quantiles are exact order statistics.
+    ///
+    /// The vector is sorted *lazily*: `sorted` marks whether it is
+    /// currently in ascending order, so repeated quantile queries cost
+    /// one sort total instead of one sort per query, and a summary of
+    /// many levels sorts exactly once.
+    Raw {
+        samples: Vec<f64>,
+        max_samples: usize,
+        sorted: bool,
+    },
+    /// One P² estimator per tracked level; memory is O(levels),
+    /// independent of the sample count.
+    Streaming { estimators: Vec<P2Quantile> },
+}
+
+/// Collects a delay population: exact streaming moments, a quantile store
+/// (raw samples or streaming P² markers), and exact exceedance counts at
+/// preset thresholds (for tail probabilities deeper than the quantile
+/// store can resolve).
 #[derive(Debug, Clone)]
 pub struct DelayProbe {
     stats: OnlineStats,
-    samples: Vec<f64>,
-    max_samples: usize,
+    store: SampleStore,
     /// `(threshold_seconds, exceed_count)` pairs.
     thresholds: Vec<(f64, u64)>,
     skipped: u64,
@@ -23,21 +43,72 @@ impl DelayProbe {
     pub fn new(max_samples: usize, thresholds: &[f64]) -> Self {
         Self {
             stats: OnlineStats::new(),
-            samples: Vec::new(),
-            max_samples,
+            store: SampleStore::Raw {
+                samples: Vec::new(),
+                max_samples,
+                sorted: true,
+            },
             thresholds: thresholds.iter().map(|&t| (t, 0)).collect(),
             skipped: 0,
         }
     }
 
+    /// A streaming probe tracking the given quantile levels with P²
+    /// estimators — memory stays O(levels) no matter how many delays are
+    /// recorded. Exceedance counters behave exactly as in raw mode.
+    pub fn streaming(levels: &[f64], thresholds: &[f64]) -> Self {
+        assert!(!levels.is_empty(), "streaming probe needs quantile levels");
+        Self {
+            stats: OnlineStats::new(),
+            store: SampleStore::Streaming {
+                estimators: levels.iter().map(|&p| P2Quantile::new(p)).collect(),
+            },
+            thresholds: thresholds.iter().map(|&t| (t, 0)).collect(),
+            skipped: 0,
+        }
+    }
+
+    /// Whether this probe runs in streaming (P²) mode.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.store, SampleStore::Streaming { .. })
+    }
+
+    /// Number of raw samples currently stored (always 0 in streaming
+    /// mode — the memory-boundedness the mode exists for).
+    pub fn stored_samples(&self) -> usize {
+        match &self.store {
+            SampleStore::Raw { samples, .. } => samples.len(),
+            SampleStore::Streaming { .. } => 0,
+        }
+    }
+
     /// Records one delay (seconds).
+    #[inline]
     pub fn record(&mut self, delay_s: f64) {
         debug_assert!(delay_s >= 0.0, "negative delay {delay_s}");
         self.stats.record(delay_s);
-        if self.samples.len() < self.max_samples {
-            self.samples.push(delay_s);
-        } else {
-            self.skipped += 1;
+        match &mut self.store {
+            SampleStore::Raw {
+                samples,
+                max_samples,
+                sorted,
+            } => {
+                if samples.len() < *max_samples {
+                    // Appending keeps the vector sorted only while the
+                    // stream happens to arrive in ascending order.
+                    if *sorted {
+                        *sorted = samples.last().is_none_or(|&l| l <= delay_s);
+                    }
+                    samples.push(delay_s);
+                } else {
+                    self.skipped += 1;
+                }
+            }
+            SampleStore::Streaming { estimators } => {
+                for e in estimators {
+                    e.record(delay_s);
+                }
+            }
         }
         for (t, c) in &mut self.thresholds {
             if delay_s > *t {
@@ -66,13 +137,34 @@ impl DelayProbe {
         self.stats.max()
     }
 
-    /// Empirical p-quantile from the stored samples.
+    /// The p-quantile estimate.
     ///
-    /// Exact when nothing was skipped; a truncated-sample estimate
-    /// otherwise (the threshold counters stay exact regardless).
-    pub fn quantile(&self, p: f64) -> f64 {
-        assert!(!self.samples.is_empty(), "quantile on empty probe");
-        fpsping_num::stats::quantile_unsorted(&self.samples, p)
+    /// Raw mode: the empirical quantile of the stored samples — exact
+    /// when nothing was skipped, a truncated-sample estimate otherwise.
+    /// The sample vector is sorted on the first query after new data and
+    /// the order is cached, so repeated queries don't re-sort (and always
+    /// return identical values).
+    ///
+    /// Streaming mode: the P² estimate; `p` must be one of the levels the
+    /// probe was built with.
+    pub fn quantile(&mut self, p: f64) -> f64 {
+        match &mut self.store {
+            SampleStore::Raw {
+                samples, sorted, ..
+            } => {
+                assert!(!samples.is_empty(), "quantile on empty probe");
+                if !*sorted {
+                    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN delay sample"));
+                    *sorted = true;
+                }
+                fpsping_num::stats::quantile(samples, p)
+            }
+            SampleStore::Streaming { estimators } => estimators
+                .iter()
+                .find(|e| e.level() == p)
+                .unwrap_or_else(|| panic!("streaming probe does not track level {p}"))
+                .estimate(),
+        }
     }
 
     /// Exact tail probability `P(delay > threshold)` for each preset
@@ -88,6 +180,63 @@ impl DelayProbe {
     /// How many samples were not stored (counters still saw them).
     pub fn skipped(&self) -> u64 {
         self.skipped
+    }
+
+    /// Absorbs another probe's population, as if every delay the other
+    /// probe recorded had been recorded here too.
+    ///
+    /// Moments and exceedance counters merge exactly. Quantile state
+    /// merges by mode: raw samples are concatenated up to this probe's
+    /// bound (overflow counts as skipped), streaming estimators merge via
+    /// [`P2Quantile::merge`]. Both probes must be in the same mode with
+    /// the same thresholds (and, when streaming, the same levels).
+    pub fn merge(&mut self, other: &DelayProbe) {
+        assert_eq!(
+            self.thresholds.len(),
+            other.thresholds.len(),
+            "merging probes with different threshold sets"
+        );
+        self.stats.merge(&other.stats);
+        for ((t, c), (ot, oc)) in self.thresholds.iter_mut().zip(&other.thresholds) {
+            assert_eq!(*t, *ot, "merging probes with different thresholds");
+            *c += *oc;
+        }
+        self.skipped += other.skipped;
+        match (&mut self.store, &other.store) {
+            (
+                SampleStore::Raw {
+                    samples,
+                    max_samples,
+                    sorted,
+                },
+                SampleStore::Raw {
+                    samples: other_samples,
+                    ..
+                },
+            ) => {
+                let room = max_samples.saturating_sub(samples.len());
+                let take = room.min(other_samples.len());
+                samples.extend_from_slice(&other_samples[..take]);
+                self.skipped += (other_samples.len() - take) as u64;
+                *sorted = samples.is_empty();
+            }
+            (
+                SampleStore::Streaming { estimators },
+                SampleStore::Streaming {
+                    estimators: other_estimators,
+                },
+            ) => {
+                assert_eq!(
+                    estimators.len(),
+                    other_estimators.len(),
+                    "merging streaming probes with different level sets"
+                );
+                for (e, oe) in estimators.iter_mut().zip(other_estimators) {
+                    e.merge(oe);
+                }
+            }
+            _ => panic!("cannot merge a raw probe with a streaming probe"),
+        }
     }
 }
 
@@ -109,9 +258,10 @@ pub struct ProbeSummary {
 }
 
 impl DelayProbe {
-    /// Produces the exportable summary with the given quantile levels.
-    pub fn summarize(&self, quantile_levels: &[f64]) -> ProbeSummary {
-        let quantiles = if self.samples.is_empty() {
+    /// Produces the exportable summary with the given quantile levels
+    /// (sorting the raw sample at most once for all of them).
+    pub fn summarize(&mut self, quantile_levels: &[f64]) -> ProbeSummary {
+        let quantiles = if self.count() == 0 {
             Vec::new()
         } else {
             quantile_levels
@@ -171,5 +321,130 @@ mod tests {
         assert_eq!(s.quantiles.len(), 2);
         assert_eq!(s.tails.len(), 2);
         assert!(s.quantiles[1].1 > s.quantiles[0].1);
+    }
+
+    #[test]
+    fn repeated_quantile_queries_are_stable_and_sort_once() {
+        // Regression for the per-query re-sort: interleave queries and
+        // records; every query must return exactly what a fresh sorted
+        // copy would, and back-to-back queries must be bit-identical.
+        let mut p = DelayProbe::new(10_000, &[]);
+        let mut reference = Vec::new();
+        let mut state = 0xDEADBEEFu64;
+        for round in 0..5 {
+            for _ in 0..200 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+                p.record(x);
+                reference.push(x);
+            }
+            for &level in &[0.1, 0.5, 0.9, 0.99] {
+                let a = p.quantile(level);
+                let b = p.quantile(level);
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round} level {level}");
+                let exact = fpsping_num::stats::quantile_unsorted(&reference, level);
+                assert_eq!(a.to_bits(), exact.to_bits(), "round {round} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_probe_tracks_quantiles_without_storing_samples() {
+        let mut p = DelayProbe::streaming(&[0.5, 0.99], &[0.9]);
+        assert!(p.is_streaming());
+        let mut state = 7u64;
+        for _ in 0..100_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            p.record((state >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        assert_eq!(p.stored_samples(), 0);
+        assert_eq!(p.count(), 100_000);
+        assert!((p.quantile(0.5) - 0.5).abs() < 0.01);
+        assert!((p.quantile(0.99) - 0.99).abs() < 0.01);
+        assert!((p.tail_probabilities()[0].1 - 0.1).abs() < 0.01);
+        let s = p.summarize(&[0.5, 0.99]);
+        assert_eq!(s.quantiles.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not track level")]
+    fn streaming_probe_rejects_unknown_level() {
+        let mut p = DelayProbe::streaming(&[0.5], &[]);
+        p.record(1.0);
+        p.quantile(0.9);
+    }
+
+    #[test]
+    fn merge_pools_raw_probes() {
+        let mut a = DelayProbe::new(1000, &[0.5]);
+        let mut b = DelayProbe::new(1000, &[0.5]);
+        for i in 0..50 {
+            a.record(i as f64 / 100.0);
+            b.record((i + 50) as f64 / 100.0);
+        }
+        let mut pooled = DelayProbe::new(1000, &[0.5]);
+        for i in 0..100 {
+            pooled.record(i as f64 / 100.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert!((a.mean() - pooled.mean()).abs() < 1e-12);
+        assert!((a.std_dev() - pooled.std_dev()).abs() < 1e-12);
+        assert_eq!(a.quantile(0.5).to_bits(), pooled.quantile(0.5).to_bits());
+        assert_eq!(a.tail_probabilities(), pooled.tail_probabilities());
+    }
+
+    #[test]
+    fn merge_respects_sample_bound() {
+        let mut a = DelayProbe::new(10, &[]);
+        let mut b = DelayProbe::new(10, &[]);
+        for i in 0..10 {
+            a.record(i as f64);
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert_eq!(a.stored_samples(), 10);
+        assert_eq!(a.skipped(), 10);
+    }
+
+    #[test]
+    fn merge_pools_streaming_probes() {
+        let mut a = DelayProbe::streaming(&[0.9], &[]);
+        let mut b = DelayProbe::streaming(&[0.9], &[]);
+        let mut state = 11u64;
+        let mut all = Vec::new();
+        for i in 0..60_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            all.push(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 60_000);
+        let exact = fpsping_num::stats::quantile_unsorted(&all, 0.9);
+        assert!(
+            (a.quantile(0.9) - exact).abs() < 0.02,
+            "merged {} vs exact {exact}",
+            a.quantile(0.9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_rejects_mode_mismatch() {
+        let mut a = DelayProbe::new(10, &[]);
+        let b = DelayProbe::streaming(&[0.5], &[]);
+        a.merge(&b);
     }
 }

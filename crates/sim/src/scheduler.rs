@@ -201,9 +201,78 @@ pub enum Discipline {
     },
 }
 
+/// A scheduler built from a [`Discipline`], dispatched by enum match.
+///
+/// The event loop calls `enqueue`/`dequeue` once per packet per hop; with
+/// a `Box<dyn Scheduler>` those were virtual calls through a fat pointer.
+/// The closed set of disciplines makes an enum the natural representation:
+/// the match compiles to a jump the branch predictor resolves, the
+/// scheduler lives inline in its [`crate::link::Link`] (no separate heap
+/// allocation), and the compiler can inline the per-variant bodies into
+/// the hot loop. [`SchedulerKind`] implements [`Scheduler`], so code
+/// written against the trait — including everything that called the old
+/// boxed builder — compiles unchanged.
+#[derive(Debug)]
+pub enum SchedulerKind {
+    /// First-in first-out.
+    Fifo(Fifo),
+    /// Head-of-line priority.
+    Priority(HolPriority),
+    /// Weighted fair queuing.
+    Wfq(Wfq),
+}
+
+impl Scheduler for SchedulerKind {
+    #[inline]
+    fn enqueue(&mut self, p: Packet) {
+        match self {
+            SchedulerKind::Fifo(q) => q.enqueue(p),
+            SchedulerKind::Priority(q) => q.enqueue(p),
+            SchedulerKind::Wfq(q) => q.enqueue(p),
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<Packet> {
+        match self {
+            SchedulerKind::Fifo(q) => q.dequeue(),
+            SchedulerKind::Priority(q) => q.dequeue(),
+            SchedulerKind::Wfq(q) => q.dequeue(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            SchedulerKind::Fifo(q) => q.len(),
+            SchedulerKind::Priority(q) => q.len(),
+            SchedulerKind::Wfq(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    fn backlog_bytes(&self) -> f64 {
+        match self {
+            SchedulerKind::Fifo(q) => q.backlog_bytes(),
+            SchedulerKind::Priority(q) => q.backlog_bytes(),
+            SchedulerKind::Wfq(q) => q.backlog_bytes(),
+        }
+    }
+}
+
 impl Discipline {
-    /// Instantiates the scheduler.
-    pub fn build(self) -> Box<dyn Scheduler> {
+    /// Instantiates the scheduler (enum dispatch; see [`SchedulerKind`]).
+    pub fn build(self) -> SchedulerKind {
+        match self {
+            Discipline::Fifo => SchedulerKind::Fifo(Fifo::new()),
+            Discipline::Priority => SchedulerKind::Priority(HolPriority::new()),
+            Discipline::Wfq { game_weight } => SchedulerKind::Wfq(Wfq::new(game_weight)),
+        }
+    }
+
+    /// Instantiates the scheduler behind a trait object, for callers that
+    /// genuinely need dynamic dispatch (none of the in-tree ones do).
+    pub fn build_boxed(self) -> Box<dyn Scheduler> {
         match self {
             Discipline::Fifo => Box::new(Fifo::new()),
             Discipline::Priority => Box::new(HolPriority::new()),
@@ -318,5 +387,35 @@ mod tests {
         assert_eq!(Discipline::Fifo.build().len(), 0);
         assert_eq!(Discipline::Priority.build().len(), 0);
         assert_eq!(Discipline::Wfq { game_weight: 0.6 }.build().len(), 0);
+    }
+
+    #[test]
+    fn enum_and_boxed_builders_serve_identically() {
+        for disc in [
+            Discipline::Fifo,
+            Discipline::Priority,
+            Discipline::Wfq { game_weight: 0.6 },
+        ] {
+            let mut by_enum = disc.build();
+            let mut by_box = disc.build_boxed();
+            for i in 0..6 {
+                let p = if i % 2 == 0 {
+                    Packet::game(100.0 + i as f64, i, SimTime::ZERO)
+                } else {
+                    Packet::elastic(1500.0, SimTime::ZERO)
+                };
+                by_enum.enqueue(p);
+                by_box.enqueue(p);
+            }
+            assert_eq!(by_enum.len(), by_box.len());
+            assert_eq!(by_enum.backlog_bytes(), by_box.backlog_bytes());
+            loop {
+                let (a, b) = (by_enum.dequeue(), by_box.dequeue());
+                assert_eq!(a, b, "{disc:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }
