@@ -7,6 +7,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::{max_load, RttModel, Scenario};
+use fpsping_num::cmp::exact_zero;
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -123,7 +124,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--load" => scenario = scenario.with_load(parse_f64(flag, value)?),
             "--gamers" => {
                 let n = parse_f64(flag, value)?;
-                if n < 1.0 || n.fract() != 0.0 {
+                if n < 1.0 || !exact_zero(n.fract()) {
                     return Err(ParseError(format!(
                         "--gamers must be a positive integer, got {n}"
                     )));
@@ -132,7 +133,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--k" => {
                 let k = parse_f64(flag, value)?;
-                if k < 1.0 || k.fract() != 0.0 {
+                if k < 1.0 || !exact_zero(k.fract()) {
                     return Err(ParseError(format!(
                         "--k must be a positive integer, got {k}"
                     )));
@@ -152,7 +153,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--budget-ms" => budget_ms = Some(parse_f64(flag, value)?),
             "--jobs" => {
                 let n = parse_f64(flag, value)?;
-                if n < 0.0 || n.fract() != 0.0 {
+                if n < 0.0 || !exact_zero(n.fract()) {
                     return Err(ParseError(format!(
                         "--jobs must be a non-negative integer, got {n}"
                     )));
@@ -165,7 +166,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--reps" => {
                 let n = parse_f64(flag, value)?;
-                if n < 1.0 || n.fract() != 0.0 {
+                if n < 1.0 || !exact_zero(n.fract()) {
                     return Err(ParseError(format!(
                         "--reps must be a positive integer, got {n}"
                     )));

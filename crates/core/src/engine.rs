@@ -31,7 +31,7 @@ use fpsping_queue::{DEk1, DekSolution, Mg1, PositionDelay, QueueError};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -141,6 +141,14 @@ impl ScenarioKey {
     }
 }
 
+/// Acquires a cache mutex, recovering the contents if a panicking worker
+/// poisoned it: the caches only ever hold fully-constructed entries (the
+/// guard is never held across fallible solver calls), so the map stays
+/// valid after any panic.
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Thread-safe memo of the two root solves behind every RTT cell.
 ///
 /// Keys are exact bit patterns of the defining parameters, so a hit can
@@ -165,7 +173,7 @@ impl SolverCache {
     /// `(K, ρ bits)`.
     pub fn dek_solution(&self, k: u32, rho: f64) -> Result<Arc<DekSolution>, QueueError> {
         let key = (k, rho.to_bits());
-        if let Some(sol) = self.dek.lock().unwrap().get(&key) {
+        if let Some(sol) = lock_cache(&self.dek).get(&key) {
             self.dek_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(sol));
         }
@@ -173,9 +181,7 @@ impl SolverCache {
         let sol = Arc::new(DekSolution::solve(k, rho)?);
         // A racing thread may have inserted meanwhile; both solved the
         // same roots, so either value is fine.
-        self.dek
-            .lock()
-            .unwrap()
+        lock_cache(&self.dek)
             .entry(key)
             .or_insert_with(|| Arc::clone(&sol));
         Ok(sol)
@@ -185,14 +191,14 @@ impl SolverCache {
     /// serialization time `tau`, cached by `(λ bits, τ bits)`.
     pub fn mdd1_pole(&self, lambda: f64, tau: f64) -> Result<f64, QueueError> {
         let key = (lambda.to_bits(), tau.to_bits());
-        if let Some(&gamma) = self.pole.lock().unwrap().get(&key) {
+        if let Some(&gamma) = lock_cache(&self.pole).get(&key) {
             self.pole_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(gamma);
         }
         self.pole_misses.fetch_add(1, Ordering::Relaxed);
         let q = Mg1::new(lambda, Box::new(Deterministic::new(tau)))?;
         let gamma = q.dominant_pole()?;
-        self.pole.lock().unwrap().insert(key, gamma);
+        lock_cache(&self.pole).insert(key, gamma);
         Ok(gamma)
     }
 
@@ -238,6 +244,7 @@ where
         }
     });
     out.into_iter()
+        // lint:allow(unwrap): scope() joins every worker before we get here, and each worker writes its whole chunk
         .map(|r| r.expect("every chunk slot is written by its worker"))
         .collect()
 }
@@ -341,7 +348,7 @@ impl Engine {
                 .map(|m| m.rtt_quantile_ms_with_hint(hint));
         }
         let key = ScenarioKey::of(scenario);
-        if let Some(&v) = self.cache.rtt.lock().unwrap().get(&key) {
+        if let Some(&v) = lock_cache(&self.cache.rtt).get(&key) {
             self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
         }
@@ -351,7 +358,7 @@ impl Engine {
             .map(|m| m.rtt_quantile_ms_with_hint(hint));
         if let Some(v) = v {
             self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-            self.cache.rtt.lock().unwrap().insert(key, v);
+            lock_cache(&self.cache.rtt).insert(key, v);
         }
         v
     }
@@ -439,7 +446,7 @@ impl Engine {
             let s = base.clone().with_load(rho);
             if self.config.cache {
                 let key = ScenarioKey::of(&s);
-                if let Some(&v) = self.cache.rtt.lock().unwrap().get(&key) {
+                if let Some(&v) = lock_cache(&self.cache.rtt).get(&key) {
                     self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
                     last_rtt = Some(v);
                     return Ok(Some(v));
@@ -456,11 +463,7 @@ impl Engine {
                     last_rtt = Some(v);
                     if self.config.cache {
                         self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-                        self.cache
-                            .rtt
-                            .lock()
-                            .unwrap()
-                            .insert(ScenarioKey::of(&s), v);
+                        lock_cache(&self.cache.rtt).insert(ScenarioKey::of(&s), v);
                     }
                     Ok(Some(v))
                 }

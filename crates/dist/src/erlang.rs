@@ -8,6 +8,7 @@
 //! whole D/E_K/1 analysis of §3.2 is built on its MGF `(λ/(λ-s))^K`.
 
 use crate::{uniform01, Distribution};
+use fpsping_num::cmp::exact_zero;
 use fpsping_num::special::{gamma_p, gamma_q, ln_gamma};
 use fpsping_num::Complex64;
 use rand::RngCore;
@@ -81,7 +82,7 @@ impl Distribution for Erlang {
         if x < 0.0 {
             return 0.0;
         }
-        if x == 0.0 {
+        if exact_zero(x) {
             return if self.k == 1 { self.rate } else { 0.0 };
         }
         // λ^K x^{K-1} e^{-λx} / (K-1)!  computed in log space.

@@ -104,6 +104,7 @@ pub fn fit_erlang_tail(
             best = Some((k, sse));
         }
     }
+    // lint:allow(unwrap): an empty k_range or a grid entirely below tdf_floor is a caller error; the message names the cause
     let (k, sse) = best.expect("fit_erlang_tail: no candidate produced a score");
     ErlangTailFit {
         k,
@@ -165,7 +166,7 @@ fn nelder_mead_2d(
     for _ in 0..max_iter {
         // Order vertices by value.
         let mut idx = [0usize, 1, 2];
-        idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+        idx.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
         let (best, mid, worst) = (idx[0], idx[1], idx[2]);
         if (values[worst] - values[best]).abs() < tol {
             break;

@@ -6,6 +6,7 @@
 //! the Marsaglia–Tsang sampler the Erlang sampler cross-checks against.
 
 use crate::{uniform01, Distribution, Normal};
+use fpsping_num::cmp::exact_zero;
 use fpsping_num::special::{gamma_p, gamma_q, ln_gamma};
 use fpsping_num::Complex64;
 use rand::RngCore;
@@ -95,7 +96,7 @@ impl Distribution for Gamma {
         if x < 0.0 {
             return 0.0;
         }
-        if x == 0.0 {
+        if exact_zero(x) {
             return match self.shape {
                 a if a < 1.0 => f64::INFINITY,
                 a if (a - 1.0).abs() < f64::EPSILON => self.rate,

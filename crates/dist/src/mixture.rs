@@ -76,6 +76,7 @@ impl Distribution for Mixture {
             u -= w;
         }
         // Floating-point residue: fall through to the last component.
+        // lint:allow(unwrap): `new` rejects an empty component list, so `last()` always exists
         self.components.last().unwrap().1.sample(rng)
     }
 

@@ -5,6 +5,7 @@
 //! model-sensitivity studies.
 
 use crate::{uniform01, Distribution};
+use fpsping_num::cmp::exact_zero;
 use fpsping_num::special::ln_gamma;
 use rand::RngCore;
 
@@ -60,7 +61,7 @@ impl Distribution for Weibull {
             return 0.0;
         }
         let z = x / self.scale;
-        if x == 0.0 {
+        if exact_zero(x) {
             return match self.shape {
                 k if k < 1.0 => f64::INFINITY,
                 k if (k - 1.0).abs() < f64::EPSILON => 1.0 / self.scale,

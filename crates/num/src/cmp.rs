@@ -1,0 +1,76 @@
+//! Float comparison helpers.
+//!
+//! The workspace lint (`cargo xtask lint`, rule L01) bans ad-hoc exact
+//! float `==`/`!=` in library code: scattered exact comparisons are
+//! either bugs (tolerance was intended) or boundary sentinels whose
+//! exactness is load-bearing but invisible. Both cases route through this
+//! module instead, so every float comparison in the workspace is an
+//! explicit, named decision:
+//!
+//! * [`approx_eq`] — tolerance comparison (relative + absolute),
+//! * [`exact_eq`] / [`exact_zero`] — *deliberately* exact comparison for
+//!   sentinel values (an input that is bit-for-bit `0.0` means "closed
+//!   interval endpoint", "root already bracketed", "empty mix weight", …).
+//!
+//! Exact comparison lives behind one audited site so the intent survives
+//! refactors; callers say *which* semantics they want by name.
+
+/// Tolerance equality: `|a - b| ≤ max(abs_tol, rel_tol · max(|a|, |b|))`.
+///
+/// With both tolerances zero this degenerates to exact equality (still
+/// true for equal infinities, false if either side is NaN). `rel_tol`
+/// guards large magnitudes, `abs_tol` guards comparisons near zero where
+/// relative error is meaningless.
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    if exact_eq(a, b) {
+        return true; // equal bit patterns / equal infinities
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= abs_tol.max(rel_tol * scale)
+}
+
+/// Deliberately exact float equality for sentinel comparisons.
+///
+/// IEEE semantics: `-0.0 == 0.0` is true, `NaN == NaN` is false.
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    // lint:allow(float_eq): the single audited exact-comparison site the rest of the workspace routes through
+    a == b
+}
+
+/// `true` iff `x` is exactly `±0.0`. Shorthand for the most common
+/// sentinel: "this endpoint/weight/residual is identically zero".
+pub fn exact_zero(x: f64) -> bool {
+    exact_eq(x, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tolerance_is_exact() {
+        assert!(approx_eq(1.5, 1.5, 0.0, 0.0));
+        assert!(!approx_eq(1.5, 1.5 + f64::EPSILON, 0.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0, 0.0));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 0.0, 0.0));
+    }
+
+    #[test]
+    fn relative_and_absolute_tolerances() {
+        assert!(approx_eq(1e10, 1e10 * (1.0 + 1e-13), 1e-12, 0.0));
+        assert!(!approx_eq(1e10, 1e10 * (1.0 + 1e-11), 1e-12, 0.0));
+        // Near zero, relative tolerance alone is useless; absolute saves it.
+        assert!(!approx_eq(1e-300, 0.0, 1e-9, 0.0));
+        assert!(approx_eq(1e-300, 0.0, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn exact_sentinels() {
+        assert!(exact_zero(0.0));
+        assert!(exact_zero(-0.0));
+        assert!(!exact_zero(f64::MIN_POSITIVE));
+        assert!(!exact_zero(f64::NAN));
+        assert!(exact_eq(3.5, 3.5));
+        assert!(!exact_eq(3.5, 3.5000000001));
+    }
+}

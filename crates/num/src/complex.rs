@@ -6,6 +6,7 @@
 //! for `k ≠ 1`. The offline crate set has no complex-number crate, so we
 //! carry our own minimal, well-tested implementation.
 
+use crate::cmp::exact_zero;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -51,19 +52,22 @@ impl Complex64 {
         Self::new(self.re, -self.im)
     }
 
-    /// Squared modulus `re² + im²`.
+    /// Squared modulus `re² + im²`. Finite unless a component
+    /// overflows or is already non-finite.
     #[inline]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
-    /// Modulus `|z|`, computed without intermediate overflow.
+    /// Modulus `|z|`, computed without intermediate overflow; finite
+    /// for all finite components.
     #[inline]
     pub fn abs(self) -> f64 {
         self.re.hypot(self.im)
     }
 
-    /// Argument (phase) in `(-π, π]`.
+    /// Argument (phase) in `(-π, π]`; finite (atan2 semantics) even at
+    /// the origin, NaN only for NaN components.
     #[inline]
     pub fn arg(self) -> f64 {
         self.im.atan2(self.re)
@@ -98,7 +102,7 @@ impl Complex64 {
 
     /// Principal square root.
     pub fn sqrt(self) -> Self {
-        if self.im == 0.0 && self.re >= 0.0 {
+        if exact_zero(self.im) && self.re >= 0.0 {
             return Self::new(self.re.sqrt(), 0.0);
         }
         let r = self.abs();

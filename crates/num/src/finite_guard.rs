@@ -1,0 +1,86 @@
+//! Debug-build finiteness guards for the numeric kernels.
+//!
+//! NaN and ±∞ propagate silently through `f64` arithmetic: a pole solver
+//! that walks out of its bracket, an MGF evaluated past its abscissa of
+//! convergence, or a log of a non-positive weight all surface hundreds of
+//! call frames later as a garbage quantile. These pass-through guards make
+//! the *origin* of the first non-finite value fail fast in debug builds
+//! (`debug_assert!`), while compiling to a no-op in release builds so the
+//! benchmarked kernels keep their exact instruction streams.
+//!
+//! Convention: guard values that are *supposed* to be finite at a module
+//! boundary (solver outputs, MGF values inside the convergence region,
+//! accumulated sums). Do **not** guard values where NaN is part of the
+//! contract (e.g. quantile searches that return NaN for "not reached").
+//!
+//! ```
+//! use fpsping_num::finite_guard::finite;
+//! let x = finite("mgf(theta)", (0.25_f64).exp());
+//! assert_eq!(x, (0.25_f64).exp());
+//! ```
+
+use crate::complex::Complex64;
+
+/// Passes `x` through, asserting in debug builds that it is finite
+/// (neither NaN nor ±∞). `label` names the quantity in the panic message.
+#[inline(always)]
+pub fn finite(label: &str, x: f64) -> f64 {
+    debug_assert!(x.is_finite(), "finite_guard: `{label}` is non-finite ({x})");
+    x
+}
+
+/// Passes `x` through, asserting in debug builds that it is not NaN.
+/// Use where ±∞ is a legitimate value (e.g. a tail bound that saturates)
+/// but NaN would mean a domain error upstream; panics only in debug.
+#[inline(always)]
+pub fn not_nan(label: &str, x: f64) -> f64 {
+    debug_assert!(!x.is_nan(), "finite_guard: `{label}` is NaN");
+    x
+}
+
+/// Complex variant of [`finite`]: both components must be finite
+/// (debug builds panic otherwise).
+#[inline(always)]
+pub fn finite_c(label: &str, z: Complex64) -> Complex64 {
+    debug_assert!(
+        z.re.is_finite() && z.im.is_finite(),
+        "finite_guard: `{label}` is non-finite ({} + {}i)",
+        z.re,
+        z.im
+    );
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_finite_values_through() {
+        assert_eq!(finite("x", 1.5), 1.5);
+        assert_eq!(not_nan("y", f64::INFINITY), f64::INFINITY);
+        let z = finite_c("z", Complex64::new(1.0, -2.0));
+        assert_eq!((z.re, z.im), (1.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite_guard: `bad` is non-finite")]
+    #[cfg(debug_assertions)]
+    fn finite_catches_nan() {
+        finite("bad", f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite_guard: `bad` is NaN")]
+    #[cfg(debug_assertions)]
+    fn not_nan_catches_nan() {
+        not_nan("bad", f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite_guard: `bad` is non-finite")]
+    #[cfg(debug_assertions)]
+    fn finite_c_catches_infinite_component() {
+        finite_c("bad", Complex64::new(0.0, f64::INFINITY));
+    }
+}

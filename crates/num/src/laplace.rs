@@ -10,6 +10,7 @@
 //! inverting Laplace transforms", INFORMS J. Computing 18(4), 2006.
 
 use crate::complex::Complex64;
+use crate::finite_guard::{finite, not_nan};
 use crate::special::binomial;
 
 /// Default Euler parameter; `M = 18` keeps the `10^{M/3}` round-off
@@ -22,6 +23,10 @@ pub const DEFAULT_EULER_M: usize = 18;
 ///
 /// Absolute accuracy in double precision is roughly `1e-10` for smooth
 /// `f`; do not expect relative accuracy on values far below that.
+///
+/// Panics unless `t > 0` and `m ≥ 1`; the result is finite whenever the
+/// transform is finite at the 2m+1 contour points (debug builds assert
+/// this per term).
 pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: usize) -> f64 {
     assert!(t > 0.0, "euler_inversion: t must be positive, got {t}");
     assert!(m >= 1, "euler_inversion: order must be >= 1");
@@ -41,7 +46,7 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
     let mut sum = 0.0;
     for (k, &xik) in xi.iter().enumerate() {
         let beta = Complex64::new(a, std::f64::consts::PI * k as f64);
-        let val = transform(beta / t).re;
+        let val = not_nan("euler_inversion: transform value", transform(beta / t).re);
         let eta = if k % 2 == 0 {
             scale * xik
         } else {
@@ -49,13 +54,16 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
         };
         sum += eta * val;
     }
-    sum / t
+    finite("euler_inversion: result", sum / t)
 }
 
 /// Inverts the *tail* (complementary CDF) of a non-negative random variable
 /// from its MGF `E[e^{sX}]` at the point `t`.
 ///
 /// Uses the identity `L{P(X > ·)}(s) = (1 - E[e^{-sX}])/s`.
+///
+/// Panics unless `t > 0` and `m ≥ 1`; finite whenever the MGF is finite
+/// along the inversion contour (debug builds assert this per term).
 pub fn tail_from_mgf(mgf: impl Fn(Complex64) -> Complex64, t: f64, m: usize) -> f64 {
     euler_inversion(|s| (Complex64::ONE - mgf(-s)) / s, t, m)
 }

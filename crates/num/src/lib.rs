@@ -22,7 +22,11 @@
 //!   ECDF and tail distribution functions, histograms, online estimators)
 //!   that back the traffic-trace analysis of §2.2 and the simulator probes,
 //! * [`p2`] — the P² streaming quantile estimator for O(1)-memory probes
-//!   on very long simulations.
+//!   on very long simulations,
+//! * [`cmp`] — named float comparisons (tolerance vs. deliberately exact),
+//!   the only place plain `==` on floats is allowed by the workspace lint,
+//! * [`finite_guard`] — debug-build finiteness assertions for kernel
+//!   boundaries; no-ops in release builds.
 //!
 //! Everything is `no_std`-agnostic pure Rust with `f64`; no external
 //! numerics dependencies.
@@ -30,7 +34,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cmp;
 pub mod complex;
+pub mod finite_guard;
 pub mod laplace;
 pub mod p2;
 pub mod poly;

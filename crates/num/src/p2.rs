@@ -41,7 +41,8 @@ impl P2Quantile {
         }
     }
 
-    /// The quantile level being tracked.
+    /// The quantile level being tracked; always in `(0, 1)` (construction
+    /// panics otherwise).
     pub fn level(&self) -> f64 {
         self.p
     }
@@ -51,14 +52,15 @@ impl P2Quantile {
         self.count
     }
 
-    /// Feeds one observation.
+    /// Feeds one observation. Panics on NaN — a NaN marker height would
+    /// silently corrupt every subsequent parabolic update.
     pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "P2Quantile: NaN observation");
         self.count += 1;
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init
-                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                self.init.sort_by(f64::total_cmp);
                 for i in 0..5 {
                     self.q[i] = self.init[i];
                 }
@@ -191,12 +193,13 @@ impl P2Quantile {
     }
 
     /// The current quantile estimate. Exact for fewer than five
-    /// observations (falls back to order statistics).
+    /// observations (falls back to order statistics). Panics when no
+    /// observations have been recorded yet; never NaN otherwise.
     pub fn estimate(&self) -> f64 {
         if self.init.len() < 5 {
             assert!(!self.init.is_empty(), "P2Quantile: no observations yet");
             let mut v = self.init.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            v.sort_by(f64::total_cmp);
             return crate::stats::quantile(&v, self.p);
         }
         self.q[2]

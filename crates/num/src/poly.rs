@@ -9,7 +9,8 @@
 use crate::complex::Complex64;
 
 /// Evaluates `Σ coeffs[i] · x^i` by Horner's rule (coefficients in
-/// ascending-degree order).
+/// ascending-degree order). NaN only if a coefficient or `x` is NaN (or
+/// an intermediate `∞ · 0` arises); may overflow to ±∞ for large `x`.
 pub fn horner(coeffs: &[f64], x: f64) -> f64 {
     coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
 }
@@ -23,7 +24,8 @@ pub fn horner_complex(coeffs: &[Complex64], x: Complex64) -> Complex64 {
 }
 
 /// Rising factorial (Pochhammer symbol) `(m)_l = m·(m+1)···(m+l-1)`,
-/// with `(m)_0 = 1`.
+/// with `(m)_0 = 1`. Always finite for representable results (may
+/// overflow to +∞ for very large `m`, `l`).
 ///
 /// This is the coefficient produced by the l-th derivative of
 /// `(λ/(λ-s))^m` used in the Appendix-A convolution (eq. (43)).
@@ -31,7 +33,8 @@ pub fn rising_factorial(m: u32, l: u32) -> f64 {
     (0..l).fold(1.0, |acc, i| acc * (m + i) as f64)
 }
 
-/// Falling factorial `m·(m-1)···(m-l+1)`, with value 0 once it crosses 0.
+/// Falling factorial `m·(m-1)···(m-l+1)`, with value 0 once it crosses
+/// 0. Always finite for representable results.
 pub fn falling_factorial(m: u32, l: u32) -> f64 {
     if l > m {
         return 0.0;
@@ -42,7 +45,8 @@ pub fn falling_factorial(m: u32, l: u32) -> f64 {
 /// Evaluates the truncated exponential series `Σ_{i=0}^{n-1} x^i / i!`.
 ///
 /// `e^{-λx} · partial_exp(λx, m)` is the Erlang(m, λ) tail — the inversion
-/// kernel for every term of eq. (35).
+/// kernel for every term of eq. (35). Finite for finite `x` unless the
+/// series overflows; NaN input propagates to NaN.
 pub fn partial_exp(x: f64, n: u32) -> f64 {
     let mut term = 1.0;
     let mut sum = if n > 0 { 1.0 } else { 0.0 };

@@ -5,7 +5,8 @@
 //! distribution moments that lack closed forms (e.g. empirical mixtures).
 
 /// Adaptive Simpson quadrature of `f` on `[a, b]` to absolute tolerance
-/// `tol`.
+/// `tol`. Finite whenever `f` is finite on `[a, b]`; a NaN/∞ from the
+/// integrand propagates into the result.
 pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
     let fa = f(a);
     let fb = f(b);
@@ -77,7 +78,8 @@ const GL20_W: [f64; 10] = [
 /// Fixed 20-point Gauss–Legendre quadrature on `[a, b]`.
 ///
 /// Exact for polynomials of degree ≤ 39; the workhorse for smooth
-/// integrands on a bounded interval.
+/// integrands on a bounded interval. Finite whenever `f` is finite at the
+/// 20 nodes; NaN from the integrand propagates.
 pub fn gauss_legendre(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
     let c = 0.5 * (a + b);
     let h = 0.5 * (b - a);
@@ -90,6 +92,8 @@ pub fn gauss_legendre(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
 
 /// Composite Gauss–Legendre over `n` panels — for integrands with moderate
 /// structure (e.g. oscillatory MGF integrands) on `[a, b]`.
+///
+/// Panics if `n == 0`; finite whenever `f` is finite at every node.
 pub fn gauss_legendre_composite(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
     assert!(n >= 1, "need at least one panel");
     let h = (b - a) / n as f64;

@@ -9,7 +9,9 @@
 //!   [`complex_fixed_point`], iterating `z ← f(z)` from `z = 0` exactly as
 //!   Appendix C proves convergent.
 
+use crate::cmp::exact_zero;
 use crate::complex::Complex64;
+use crate::finite_guard::{finite, not_nan};
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,14 +68,14 @@ pub fn bisection(
 ) -> Result<RootResult, RootError> {
     let mut fa = f(a);
     let fb = f(b);
-    if fa == 0.0 {
+    if exact_zero(fa) {
         return Ok(RootResult {
             root: a,
             residual: 0.0,
             iterations: 0,
         });
     }
-    if fb == 0.0 {
+    if exact_zero(fb) {
         return Ok(RootResult {
             root: b,
             residual: 0.0,
@@ -86,9 +88,9 @@ pub fn bisection(
     for i in 0..max_iter {
         let m = 0.5 * (a + b);
         let fm = f(m);
-        if fm == 0.0 || (b - a).abs() < tol {
+        if exact_zero(fm) || (b - a).abs() < tol {
             return Ok(RootResult {
-                root: m,
+                root: finite("bisection: root", m),
                 residual: fm.abs(),
                 iterations: i,
             });
@@ -120,14 +122,14 @@ pub fn brent(
 ) -> Result<RootResult, RootError> {
     let (mut a, mut b) = (a0, b0);
     let (mut fa, mut fb) = (f(a), f(b));
-    if fa == 0.0 {
+    if exact_zero(fa) {
         return Ok(RootResult {
             root: a,
             residual: 0.0,
             iterations: 0,
         });
     }
-    if fb == 0.0 {
+    if exact_zero(fb) {
         return Ok(RootResult {
             root: b,
             residual: 0.0,
@@ -146,9 +148,9 @@ pub fn brent(
     let mut mflag = true;
     let mut d = 0.0;
     for i in 0..max_iter {
-        if fb == 0.0 || (b - a).abs() < tol {
+        if exact_zero(fb) || (b - a).abs() < tol {
             return Ok(RootResult {
-                root: b,
+                root: finite("brent: root", b),
                 residual: fb.abs(),
                 iterations: i,
             });
@@ -177,7 +179,7 @@ pub fn brent(
         } else {
             mflag = false;
         }
-        let fs = f(s);
+        let fs = not_nan("brent: f(s)", f(s));
         d = c;
         c = b;
         fc = fb;
@@ -213,14 +215,14 @@ pub fn newton(
     let mut x = x0;
     for i in 0..max_iter {
         let (v, dv) = f(x);
-        if v == 0.0 {
+        if exact_zero(v) {
             return Ok(RootResult {
                 root: x,
                 residual: 0.0,
                 iterations: i,
             });
         }
-        if dv == 0.0 || !dv.is_finite() {
+        if exact_zero(dv) || !dv.is_finite() {
             return Err(RootError::NoConvergence {
                 best: x,
                 residual: v.abs(),
@@ -236,7 +238,7 @@ pub fn newton(
         }
         if step.abs() < tol {
             return Ok(RootResult {
-                root: x,
+                root: finite("newton: root", x),
                 residual: f(x).0.abs(),
                 iterations: i + 1,
             });
@@ -268,7 +270,7 @@ pub fn brent_expand_right(
     for _ in 0..max_expand {
         let hi = lo + step;
         let fhi = f(hi);
-        if flo == 0.0 {
+        if exact_zero(flo) {
             return Ok(RootResult {
                 root: lo,
                 residual: 0.0,

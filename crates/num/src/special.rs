@@ -6,9 +6,12 @@
 //! inversion of eq. (35)) and the binomial tail probabilities of the
 //! N·D/D/1 analysis (§3.1, eq. (4)).
 
+use crate::cmp::{exact_eq, exact_zero};
+
 /// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
 ///
-/// Accurate to ~1e-13 relative error for `x > 0`.
+/// Accurate to ~1e-13 relative error for `x > 0`. Non-finite (±∞) only at
+/// the poles of Γ (`x = 0, −1, −2, …`); finite for every other input.
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_9,
@@ -36,7 +39,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     }
 }
 
-/// ln(n!) for integer n ≥ 0, via `ln_gamma`.
+/// ln(n!) for integer n ≥ 0, via `ln_gamma`. Always finite.
 pub fn ln_factorial(n: u64) -> f64 {
     if n < 2 {
         0.0
@@ -46,7 +49,7 @@ pub fn ln_factorial(n: u64) -> f64 {
 }
 
 /// Binomial coefficient `C(n, k)` as f64 (via log-gamma; exact to ~1e-12
-/// relative for moderate n).
+/// relative for moderate n). Never NaN; +∞ once the result overflows f64.
 pub fn binomial(n: u64, k: u64) -> f64 {
     if k > n {
         return 0.0;
@@ -59,10 +62,13 @@ pub fn binomial(n: u64, k: u64) -> f64 {
 /// For integer `a = K` this is the Erlang(K, λ) CDF at `x = λt`. Uses the
 /// series expansion for `x < a + 1` and the continued fraction otherwise
 /// (Numerical-Recipes style), both to ~1e-14.
+///
+/// Panics unless `a > 0` and `x ≥ 0`; on that domain the result is finite
+/// in `[0, 1]`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_p: a must be positive, got {a}");
     assert!(x >= 0.0, "gamma_p: x must be non-negative, got {x}");
-    if x == 0.0 {
+    if exact_zero(x) {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -76,10 +82,13 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 ///
 /// For integer `a = K` this is the Erlang(K, λ) tail (TDF) at `x = λt`;
 /// this is the quantity plotted in Figure 1 of the paper.
+///
+/// Panics unless `a > 0` and `x ≥ 0`; on that domain the result is finite
+/// in `[0, 1]`.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_q: a must be positive, got {a}");
     assert!(x >= 0.0, "gamma_q: x must be non-negative, got {x}");
-    if x == 0.0 {
+    if exact_zero(x) {
         return 1.0;
     }
     if x < a + 1.0 {
@@ -136,16 +145,19 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 ///
 /// The binomial tail needed by eq. (4) is
 /// `P(Bin(n, p) ≥ k) = I_p(k, n-k+1)`.
+///
+/// Panics unless `a, b > 0` and `x ∈ [0, 1]`; on that domain the result
+/// is finite in `[0, 1]`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc: a,b must be positive");
     assert!(
         (0.0..=1.0).contains(&x),
         "beta_inc: x must be in [0,1], got {x}"
     );
-    if x == 0.0 {
+    if exact_zero(x) {
         return 0.0;
     }
-    if x == 1.0 {
+    if exact_eq(x, 1.0) {
         return 1.0;
     }
     let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
@@ -208,6 +220,8 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 ///
 /// This is the quantity maximized over the window length `t` in the
 /// dominant-term approximation of the N·D/D/1 queue (eq. (4)).
+///
+/// Panics unless `p ∈ [0, 1]`; the result is finite in `[0, 1]`.
 pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "binomial_tail_ge: p in [0,1]");
     if k == 0 {
@@ -216,10 +230,10 @@ pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
     if k > n {
         return 0.0;
     }
-    if p == 0.0 {
+    if exact_zero(p) {
         return 0.0;
     }
-    if p == 1.0 {
+    if exact_eq(p, 1.0) {
         return 1.0;
     }
     beta_inc(k as f64, (n - k + 1) as f64, p)
@@ -228,9 +242,10 @@ pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
 /// Error function, Abramowitz & Stegun 7.1.26-style rational approximation
 /// refined by a single series/continued-fraction pass through `gamma_p`.
 ///
-/// `erf(x) = sign(x) · P(1/2, x²)`, accurate to ~1e-14.
+/// `erf(x) = sign(x) · P(1/2, x²)`, accurate to ~1e-14. Finite in
+/// `[-1, 1]` for every finite input; NaN input propagates to NaN output.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if exact_zero(x) {
         return 0.0;
     }
     let v = gamma_p(0.5, x * x);
@@ -241,13 +256,15 @@ pub fn erf(x: f64) -> f64 {
     }
 }
 
-/// Standard normal CDF `Φ(x)`.
+/// Standard normal CDF `Φ(x)`. Finite in `[0, 1]` for every finite input.
 pub fn std_normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
 }
 
 /// Inverse of the standard normal CDF (Acklam's algorithm, |ε| < 1.15e-9,
 /// then one Newton refinement step → ~1e-15).
+///
+/// Panics unless `p ∈ (0, 1)`; the result is finite on that open domain.
 pub fn std_normal_inv_cdf(p: f64) -> f64 {
     assert!(
         p > 0.0 && p < 1.0,

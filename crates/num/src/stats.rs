@@ -7,7 +7,8 @@
 //! Tournament trace; Figure 1: the empirical burst-size TDF) and behind the
 //! delay probes of the discrete-event simulator.
 
-/// Compensated (Kahan–Babuška) summation.
+/// Compensated (Kahan–Babuška) summation. NaN/±∞ inputs propagate
+/// into the result; finite inputs with a representable sum stay finite.
 pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut c = 0.0;
@@ -41,13 +42,14 @@ pub fn variance(values: &[f64]) -> f64 {
     kahan_sum(values.iter().map(|&v| (v - m) * (v - m))) / (values.len() - 1) as f64
 }
 
-/// Sample standard deviation.
+/// Sample standard deviation; `NaN` for fewer than two samples.
 pub fn std_dev(values: &[f64]) -> f64 {
     variance(values).sqrt()
 }
 
 /// Coefficient of variation `σ/μ` — the headline statistic of every traffic
-/// table in the paper (Tables 1–3).
+/// table in the paper (Tables 1–3). `NaN` for fewer than two samples;
+/// ±∞ when the mean is exactly zero.
 pub fn cov(values: &[f64]) -> f64 {
     std_dev(values) / mean(values)
 }
@@ -75,10 +77,15 @@ pub fn quantile(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
-/// Sorts a copy and takes the [`quantile`].
+/// Sorts a copy and takes the [`quantile`]. Panics if the sample contains
+/// NaN (there is no meaningful order statistic for it).
 pub fn quantile_unsorted(values: &[f64], p: f64) -> f64 {
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "quantile_unsorted: NaN in sample"
+    );
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    v.sort_by(f64::total_cmp);
     quantile(&v, p)
 }
 
@@ -94,7 +101,8 @@ impl Ecdf {
     /// Builds the ECDF; panics if the sample is empty or contains NaN.
     pub fn new(mut sample: Vec<f64>) -> Self {
         assert!(!sample.is_empty(), "Ecdf of empty sample");
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        assert!(sample.iter().all(|v| !v.is_nan()), "Ecdf: NaN in sample");
+        sample.sort_by(f64::total_cmp);
         Self { sorted: sample }
     }
 
@@ -108,29 +116,30 @@ impl Ecdf {
         self.sorted.is_empty()
     }
 
-    /// `P̂(X ≤ x)` — fraction of observations ≤ x.
+    /// `P̂(X ≤ x)` — fraction of observations ≤ x; finite in `[0, 1]`.
     pub fn cdf(&self, x: f64) -> f64 {
         self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
     }
 
-    /// `P̂(X > x)` — the tail distribution function of Figure 1.
+    /// `P̂(X > x)` — the tail distribution function of Figure 1;
+    /// finite in `[0, 1]`.
     pub fn tdf(&self, x: f64) -> f64 {
         1.0 - self.cdf(x)
     }
 
-    /// Empirical quantile (type-7 interpolation).
+    /// Empirical quantile (type-7 interpolation). Panics if `p ∉ [0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
         quantile(&self.sorted, p)
     }
 
-    /// Minimum observation.
+    /// Minimum observation (never NaN: construction rejects NaN).
     pub fn min(&self) -> f64 {
         self.sorted[0]
     }
 
-    /// Maximum observation.
+    /// Maximum observation (never NaN: construction rejects NaN).
     pub fn max(&self) -> f64 {
-        *self.sorted.last().unwrap()
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// The sorted sample.
@@ -201,7 +210,8 @@ impl Histogram {
         (self.below, self.above)
     }
 
-    /// Bin width.
+    /// Bin width; finite and positive (`hi > lo` is enforced at
+    /// construction).
     pub fn bin_width(&self) -> f64 {
         (self.hi - self.lo) / self.bins.len() as f64
     }
@@ -299,22 +309,23 @@ impl OnlineStats {
         }
     }
 
-    /// Standard deviation.
+    /// Standard deviation; `NaN` below two observations.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
 
-    /// Coefficient of variation.
+    /// Coefficient of variation; `NaN` below two observations, ±∞ for a
+    /// zero mean.
     pub fn cov(&self) -> f64 {
         self.std_dev() / self.mean()
     }
 
-    /// Minimum observation (`+∞` when empty).
+    /// Minimum observation; +∞ (positive infinity) when empty.
     pub fn min(&self) -> f64 {
         self.min
     }
 
-    /// Maximum observation (`-∞` when empty).
+    /// Maximum observation; −∞ (negative infinity) when empty.
     pub fn max(&self) -> f64 {
         self.max
     }

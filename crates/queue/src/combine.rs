@@ -34,6 +34,7 @@ use crate::erlang_mix::ErlangMix;
 use crate::mg1::Mg1;
 use crate::position::{Position, PositionDelay};
 use crate::QueueError;
+use fpsping_num::cmp::exact_zero;
 use fpsping_num::Complex64;
 
 /// The position-delay factor: either a proper Erlang mix (K > 1 uniform,
@@ -66,7 +67,7 @@ impl PositionFactor {
         }
     }
 
-    /// Mean of the factor's distribution.
+    /// Mean of the factor's distribution; finite for every supported law.
     pub fn mean(&self) -> f64 {
         match self {
             PositionFactor::Mix(m) => m.mean(),
@@ -75,7 +76,7 @@ impl PositionFactor {
         }
     }
 
-    /// Tail `P(X > x)`.
+    /// Tail `P(X > x)`; finite in `[0, 1]` for all `x`.
     pub fn tail(&self, x: f64) -> f64 {
         match self {
             PositionFactor::Mix(m) => m.tail(x),
@@ -108,7 +109,8 @@ impl PositionFactor {
         }
     }
 
-    /// p-quantile of the factor alone.
+    /// p-quantile of the factor alone. NaN if the bracketed solve fails
+    /// to converge (does not happen for valid factor states).
     pub fn quantile(&self, p: f64) -> f64 {
         match self {
             PositionFactor::Mix(m) => {
@@ -230,7 +232,8 @@ impl TotalDelay {
 
     /// Mean total delay — computed as the sum of the three component
     /// means, which is exact for independent summands and stays
-    /// well-conditioned even when the expanded product does not.
+    /// well-conditioned even when the expanded product does not. Finite
+    /// for every constructible model.
     pub fn mean(&self) -> f64 {
         self.upstream.mean() + self.burst_wait.mean() + self.position.mean()
     }
@@ -241,14 +244,16 @@ impl TotalDelay {
     }
 
     /// Tail `P(total > x)`: closed-form expansion when well-conditioned,
-    /// numerical inversion of the unexpanded product otherwise.
+    /// numerical inversion of the unexpanded product otherwise. Finite in
+    /// `[0, 1]` for all `x ≥ 0`.
     pub fn tail(&self, x: f64) -> f64 {
         if self.well_conditioned {
             self.product
                 .as_ref()
+                // lint:allow(unwrap): the constructor sets `well_conditioned` only after building `product`
                 .expect("well-conditioned implies product")
                 .tail(x)
-        } else if x == 0.0 {
+        } else if exact_zero(x) {
             // P(total > 0) ≥ P(position > 0) = 1 (position is a.s.
             // positive for every supported law).
             1.0 - self.upstream.constant
@@ -268,13 +273,16 @@ impl TotalDelay {
     pub fn tail_expanded(&self, x: f64) -> f64 {
         self.product
             .as_ref()
+            // lint:allow(unwrap): the K = 1 panic is the documented contract of this diagnostic entry point
             .expect("tail_expanded: no rational expansion exists (K = 1 uniform position)")
             .tail(x)
     }
 
     /// Tail by numerical Laplace inversion of the *unexpanded* product —
     /// an independent cross-check of the Appendix-A algebra (and the only
-    /// path for K = 1).
+    /// path for K = 1). Panics unless `x > 0`; accuracy is ~1e-10
+    /// absolute, so values below that are noise (can dip slightly
+    /// negative before the caller clamps).
     pub fn tail_numeric(&self, x: f64) -> f64 {
         assert!(x > 0.0, "tail_numeric: x must be positive");
         fpsping_num::laplace::tail_from_mgf(
@@ -286,7 +294,8 @@ impl TotalDelay {
 
     /// Method 1 (the paper's): p-quantile from the full expansion (with
     /// the numerical-inversion fallback when the expansion is
-    /// ill-conditioned or absent).
+    /// ill-conditioned or absent). Panics unless `p ∈ (0, 1)`; NaN if the
+    /// bracketed solve fails to converge.
     pub fn quantile(&self, p: f64) -> f64 {
         self.quantile_with_hint(p, None)
     }
@@ -295,9 +304,11 @@ impl TotalDelay {
     /// (a neighboring sweep cell's value). Like
     /// [`ErlangMix::quantile_with_hint`], the hint only accelerates the
     /// bracket search — the bracket itself, and therefore the root, is
-    /// bit-identical to the cold path's.
+    /// bit-identical to the cold path's. Panics unless `p ∈ (0, 1)`; NaN
+    /// if the bracketed solve fails to converge.
     pub fn quantile_with_hint(&self, p: f64, hint: Option<f64>) -> f64 {
         if self.well_conditioned {
+            // lint:allow(unwrap): the constructor sets `well_conditioned` only after building `product`
             return self.product.as_ref().unwrap().quantile_with_hint(p, hint);
         }
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
@@ -373,7 +384,8 @@ impl TotalDelay {
         obj(0.5 * (a + b)).min(1.0)
     }
 
-    /// Method 3: p-quantile from the Chernoff bound of eq. (36).
+    /// Method 3: p-quantile from the Chernoff bound of eq. (36). Panics
+    /// unless `p ∈ (0, 1)`; NaN if the bracketed solve fails to converge.
     pub fn quantile_chernoff(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
@@ -400,7 +412,8 @@ impl TotalDelay {
 
     /// Method 4: sum of the component quantiles ("the quantile of a sum of
     /// delay contributions can be approximated by the sum of the quantiles
-    /// of the individual delay terms").
+    /// of the individual delay terms"). Same domain and NaN behavior as
+    /// [`TotalDelay::quantile`].
     pub fn quantile_sum_of_quantiles(&self, p: f64) -> f64 {
         let q_mix = |m: &ErlangMix| {
             if m.blocks.is_empty() {

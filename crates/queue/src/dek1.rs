@@ -30,6 +30,8 @@
 
 use crate::erlang_mix::{ErlangMix, PoleBlock};
 use crate::QueueError;
+use fpsping_num::cmp::exact_zero;
+use fpsping_num::finite_guard::{finite, finite_c};
 use fpsping_num::roots::complex_fixed_point;
 use fpsping_num::Complex64;
 
@@ -82,7 +84,7 @@ impl DekSolution {
                 value: k as f64,
             });
         }
-        if !(0.0..1.0).contains(&rho) || rho == 0.0 {
+        if !(0.0..1.0).contains(&rho) || exact_zero(rho) {
             return Err(QueueError::UnstableLoad { rho });
         }
         let zetas = solve_zetas(k, rho)?;
@@ -100,7 +102,8 @@ impl DekSolution {
         self.k
     }
 
-    /// Load ρ_d the roots were solved at.
+    /// Load ρ_d the roots were solved at; finite in `(0, 1)` by
+    /// construction.
     pub fn load(&self) -> f64 {
         self.rho
     }
@@ -190,17 +193,19 @@ impl DEk1 {
         self.k
     }
 
-    /// Erlang service rate β = K / b̄ (per second).
+    /// Erlang service rate β = K / b̄ (per second); finite and positive
+    /// by construction.
     pub fn beta(&self) -> f64 {
         self.beta
     }
 
-    /// Burst inter-arrival time T (seconds).
+    /// Burst inter-arrival time T (seconds); finite and positive by
+    /// construction.
     pub fn inter_arrival(&self) -> f64 {
         self.t
     }
 
-    /// Load ρ_d = b̄/T.
+    /// Load ρ_d = b̄/T; finite in `(0, 1)` by construction.
     pub fn load(&self) -> f64 {
         self.rho
     }
@@ -222,8 +227,12 @@ impl DEk1 {
     }
 
     /// Probability that a burst has to wait at all, `P(W > 0) = Σⱼ aⱼ`.
+    /// Finite in `[0, 1]` up to solver round-off.
     pub fn prob_wait(&self) -> f64 {
-        self.weights.iter().copied().sum::<Complex64>().re
+        finite(
+            "DEk1::prob_wait",
+            self.weights.iter().copied().sum::<Complex64>().re,
+        )
     }
 
     /// Waiting-time MGF `W(s)` of eq. (18).
@@ -232,26 +241,29 @@ impl DEk1 {
     }
 
     /// Tail `P(W > x)` of the burst waiting time, eq. (18) inverted:
-    /// `Re Σⱼ aⱼ e^{-αⱼx}`.
+    /// `Re Σⱼ aⱼ e^{-αⱼx}`. Panics if `x < 0`; finite for all valid
+    /// states (Re αⱼ > 0, so every term decays).
     pub fn wait_tail(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "wait_tail: x must be non-negative");
         let mut acc = Complex64::ZERO;
         for (a, alpha) in self.weights.iter().zip(&self.alphas) {
             acc += *a * (-*alpha * x).exp();
         }
-        acc.re
+        finite("DEk1::wait_tail", acc.re)
     }
 
-    /// Mean burst waiting time `Re Σ aⱼ/αⱼ`.
+    /// Mean burst waiting time `Re Σ aⱼ/αⱼ`; finite for all valid states
+    /// (every αⱼ is nonzero).
     pub fn mean_wait(&self) -> f64 {
         let mut acc = Complex64::ZERO;
         for (a, alpha) in self.weights.iter().zip(&self.alphas) {
             acc += *a / *alpha;
         }
-        acc.re
+        finite("DEk1::mean_wait", acc.re)
     }
 
-    /// p-quantile of the burst waiting time.
+    /// p-quantile of the burst waiting time. Panics unless `p ∈ (0, 1)`;
+    /// NaN if the bracketed solve fails to converge.
     pub fn wait_quantile(&self, p: f64) -> f64 {
         self.to_mix().quantile(p)
     }
@@ -276,7 +288,8 @@ impl DEk1 {
 
     /// Residual of the pole-defining equation (54),
     /// `(1 - s/β)^K - e^{-sT}`, at pole index `j` — exposed for
-    /// validation/tests.
+    /// validation/tests. Panics if `j` is out of range; finite and
+    /// near-zero for solved states.
     pub fn pole_residual(&self, j: usize) -> f64 {
         let s = self.alphas[j];
         let lhs = (Complex64::ONE - s / self.beta).powi(self.k as i32);
@@ -321,7 +334,7 @@ fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
                 what: "ζ root left the Re z < 1 half-plane",
             });
         }
-        zetas.push(z);
+        zetas.push(finite_c("solve_zetas: polished root", z));
     }
     Ok(zetas)
 }
@@ -347,7 +360,11 @@ fn solve_weights(zetas: &[Complex64]) -> Vec<Complex64> {
             }
             a *= (Complex64::ONE - zi) / (zj - zi);
         }
-        weights.push(if a.is_finite() { a } else { Complex64::ZERO });
+        weights.push(if a.is_finite() {
+            finite_c("solve_weights: Lagrange weight", a)
+        } else {
+            Complex64::ZERO
+        });
     }
     weights
 }

@@ -200,7 +200,9 @@ impl ErlangMix {
     }
 
     /// Tail distribution function `P(X > x)` for `x ≥ 0`, by term-by-term
-    /// inversion (real part of the complex block sum).
+    /// inversion (real part of the complex block sum). Panics if `x < 0`;
+    /// finite for finite coefficients (cancellation, not overflow, is the
+    /// failure mode — see [`ErlangMix::coeff_l1`]).
     pub fn tail(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "tail: x must be non-negative");
         let t: Complex64 = self.blocks.iter().map(|b| b.tail(x)).sum();
@@ -208,13 +210,15 @@ impl ErlangMix {
     }
 
     /// Mean of the distribution: `Σ_blocks Σ_m A_m m/λ` (real part).
+    /// Finite whenever every block coefficient is finite.
     pub fn mean(&self) -> f64 {
         let m: Complex64 = self.blocks.iter().map(|b| b.mean()).sum();
         m.re
     }
 
     /// Total mass `M(0) = constant + Σ A` — must be 1 for a probability
-    /// law; exposed for validation.
+    /// law; exposed for validation. Finite whenever every coefficient is
+    /// finite.
     pub fn total_mass(&self) -> f64 {
         self.eval(Complex64::ZERO).re
     }
@@ -228,7 +232,8 @@ impl ErlangMix {
     /// Roughly, tail values carry an absolute error of `coeff_l1 · ε_f64`;
     /// callers needing 1e-5 tails should distrust expansions with
     /// `coeff_l1 ≳ 1e7` and fall back to numerical inversion of the
-    /// unexpanded factors.
+    /// unexpanded factors. Always finite and non-negative for finite
+    /// coefficients.
     pub fn coeff_l1(&self) -> f64 {
         self.constant.abs()
             + self
@@ -238,7 +243,8 @@ impl ErlangMix {
                 .sum::<f64>()
     }
 
-    /// `P(X > 0) = 1 - constant` for a proper law (also `tail(0)`).
+    /// `P(X > 0) = 1 - constant` for a proper law (also `tail(0)`);
+    /// finite, in `[0, 1]` up to round-off.
     pub fn prob_positive(&self) -> f64 {
         self.tail(0.0)
     }
@@ -250,7 +256,7 @@ impl ErlangMix {
         self.blocks
             .iter()
             .map(|b| b.pole.re)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Tail using *only* the dominant pole block (plus its complex
@@ -275,7 +281,8 @@ impl ErlangMix {
     /// `P(X > x) ≤ 1 - p`. Solved by bisection on the closed-form tail.
     ///
     /// For the paper's headline number use `p = 0.99999` (the 99.999 %
-    /// quantile of §4).
+    /// quantile of §4). Panics unless `p ∈ (0, 1)`; NaN if the bracketed
+    /// solve fails to converge.
     pub fn quantile(&self, p: f64) -> f64 {
         self.quantile_with_hint(p, None)
     }
@@ -288,6 +295,9 @@ impl ErlangMix {
     /// with the tail below target), so the hinted result is bit-identical
     /// to the cold one — a cell evaluated through a sweep engine's warm
     /// start can be diffed exactly against a fresh evaluation.
+    ///
+    /// Panics unless `p ∈ (0, 1)`; NaN if the bracketed solve fails to
+    /// converge.
     pub fn quantile_with_hint(&self, p: f64, hint: Option<f64>) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
@@ -314,6 +324,7 @@ impl ErlangMix {
         if self.blocks.is_empty() || self.tail_dominant_pole(0.0) <= target {
             return 0.0;
         }
+        // lint:allow(unwrap): the empty-blocks case returned 0.0 just above
         let scale = 1.0 / self.dominant_decay().unwrap();
         let mut hi = scale;
         for _ in 0..200 {
@@ -349,13 +360,15 @@ impl ErlangMix {
         golden_min(obj, 0.0, s_max, 1e-12).1
     }
 
-    /// Quantile via the Chernoff tail.
+    /// Quantile via the Chernoff tail. Panics unless `p ∈ (0, 1)`; NaN if
+    /// the bracketed solve fails to converge.
     pub fn quantile_chernoff(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
         if self.blocks.is_empty() {
             return 0.0;
         }
+        // lint:allow(unwrap): the empty-blocks case returned 0.0 just above
         let scale = 1.0 / self.dominant_decay().unwrap();
         let mut hi = scale;
         for _ in 0..200 {

@@ -20,6 +20,7 @@
 use crate::erlang_mix::ErlangMix;
 use crate::QueueError;
 use fpsping_dist::{Distribution, Mixture};
+use fpsping_num::finite_guard::finite;
 use fpsping_num::Complex64;
 use std::sync::OnceLock;
 
@@ -122,12 +123,13 @@ impl Mg1 {
         Self::new(lambda, Box::new(service))
     }
 
-    /// Arrival rate λ.
+    /// Arrival rate λ; finite and positive by construction.
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
 
-    /// Load ρ = λ·E[S].
+    /// Load ρ = λ·E[S]; finite in `(0, 1)` by construction (stability is
+    /// checked in `new`).
     pub fn load(&self) -> f64 {
         self.rho
     }
@@ -138,10 +140,14 @@ impl Mg1 {
     }
 
     /// Mean waiting time (Pollaczek–Khinchine):
-    /// `E[W] = λ·E[S²] / (2(1-ρ))`.
+    /// `E[W] = λ·E[S²] / (2(1-ρ))`. Finite for every stable queue whose
+    /// service law has finite variance.
     pub fn mean_wait(&self) -> f64 {
         let s2 = self.service.variance() + self.service.mean().powi(2);
-        self.lambda * s2 / (2.0 * (1.0 - self.rho))
+        finite(
+            "Mg1::mean_wait",
+            self.lambda * s2 / (2.0 * (1.0 - self.rho)),
+        )
     }
 
     /// Exact waiting-time MGF `W(s) = (1-ρ)s / (s + λ(1 - B(s)))`.
@@ -277,6 +283,8 @@ impl Mg1 {
 
     /// Tail by numerical inversion of the exact Pollaczek–Khinchine
     /// transform (Abate–Whitt Euler) — the validation reference.
+    /// Panics unless `x > 0`; accuracy (not finiteness) degrades in the
+    /// deep tail, as for any numerical inversion.
     pub fn wait_tail_exact(&self, x: f64) -> f64 {
         assert!(x > 0.0, "wait_tail_exact: x must be positive");
         fpsping_num::laplace::tail_from_mgf(
@@ -331,7 +339,9 @@ pub fn mdd1_wait_cdf_exact(lambda: f64, tau: f64, t: f64) -> f64 {
     ((1.0 - rho) * sum).clamp(0.0, 1.0)
 }
 
-/// Exact M/D/1 waiting-time tail via [`mdd1_wait_cdf_exact`].
+/// Exact M/D/1 waiting-time tail via [`mdd1_wait_cdf_exact`]; inherits
+/// that function's panics (positive finite parameters, ρ < 1) and its
+/// `ε·e^{λt}` precision decay.
 pub fn mdd1_wait_tail_exact(lambda: f64, tau: f64, t: f64) -> f64 {
     1.0 - mdd1_wait_cdf_exact(lambda, tau, t)
 }

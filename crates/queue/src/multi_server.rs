@@ -55,12 +55,14 @@ impl ServerClass {
         Ok(())
     }
 
-    /// The load this class offers: `b̄ᵢ/Tᵢ`.
+    /// The load this class offers: `b̄ᵢ/Tᵢ`; finite and positive once
+    /// `validate` has passed.
     pub fn load(&self) -> f64 {
         self.mean_service_s / self.tick_s
     }
 
-    /// Erlang service rate `βᵢ = Kᵢ/b̄ᵢ`.
+    /// Erlang service rate `βᵢ = Kᵢ/b̄ᵢ`; finite and positive once
+    /// `validate` has passed.
     pub fn beta(&self) -> f64 {
         self.k as f64 / self.mean_service_s
     }
@@ -118,7 +120,8 @@ impl MultiServerDownstream {
         &self.classes
     }
 
-    /// Total offered load `Σ b̄ᵢ/Tᵢ`.
+    /// Total offered load `Σ b̄ᵢ/Tᵢ`; finite in `(0, 1)` for a
+    /// constructed (stable) system.
     pub fn load(&self) -> f64 {
         self.queue.load()
     }
@@ -133,7 +136,8 @@ impl MultiServerDownstream {
         self.queue.paper_mix()
     }
 
-    /// Mean burst waiting time (exact Pollaczek–Khinchine on the mixture).
+    /// Mean burst waiting time (exact Pollaczek–Khinchine on the mixture);
+    /// finite for a constructed (stable, ρ < 1) system.
     pub fn mean_wait(&self) -> f64 {
         self.queue.mean_wait()
     }

@@ -79,17 +79,18 @@ impl NDdd1 {
         self.n
     }
 
-    /// Period D (seconds).
+    /// Period D (seconds); finite and positive by construction.
     pub fn period(&self) -> f64 {
         self.d
     }
 
-    /// Per-packet service time τ (seconds).
+    /// Per-packet service time τ (seconds); finite and positive by
+    /// construction.
     pub fn service(&self) -> f64 {
         self.tau
     }
 
-    /// Load ρ = Nτ/D.
+    /// Load ρ = Nτ/D; finite in `(0, 1)` by construction.
     pub fn load(&self) -> f64 {
         self.n as f64 * self.tau / self.d
     }
@@ -161,6 +162,7 @@ impl NDdd1 {
     ///
     /// Same outer supremum over `t`, with the binomial log-MGF replaced by
     /// the Poisson one (`(Nt/D)(e^{sτ} - 1)`), closed-form inner optimizer.
+    /// Panics if `w < 0`; finite in `[0, 1]`.
     pub fn tail_mdd1_limit(&self, w: f64) -> f64 {
         assert!(w >= 0.0, "tail: w must be non-negative");
         let exponent = |t: f64| self.poisson_exponent(w, t);

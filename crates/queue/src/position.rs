@@ -20,6 +20,7 @@
 
 use crate::erlang_mix::ErlangMix;
 use crate::QueueError;
+use fpsping_num::cmp::exact_zero;
 use fpsping_num::quad::gauss_legendre_composite;
 use fpsping_num::special::gamma_q;
 
@@ -93,7 +94,7 @@ impl PositionDelay {
         self.k
     }
 
-    /// Burst service rate β.
+    /// Burst service rate β; finite and positive by construction.
     pub fn beta(&self) -> f64 {
         self.beta
     }
@@ -104,7 +105,7 @@ impl PositionDelay {
     }
 
     /// Mean position delay: `K/(2β) = b̄/2` for uniform, `θ·K/β` for a
-    /// fixed spot.
+    /// fixed spot. Finite and non-negative by construction.
     pub fn mean(&self) -> f64 {
         match self.position {
             Position::Uniform => self.k as f64 / (2.0 * self.beta),
@@ -121,6 +122,7 @@ impl PositionDelay {
             Position::Spot(theta) => {
                 // Erlang(K, β/θ).
                 let mut coeffs = vec![0.0; self.k as usize];
+                // lint:allow(unwrap): the constructor rejects K = 0, so `coeffs` is non-empty
                 *coeffs.last_mut().unwrap() = 1.0;
                 Ok(ErlangMix::single_real_pole(0.0, self.beta / theta, coeffs))
             }
@@ -140,10 +142,11 @@ impl PositionDelay {
     }
 
     /// Tail `P(u·B > x)` — closed form where the mix exists, quadrature on
-    /// `∫₀¹ Q_K(βx/τ)dτ` for the K = 1 uniform case.
+    /// `∫₀¹ Q_K(βx/τ)dτ` for the K = 1 uniform case. Panics if `x < 0`;
+    /// finite in `[0, 1]`.
     pub fn tail(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "tail: x must be non-negative");
-        if x == 0.0 {
+        if exact_zero(x) {
             // u·B > 0 a.s. (u > 0 a.s. under Uniform; B > 0 a.s.).
             return 1.0;
         }

@@ -282,6 +282,7 @@ where
             Some(p) => p.merge(get(m)),
         }
     }
+    // lint:allow(unwrap): callers hand over the non-empty replication set built by `run_replications`
     let mut pooled = pooled.expect("merge_metric on empty replication set");
     // Replications with observations; ones without contribute nothing to
     // quantile/mean spreads (their probe has no estimate to offer).
@@ -356,6 +357,7 @@ where
         }
     });
     out.into_iter()
+        // lint:allow(unwrap): scope() joins every worker before we get here, and each worker writes its whole chunk
         .map(|s| s.expect("par_map worker left a hole"))
         .collect()
 }

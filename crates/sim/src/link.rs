@@ -104,6 +104,7 @@ impl Link {
         let done = self
             .in_service
             .take()
+            // lint:allow(unwrap): the event loop only schedules a completion while a packet is in service
             .expect("complete called on idle link");
         self.packets_sent += 1;
         self.bytes_sent += done.size_bytes;

@@ -556,6 +556,7 @@ impl Network {
     }
 
     fn on_bg_emit(&mut self, link: usize) {
+        // lint:allow(unwrap): `Ev::BgEmit` is only ever scheduled when a background config exists
         let bg = self.cfg.background.expect("bg event without bg config");
         let p = Packet::elastic(bg.packet_bytes, self.now);
         self.offer(link, p);

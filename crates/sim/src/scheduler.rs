@@ -169,8 +169,10 @@ impl Scheduler for Wfq {
             (None, None) => return None,
         };
         let (finish, p) = if pick_game {
+            // lint:allow(unwrap): `pick_game` is only true when `game.front()` matched `Some` above
             self.game.pop_front().unwrap()
         } else {
+            // lint:allow(unwrap): this branch is only reached when `elastic.front()` matched `Some` above
             self.elastic.pop_front().unwrap()
         };
         self.virtual_time = self.virtual_time.max(finish);

@@ -72,6 +72,7 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
+        // lint:allow(unwrap): a negative SimTime is unrepresentable; panicking beats wrapping to ~58 000 years
         SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
     }
 }

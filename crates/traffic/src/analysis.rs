@@ -53,6 +53,7 @@ pub fn detect_bursts(trace: &Trace, gap_ms: f64) -> Vec<Burst> {
                 packet_sizes: Vec::new(),
             });
         }
+        // lint:allow(unwrap): the first record always opens a burst, so the vec is non-empty here
         let b = bursts.last_mut().expect("burst exists after push");
         b.size_bytes += r.size_bytes;
         b.packets += 1;

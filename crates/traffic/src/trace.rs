@@ -35,9 +35,15 @@ impl Trace {
         Self::default()
     }
 
-    /// Builds from records, sorting by timestamp.
+    /// Builds from records, sorting by timestamp. Panics if any record
+    /// carries a NaN timestamp — a NaN would silently break the time order
+    /// every consumer assumes.
     pub fn from_records(mut records: Vec<PacketRecord>) -> Self {
-        records.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("NaN timestamp"));
+        assert!(
+            records.iter().all(|r| !r.time_ms.is_nan()),
+            "from_records: NaN timestamp"
+        );
+        records.sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
         Self { records }
     }
 

@@ -1,0 +1,213 @@
+//! The `lint.toml` waiver baseline.
+//!
+//! The baseline carries pre-existing, individually justified findings so
+//! the gate fails only on *new* ones. It is a strict subset of TOML —
+//! `[[waiver]]` table arrays with string / integer keys — parsed by hand
+//! because the build environment has no reachable registry and the lint
+//! gate must stay dependency-free.
+//!
+//! ```toml
+//! [[waiver]]
+//! file = "crates/bench/src/lib.rs"
+//! rule = "L07"            # or the slug, "process_exit"
+//! max = 1                 # findings allowed for this (file, rule)
+//! justification = "usage-error exit in the shared bench arg parser"
+//! ```
+
+use crate::{LintError, Rule};
+use std::path::Path;
+
+/// One `[[waiver]]` entry.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative file the waiver applies to.
+    pub file: String,
+    /// The waived rule.
+    pub rule: Rule,
+    /// Number of findings of `rule` in `file` this entry absorbs.
+    pub max: usize,
+    /// Mandatory non-empty rationale.
+    pub justification: String,
+    /// Line in `lint.toml` where the entry starts (for diagnostics).
+    pub line: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All waiver entries, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl Baseline {
+    /// Loads `lint.toml` from `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, LintError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(LintError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, LintError> {
+        let mut waivers = Vec::new();
+        let mut cur: Option<PartialWaiver> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[waiver]]" {
+                finish(&mut cur, &mut waivers)?;
+                cur = Some(PartialWaiver {
+                    file: None,
+                    rule: None,
+                    max: None,
+                    justification: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(LintError::Baseline(format!(
+                    "line {lineno}: unsupported table `{line}` (only [[waiver]] is recognized)"
+                )));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(LintError::Baseline(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                )));
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(LintError::Baseline(format!(
+                    "line {lineno}: key outside a [[waiver]] table"
+                )));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" => entry.file = Some(parse_toml_string(value, lineno)?),
+                "rule" => {
+                    let s = parse_toml_string(value, lineno)?;
+                    entry.rule = Some(Rule::parse(&s).ok_or_else(|| {
+                        LintError::Baseline(format!("line {lineno}: unknown rule `{s}`"))
+                    })?);
+                }
+                "max" => {
+                    entry.max = Some(value.parse::<usize>().map_err(|_| {
+                        LintError::Baseline(format!("line {lineno}: `max` must be an integer"))
+                    })?);
+                }
+                "justification" => entry.justification = parse_toml_string(value, lineno)?,
+                other => {
+                    return Err(LintError::Baseline(format!(
+                        "line {lineno}: unknown key `{other}`"
+                    )));
+                }
+            }
+        }
+        finish(&mut cur, &mut waivers)?;
+        Ok(Self { waivers })
+    }
+}
+
+/// A `[[waiver]]` table mid-parse: everything optional until `finish`
+/// checks the required keys arrived.
+struct PartialWaiver {
+    file: Option<String>,
+    rule: Option<Rule>,
+    max: Option<usize>,
+    justification: String,
+    line: usize,
+}
+
+fn finish(cur: &mut Option<PartialWaiver>, waivers: &mut Vec<Waiver>) -> Result<(), LintError> {
+    if let Some(p) = cur.take() {
+        let line = p.line;
+        let file = p
+            .file
+            .ok_or_else(|| LintError::Baseline(format!("waiver at line {line}: missing `file`")))?;
+        let rule = p
+            .rule
+            .ok_or_else(|| LintError::Baseline(format!("waiver at line {line}: missing `rule`")))?;
+        if p.justification.trim().is_empty() {
+            return Err(LintError::Baseline(format!(
+                "waiver at line {line}: missing or empty `justification` — every waiver must say why"
+            )));
+        }
+        waivers.push(Waiver {
+            file,
+            rule,
+            max: p.max.unwrap_or(1),
+            justification: p.justification,
+            line,
+        });
+    }
+    Ok(())
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_string(value: &str, lineno: usize) -> Result<String, LintError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(LintError::Baseline(format!(
+            "line {lineno}: expected a double-quoted string, got `{v}`"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_waiver_entries() {
+        let b = Baseline::parse(
+            "# comment\n[[waiver]]\nfile = \"crates/a/src/x.rs\"\nrule = \"L02\"\nmax = 3\n\
+             justification = \"legacy\" # trailing\n\n[[waiver]]\nfile = \"y.rs\"\nrule = \"process_exit\"\n\
+             justification = \"bin-like\"\n",
+        )
+        .unwrap();
+        assert_eq!(b.waivers.len(), 2);
+        assert_eq!(b.waivers[0].max, 3);
+        assert_eq!(b.waivers[0].rule, Rule::L02);
+        assert_eq!(b.waivers[1].rule, Rule::L07);
+        assert_eq!(b.waivers[1].max, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Baseline::parse("[[waiver]]\nrule = \"L02\"\n").is_err());
+        // A waiver without a justification is rejected, not defaulted.
+        assert!(Baseline::parse("[[waiver]]\nfile = \"x\"\nrule = \"L02\"\n").is_err());
+        assert!(Baseline::parse(
+            "[[waiver]]\nfile = \"x\"\nrule = \"L02\"\njustification = \" \"\n"
+        )
+        .is_err());
+        assert!(Baseline::parse("[[waiver]]\nfile = \"x\"\nrule = \"L99\"\n").is_err());
+        assert!(Baseline::parse("[other]\n").is_err());
+        assert!(Baseline::parse("file = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert!(b.waivers.is_empty());
+    }
+}

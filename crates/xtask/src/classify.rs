@@ -1,0 +1,70 @@
+//! File classification: which rule set applies to a given
+//! workspace-relative path.
+
+/// Everything the rules need to know about where a file sits.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Crate directory name under `crates/` (e.g. `"num"`).
+    pub crate_dir: String,
+    /// Binary context: `src/bin/**` or a `src/main.rs` entry point.
+    pub is_bin: bool,
+    /// The crate root `src/lib.rs`.
+    pub is_lib_rs: bool,
+    /// `println!`/`eprintln!` allowed here (bins, the bench harness crate,
+    /// the CLI implementation module).
+    pub println_allowed: bool,
+    /// One of the numeric-kernel crates the L05 doc-contract rule covers.
+    pub l05_applies: bool,
+}
+
+/// Classifies a workspace-relative, `/`-separated path like
+/// `crates/num/src/roots.rs`.
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_dir = if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        String::new()
+    };
+    let after_src: &[&str] = if parts.len() > 3 && parts[2] == "src" {
+        &parts[3..]
+    } else {
+        &[]
+    };
+    let is_bin = after_src.first() == Some(&"bin") || after_src == ["main.rs"];
+    let is_lib_rs = after_src == ["lib.rs"];
+    // The CLI implementation lives in `crates/core/src/cli.rs` and is
+    // driven by `src/bin/fpsping-cli.rs`; bench is an output-producing
+    // harness crate end to end.
+    let is_cli = crate_dir == "core" && after_src == ["cli.rs"];
+    let println_allowed = is_bin || crate_dir == "bench" || is_cli;
+    let l05_applies = crate_dir == "num" || crate_dir == "queue";
+    FileClass {
+        crate_dir,
+        is_bin,
+        is_lib_rs,
+        println_allowed,
+        l05_applies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_library_and_bin_paths() {
+        let c = classify("crates/num/src/roots.rs");
+        assert!(!c.is_bin && !c.is_lib_rs && c.l05_applies && !c.println_allowed);
+        let c = classify("crates/core/src/bin/fpsping-cli.rs");
+        assert!(c.is_bin && c.println_allowed);
+        let c = classify("crates/xtask/src/main.rs");
+        assert!(c.is_bin);
+        let c = classify("crates/queue/src/lib.rs");
+        assert!(c.is_lib_rs && c.l05_applies);
+        let c = classify("crates/bench/src/lib.rs");
+        assert!(c.println_allowed && !c.is_bin);
+        let c = classify("crates/core/src/cli.rs");
+        assert!(c.println_allowed && !c.is_bin);
+    }
+}

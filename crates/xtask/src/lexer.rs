@@ -1,0 +1,349 @@
+//! A comment/string-aware line lexer for Rust source.
+//!
+//! The lint rules operate on *code text only*: comment bodies and the
+//! contents of string/char literals are blanked to spaces (delimiters are
+//! kept so tokens never merge), while comment text is preserved
+//! separately per line for waiver detection (`// lint:allow(…)`) and the
+//! L05 doc-contract check.
+//!
+//! This is deliberately not a full Rust parser — it handles exactly the
+//! constructs that matter for line classification: line and (nested)
+//! block comments, plain / raw / byte strings, char literals vs.
+//! lifetimes, and escapes.
+
+/// One source line after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The line with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// Concatenated comment text on the line (including `//`/`///`
+    /// markers), empty if none.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes `source` into per-line code/comment views.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut cur = LexedLine::default();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            // An unterminated plain string or char literal cannot span a
+            // raw newline in valid Rust (other than via a trailing `\`,
+            // where staying in `Str` is correct anyway).
+            if mode == Mode::Char {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        cur.comment.push_str("//");
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        cur.comment.push_str("/*");
+                        cur.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        cur.code.push('"');
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string start: r", r#", br", b".
+                        if let Some((hashes, consumed)) = raw_string_open(&chars, i) {
+                            mode = Mode::RawStr(hashes);
+                            for _ in 0..consumed {
+                                cur.code.push(' ');
+                            }
+                            cur.code.pop();
+                            cur.code.push('"');
+                            i += consumed;
+                            continue;
+                        }
+                        if c == 'b' && next == Some('"') {
+                            cur.code.push('b');
+                            cur.code.push('"');
+                            mode = Mode::Str;
+                            i += 2;
+                            continue;
+                        }
+                        cur.code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs. lifetime: '\x' or 'x' followed
+                        // by a closing quote is a literal; anything else
+                        // ('a, 'static) is a lifetime.
+                        if next == Some('\\') || chars.get(i + 2).copied() == Some('\'') {
+                            mode = Mode::Char;
+                            cur.code.push('\'');
+                        } else {
+                            cur.code.push('\'');
+                        }
+                    }
+                    c => cur.code.push(c),
+                }
+                i += 1;
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.comment.push_str("*/");
+                    if depth == 1 {
+                        mode = Mode::Code;
+                        cur.code.push_str("  ");
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    cur.comment.push_str("/*");
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Detects `r"`, `r#…#"`, `br"`, `br#…#"` at position `i`; returns the
+/// hash count and total chars consumed through the opening quote.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j).copied() != Some('r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j).copied() == Some('"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Marks lines that belong to `#[cfg(test)]` regions (the attribute line,
+/// the gated item, and everything inside its braces). Expects lexed code
+/// text (strings/comments already blanked).
+pub fn test_regions(lines: &[LexedLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which an active #[cfg(test)] region was entered.
+    let mut region_depth: Option<i64> = None;
+    // A #[cfg(test)] attribute has been seen and its item not yet opened.
+    let mut pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let started_inside = region_depth.is_some();
+        let attr_positions: Vec<usize> = find_all(code, "#[cfg(test)]");
+        let mut attr_iter = attr_positions.iter().peekable();
+        for (pos, c) in code.char_indices() {
+            while attr_iter.peek().is_some_and(|&&p| p <= pos) {
+                pending = true;
+                attr_iter.next();
+            }
+            match c {
+                '{' => {
+                    if pending && region_depth.is_none() {
+                        region_depth = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                }
+                // `#[cfg(test)] use …;` / `mod tests;` — the gated
+                // item ends without braces.
+                ';' if pending && region_depth.is_none() => {
+                    pending = false;
+                    in_test[idx] = true;
+                }
+                _ => {}
+            }
+        }
+        while attr_iter.next().is_some() {
+            pending = true;
+        }
+        in_test[idx] = in_test[idx]
+            || started_inside
+            || region_depth.is_some()
+            || pending
+            || !attr_positions.is_empty();
+    }
+    in_test
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = haystack[start..].find(needle) {
+        out.push(start + p);
+        start += p + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_but_keeps_them_separately() {
+        let lines = lex("let x = 1; // trailing == 0.0\n");
+        assert!(!lines[0].code.contains("=="));
+        assert!(lines[0].comment.contains("== 0.0"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let c = code_of("let s = \"a == b.unwrap()\";\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(!c[0].contains("=="));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn handles_nested_block_comments() {
+        let c = code_of("a /* x /* y */ z */ b\n");
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains('x') && !c[0].contains('z'));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = code_of("let s = r#\"panic!(\"no\")\"#; let t = \"\\\"==\\\"\";\n");
+        assert!(!c[0].contains("panic"));
+        assert!(!c[0].contains("=="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code_of("fn f<'a>(x: &'a str) -> &'a str { x == x; x }\n");
+        assert!(
+            c[0].contains("=="),
+            "lifetime must not open a char literal: {}",
+            c[0]
+        );
+    }
+
+    #[test]
+    fn char_literal_contents_blanked() {
+        let c = code_of("let c = '\"'; let d = x == 1.0;\n");
+        assert!(c[0].contains("=="));
+        assert!(c[0].matches('"').count() == 0);
+    }
+
+    #[test]
+    fn test_region_covers_mod_and_attribute() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = lex(src);
+        let t = test_regions(&lines);
+        assert_eq!(t, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { x == 1.0; }\n";
+        let t = test_regions(&lex(src));
+        assert_eq!(t, vec![true, true, false]);
+    }
+}

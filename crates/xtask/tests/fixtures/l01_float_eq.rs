@@ -1,0 +1,5 @@
+//! Fixture: exact float comparison in library code (L01).
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

@@ -1,0 +1,5 @@
+//! Fixture: unwaived `unwrap()` in library code (L02).
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: `panic!` in library code (L03).
+
+pub fn check(ok: bool) {
+    if !ok {
+        panic!("invariant violated");
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: `println!` outside the bench/CLI surface (L04).
+
+pub fn report(n: u64) {
+    println!("saw {n} packets");
+}

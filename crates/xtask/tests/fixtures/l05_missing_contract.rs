@@ -1,0 +1,6 @@
+//! Fixture: `pub fn -> f64` in a kernel crate without a doc contract (L05).
+
+/// Mean of the thing.
+pub fn mean() -> f64 {
+    0.5
+}

@@ -1,0 +1,3 @@
+//! Fixture: a first-party `lib.rs` that dropped `#![forbid(unsafe_code)]` (L06).
+
+pub mod something;

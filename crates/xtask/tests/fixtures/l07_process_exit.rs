@@ -1,0 +1,5 @@
+//! Fixture: `std::process::exit` outside `src/bin` (L07).
+
+pub fn bail() {
+    std::process::exit(3);
+}
