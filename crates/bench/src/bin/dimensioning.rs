@@ -5,9 +5,10 @@
 //! via eq. (37).
 
 use fpsping::{Engine, EngineConfig, Scenario};
-use fpsping_bench::write_csv;
+use fpsping_bench::{write_csv, SimArgs};
 
 fn main() {
+    let args = SimArgs::from_env();
     println!("§4 dimensioning — P_S = 125 B, T = 40 ms, C = 5 Mbps, RTT ≤ 50 ms");
     println!();
     println!(
@@ -42,4 +43,5 @@ fn main() {
     println!();
     println!("Headline conclusion reproduced: the tolerable load is 'surprisingly");
     println!("low in most circumstances', and strongly driven by the Erlang order.");
+    args.finish();
 }

@@ -54,4 +54,5 @@ fn main() {
         "  mean application ping : {}",
         ms_with_ci(rep.ping_rtt.mean_s, rep.ping_rtt.mean_ci95_s)
     );
+    args.finish();
 }

@@ -113,4 +113,5 @@ fn main() {
     println!("  • K = 2 ≫ K = 9 ≫ K = 20 at every load,");
     println!("  • behaviour robust across P_S = 125/100/75 B (uplink saturates");
     println!("    first for 75 B once ρ_d > 0.9375).");
+    args.finish();
 }

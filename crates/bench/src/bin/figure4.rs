@@ -82,4 +82,5 @@ fn main() {
             means[1] / means[0]
         );
     }
+    args.finish();
 }

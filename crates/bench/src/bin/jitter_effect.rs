@@ -93,4 +93,5 @@ fn main() {
     println!("Bounded jitter inflates the IAT CoV; heavy unbounded jitter splits");
     println!("bursts at the detection gap, corrupting every downstream statistic —");
     println!("including the fitted Erlang order that drives the §4 dimensioning.");
+    args.finish();
 }

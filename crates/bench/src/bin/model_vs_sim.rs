@@ -91,4 +91,5 @@ fn main() {
     println!();
     println!("Expected: means within a few %, p99/p99.9 within ~10–15%");
     println!("(finite 4-minute runs; deep tails are noisier).");
+    args.finish();
 }

@@ -67,4 +67,5 @@ fn main() {
     println!("  (the simulated N·D/D/1 wait sits below its Poisson limit at finite N,");
     println!("   and the per-user access links stagger arrivals further — eq. 11 is an");
     println!("   upper envelope approached from below)");
+    args.finish();
 }

@@ -10,11 +10,13 @@ use std::io::Write;
 use std::path::PathBuf;
 
 /// Replication flags shared by every simulation-backed reproduction
-/// binary: `--reps R --jobs J --stream-quantiles`.
+/// binary: `--reps R --jobs J --stream-quantiles`, plus the
+/// observability flags `--metrics-out PATH` and `--trace`.
 ///
-/// Defaults (`reps = 1`, `jobs = 0` = all cores, exact quantiles) keep
-/// the binaries' single-run behaviour; raising `--reps` switches them to
-/// the replicated engine with 95% confidence half-widths.
+/// Defaults (`reps = 1`, `jobs = 0` = all cores, exact quantiles, no
+/// metrics export) keep the binaries' single-run behaviour; raising
+/// `--reps` switches them to the replicated engine with 95% confidence
+/// half-widths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimArgs {
     /// Independent replications R.
@@ -23,6 +25,11 @@ pub struct SimArgs {
     pub jobs: usize,
     /// O(1)-memory streaming (P²) quantiles instead of raw samples.
     pub stream_quantiles: bool,
+    /// Write the solver/sim metrics registry as JSON here on
+    /// [`SimArgs::finish`].
+    pub metrics_out: Option<PathBuf>,
+    /// Print the recorded span tree on [`SimArgs::finish`].
+    pub trace: bool,
 }
 
 impl Default for SimArgs {
@@ -31,6 +38,8 @@ impl Default for SimArgs {
             reps: 1,
             jobs: 0,
             stream_quantiles: false,
+            metrics_out: None,
+            trace: false,
         }
     }
 }
@@ -65,6 +74,17 @@ impl SimArgs {
                     out.stream_quantiles = true;
                     i += 1;
                 }
+                "--metrics-out" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| "flag --metrics-out needs a path".to_string())?;
+                    out.metrics_out = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                "--trace" => {
+                    out.trace = true;
+                    i += 1;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -78,9 +98,31 @@ impl SimArgs {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("{e}");
-                eprintln!("usage: [--reps R] [--jobs J] [--stream-quantiles]");
+                eprintln!(
+                    "usage: [--reps R] [--jobs J] [--stream-quantiles] [--metrics-out PATH] [--trace]"
+                );
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Honors the observability flags at the end of a binary's run:
+    /// prints the span tree when `--trace` was given and writes the
+    /// metrics registry as JSON to `--metrics-out`. Call last, after all
+    /// model/simulation work. Exits with an error when the metrics path
+    /// is unwritable — a reproduction run that silently loses its
+    /// requested metrics would defeat the flag's purpose.
+    pub fn finish(&self) {
+        if self.trace {
+            print!("{}", fpsping_obs::snapshot().render_trace());
+        }
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = fpsping_obs::write_json(path) {
+                eprintln!("--metrics-out {}: {e}", path.display());
+                // lint:allow(process_exit): finish() runs as the last statement of a bin's main
+                std::process::exit(1);
+            }
+            println!("→ wrote {}", path.display());
         }
     }
 
@@ -169,7 +211,8 @@ mod tests {
             SimArgs {
                 reps: 8,
                 jobs: 2,
-                stream_quantiles: true
+                stream_quantiles: true,
+                ..SimArgs::default()
             }
         );
         let ec = a.engine_config(42);
@@ -185,6 +228,18 @@ mod tests {
         assert!(SimArgs::parse(argv("--reps 0")).is_err());
         assert!(SimArgs::parse(argv("--reps x")).is_err());
         assert!(SimArgs::parse(argv("--frobnicate")).is_err());
+        assert!(SimArgs::parse(argv("--metrics-out")).is_err());
+    }
+
+    #[test]
+    fn sim_args_parses_obs_flags() {
+        let a = SimArgs::parse(argv("--trace --metrics-out out/m.json")).unwrap();
+        assert!(a.trace);
+        assert_eq!(
+            a.metrics_out.as_deref(),
+            Some(std::path::Path::new("out/m.json"))
+        );
+        assert_eq!(a.reps, 1, "obs flags leave the replication defaults alone");
     }
 
     #[test]

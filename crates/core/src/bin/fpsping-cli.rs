@@ -3,15 +3,15 @@
 //! ```text
 //! fpsping-cli quantile  --load 0.4 --k 9
 //! fpsping-cli dimension --budget-ms 50 --k 20
-//! fpsping-cli sweep     --tick-ms 60
+//! fpsping-cli sweep     --tick-ms 60 --metrics-out metrics.json --trace
 //! ```
 
 use fpsping::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse(&args) {
-        Ok(cmd) => match cli::run(&cmd) {
+    match cli::parse_with_obs(&args) {
+        Ok((cmd, obs)) => match cli::run_with_obs(&cmd, &obs) {
             Ok(out) => print!("{out}"),
             Err(e) => {
                 eprintln!("error: {e}");

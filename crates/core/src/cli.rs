@@ -48,6 +48,17 @@ pub enum Command {
     Help,
 }
 
+/// Observability options shared by every subcommand; parsed by
+/// [`parse_with_obs`] and honored by [`run_with_obs`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsOptions {
+    /// Write the metrics registry (counters, gauges, histograms, spans)
+    /// as JSON to this path after the command finishes.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Append the recorded span tree to the command's output.
+    pub trace: bool,
+}
+
 /// Parse errors with user-facing messages.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -92,12 +103,63 @@ FLAGS (all optional; defaults are the paper's §4 scenario):
     --stream-quantiles       sim: O(1)-memory P-squared quantiles
     --sim-seconds <S>        sim: simulated seconds per replication [default 60]
     --seed <S>               sim: master seed                   [default 24301]
+
+OBSERVABILITY (any command):
+    --metrics-out <PATH>     write solver/sim metrics as JSON after the run
+    --trace                  append the recorded span tree to the output
 ";
 
 fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, ParseError> {
     let v = value.ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
     v.parse::<f64>()
         .map_err(|_| ParseError(format!("flag {flag}: `{v}` is not a number")))
+}
+
+/// Parses the argument vector (without argv[0]) including the
+/// observability flags `--metrics-out <path>` and `--trace`, which may
+/// appear anywhere and apply to any command. The remaining arguments go
+/// through [`parse`] unchanged.
+pub fn parse_with_obs(args: &[String]) -> Result<(Command, ObsOptions), ParseError> {
+    let mut obs = ObsOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("flag --metrics-out needs a path".into()))?;
+                obs.metrics_out = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
+            "--trace" => {
+                obs.trace = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((parse(&rest)?, obs))
+}
+
+/// Executes a command and then honors the observability options: the
+/// span tree is appended to the output when `--trace` was given, and the
+/// metrics registry is written as JSON to `--metrics-out` (a write
+/// failure is a command failure, not a silent skip).
+pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> Result<String, String> {
+    let mut out = run(cmd)?;
+    if obs.trace {
+        out.push('\n');
+        out.push_str(&fpsping_obs::snapshot().render_trace());
+    }
+    if let Some(path) = &obs.metrics_out {
+        fpsping_obs::write_json(path)
+            .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
+    }
+    Ok(out)
 }
 
 /// Parses the argument vector (without argv[0]).
@@ -519,6 +581,58 @@ mod tests {
         // Everything but the printed jobs count is identical.
         let strip = |s: &str| s.replace("jobs=1", "jobs=N").replace("jobs=3", "jobs=N");
         assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn obs_flags_strip_anywhere_and_default_off() {
+        let (cmd, obs) =
+            parse_with_obs(&argv("sweep --trace --jobs 2 --metrics-out m.json")).unwrap();
+        assert_eq!(cmd, parse(&argv("sweep --jobs 2")).unwrap());
+        assert!(obs.trace);
+        assert_eq!(
+            obs.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+
+        let (_, obs) = parse_with_obs(&argv("quantile")).unwrap();
+        assert_eq!(obs, ObsOptions::default());
+
+        assert!(parse_with_obs(&argv("sweep --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn run_with_obs_writes_metrics_json_and_trace() {
+        let path =
+            std::env::temp_dir().join(format!("fpsping-cli-obs-{}.json", std::process::id()));
+        let obs = ObsOptions {
+            metrics_out: Some(path.clone()),
+            trace: true,
+        };
+        let (cmd, _) = parse_with_obs(&argv("quantile --load 0.4")).unwrap();
+        let out = run_with_obs(&cmd, &obs).unwrap();
+        assert!(out.contains("RTT quantile"), "{out}");
+        assert!(
+            out.contains("spans"),
+            "--trace must append the span tree: {out}"
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"schema\": \"fpsping-obs/1\""), "{json}");
+        #[cfg(not(feature = "obs-off"))]
+        assert!(
+            json.contains("num.roots"),
+            "a quantile run exercises the root solvers: {json}"
+        );
+    }
+
+    #[test]
+    fn run_with_obs_surfaces_unwritable_metrics_path() {
+        let obs = ObsOptions {
+            metrics_out: Some(std::path::PathBuf::from("/nonexistent-dir/metrics.json")),
+            trace: false,
+        };
+        let err = run_with_obs(&Command::Help, &obs).unwrap_err();
+        assert!(err.contains("--metrics-out"), "{err}");
     }
 
     #[test]

@@ -27,11 +27,22 @@ use crate::rtt::RttModel;
 use crate::scenario::Scenario;
 use crate::sweep::LoadPoint;
 use fpsping_dist::Deterministic;
+use fpsping_obs::{Counter, Gauge};
 use fpsping_queue::{DEk1, DekSolution, Mg1, PositionDelay, QueueError};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+static DEK_HITS: Counter = Counter::new("engine.cache.dek.hits");
+static DEK_MISSES: Counter = Counter::new("engine.cache.dek.misses");
+static DEK_ENTRIES: Gauge = Gauge::new("engine.cache.dek.entries");
+static POLE_HITS: Counter = Counter::new("engine.cache.pole.hits");
+static POLE_MISSES: Counter = Counter::new("engine.cache.pole.misses");
+static POLE_ENTRIES: Gauge = Gauge::new("engine.cache.pole.entries");
+static RTT_HITS: Counter = Counter::new("engine.cache.rtt.hits");
+static RTT_MISSES: Counter = Counter::new("engine.cache.rtt.misses");
+static RTT_ENTRIES: Gauge = Gauge::new("engine.cache.rtt.entries");
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -78,9 +89,16 @@ impl Default for EngineConfig {
 }
 
 fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(e) => {
+            fpsping_obs::warn_once(
+                "engine.jobs.autodetect",
+                &format!("could not detect available parallelism ({e}); running single-threaded"),
+            );
+            1
+        }
+    }
 }
 
 /// Hit/miss counters of a [`SolverCache`] (monotone since construction).
@@ -166,6 +184,11 @@ pub struct SolverCache {
     pole_misses: AtomicU64,
     rtt_hits: AtomicU64,
     rtt_misses: AtomicU64,
+    /// How much of each counter above has already been mirrored into the
+    /// global `engine.cache.*` registry counters (same order). Deltas are
+    /// flushed by [`SolverCache::flush_obs`] so the memo-hit fast path
+    /// never touches the registry statics.
+    obs_flushed: [AtomicU64; 6],
 }
 
 impl SolverCache {
@@ -181,9 +204,9 @@ impl SolverCache {
         let sol = Arc::new(DekSolution::solve(k, rho)?);
         // A racing thread may have inserted meanwhile; both solved the
         // same roots, so either value is fine.
-        lock_cache(&self.dek)
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&sol));
+        let mut dek = lock_cache(&self.dek);
+        dek.entry(key).or_insert_with(|| Arc::clone(&sol));
+        DEK_ENTRIES.set_max(dek.len() as u64);
         Ok(sol)
     }
 
@@ -198,8 +221,33 @@ impl SolverCache {
         self.pole_misses.fetch_add(1, Ordering::Relaxed);
         let q = Mg1::new(lambda, Box::new(Deterministic::new(tau)))?;
         let gamma = q.dominant_pole()?;
-        lock_cache(&self.pole).insert(key, gamma);
+        let mut pole = lock_cache(&self.pole);
+        pole.insert(key, gamma);
+        POLE_ENTRIES.set_max(pole.len() as u64);
         Ok(gamma)
+    }
+
+    /// Mirrors the internal hit/miss totals into the global
+    /// `engine.cache.*` observability counters, adding only the delta
+    /// since the previous flush. Called at the end of the public engine
+    /// entry points (and on drop), which keeps the per-cell fast paths
+    /// down to the one internal `fetch_add` they always had. Safe to call
+    /// concurrently: the swap telescopes, so every increment is mirrored
+    /// exactly once.
+    pub fn flush_obs(&self) {
+        let pairs: [(&AtomicU64, &'static Counter); 6] = [
+            (&self.dek_hits, &DEK_HITS),
+            (&self.dek_misses, &DEK_MISSES),
+            (&self.pole_hits, &POLE_HITS),
+            (&self.pole_misses, &POLE_MISSES),
+            (&self.rtt_hits, &RTT_HITS),
+            (&self.rtt_misses, &RTT_MISSES),
+        ];
+        for (i, (total, counter)) in pairs.into_iter().enumerate() {
+            let t = total.load(Ordering::Relaxed);
+            let f = self.obs_flushed[i].swap(t, Ordering::Relaxed);
+            counter.add(t.saturating_sub(f));
+        }
     }
 
     /// Current hit/miss counters.
@@ -212,6 +260,16 @@ impl SolverCache {
             rtt_hits: self.rtt_hits.load(Ordering::Relaxed),
             rtt_misses: self.rtt_misses.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Mirrors a cache's counters into the registry when the enclosing scope
+/// exits (every return path of an engine entry point, including `?`).
+struct FlushOnDrop<'a>(&'a SolverCache);
+
+impl Drop for FlushOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.flush_obs();
     }
 }
 
@@ -301,6 +359,9 @@ impl Engine {
         if !self.config.cache {
             return RttModel::build(scenario);
         }
+        // Cold path (a model assembly dwarfs the flush), and the only
+        // cache-touching entry point single-cell callers go through.
+        let _flush = FlushOnDrop(&self.cache);
         scenario.validate()?;
         let t_s = scenario.t_ms / 1e3;
         let mean_service = scenario.mean_burst_service_s();
@@ -358,7 +419,9 @@ impl Engine {
             .map(|m| m.rtt_quantile_ms_with_hint(hint));
         if let Some(v) = v {
             self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-            lock_cache(&self.cache.rtt).insert(key, v);
+            let mut rtt = lock_cache(&self.cache.rtt);
+            rtt.insert(key, v);
+            RTT_ENTRIES.set_max(rtt.len() as u64);
         }
         v
     }
@@ -367,6 +430,8 @@ impl Engine {
     /// into one contiguous run per worker; each run warm-starts along its
     /// cells. Equal to the serial function cell for cell.
     pub fn rtt_vs_load(&self, base: &Scenario, loads: &[f64]) -> Vec<LoadPoint> {
+        let _span = fpsping_obs::span("engine.rtt_vs_load");
+        let _flush = FlushOnDrop(&self.cache);
         let runs = chunk_ranges(loads.len(), self.config.jobs);
         par_map(self.config.jobs, &runs, |run| {
             let mut hint = None;
@@ -394,6 +459,8 @@ impl Engine {
     /// from the previous cell. Equal to the serial function cell for
     /// cell.
     pub fn rtt_surface(&self, base: &Scenario, ks: &[u32], loads: &[f64]) -> Vec<Vec<Option<f64>>> {
+        let _span = fpsping_obs::span("engine.rtt_surface");
+        let _flush = FlushOnDrop(&self.cache);
         // Split the load axis only as far as needed to keep all workers
         // busy across the K columns.
         let load_runs = chunk_ranges(loads.len(), self.config.jobs.div_ceil(ks.len().max(1)));
@@ -441,6 +508,8 @@ impl Engine {
                 value: rtt_budget_ms,
             });
         }
+        let _span = fpsping_obs::span("engine.max_load");
+        let _flush = FlushOnDrop(&self.cache);
         let mut last_rtt = None;
         let mut rtt_at = |rho: f64| -> Result<Option<f64>, QueueError> {
             let s = base.clone().with_load(rho);
@@ -463,7 +532,9 @@ impl Engine {
                     last_rtt = Some(v);
                     if self.config.cache {
                         self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-                        lock_cache(&self.cache.rtt).insert(ScenarioKey::of(&s), v);
+                        let mut rtt = lock_cache(&self.cache.rtt);
+                        rtt.insert(ScenarioKey::of(&s), v);
+                        RTT_ENTRIES.set_max(rtt.len() as u64);
                     }
                     Ok(Some(v))
                 }

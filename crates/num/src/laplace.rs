@@ -12,6 +12,10 @@
 use crate::complex::Complex64;
 use crate::finite_guard::{finite, not_nan};
 use crate::special::binomial;
+use fpsping_obs::Counter;
+
+static EULER_INVERSIONS: Counter = Counter::new("num.laplace.euler.inversions");
+static EULER_TRANSFORM_EVALS: Counter = Counter::new("num.laplace.euler.transform_evals");
 
 /// Default Euler parameter; `M = 18` keeps the `10^{M/3}` round-off
 /// amplification at ~1e-10 absolute in f64 while pushing truncation error
@@ -31,6 +35,8 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
     assert!(t > 0.0, "euler_inversion: t must be positive, got {t}");
     assert!(m >= 1, "euler_inversion: order must be >= 1");
     let n = 2 * m;
+    EULER_INVERSIONS.incr();
+    EULER_TRANSFORM_EVALS.add((n + 1) as u64);
     // ξ weights: ξ_0 = 1/2, ξ_k = 1 (1..=m), ξ_{2m} = 2^{-m},
     // ξ_{2m-j} = ξ_{2m-j+1} + 2^{-m}·C(m, j) for j = 1..m-1.
     let mut xi = vec![1.0; n + 1];

@@ -364,6 +364,87 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_estimator_adopts_other() {
+        // Empty self absorbing a structured other: identical estimate.
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        for i in 0..40 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 40);
+        assert_eq!(a.estimate(), b.estimate());
+
+        // Empty self absorbing a sub-5-sample other: exact order statistics.
+        let mut c = P2Quantile::new(0.5);
+        let mut d = P2Quantile::new(0.5);
+        d.record(4.0);
+        d.record(1.0);
+        d.record(9.0);
+        c.merge(&d);
+        assert_eq!(c.count(), 3);
+        let exact = crate::stats::quantile_unsorted(&[4.0, 1.0, 9.0], 0.5);
+        assert_eq!(c.estimate(), exact);
+
+        // Empty into empty: still usable afterwards.
+        let mut e = P2Quantile::new(0.5);
+        e.merge(&P2Quantile::new(0.5));
+        assert_eq!(e.count(), 0);
+        e.record(2.5);
+        assert_eq!(e.estimate(), 2.5);
+    }
+
+    #[test]
+    fn merge_of_two_sub_five_estimators_is_exact() {
+        // Both sides below the 5-marker threshold and the pool still
+        // below it: the pooled stream is replayed exactly, so the
+        // estimate equals the exact quantile of the pooled sorted sample
+        // at any level.
+        for &p in &[0.25, 0.5, 0.9] {
+            let (xs, ys) = ([3.0, 1.0], [7.0, 5.0]);
+            let mut a = P2Quantile::new(p);
+            for &x in &xs {
+                a.record(x);
+            }
+            let mut b = P2Quantile::new(p);
+            for &y in &ys {
+                b.record(y);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), 4);
+            let mut pooled = [3.0, 1.0, 7.0, 5.0];
+            pooled.sort_by(f64::total_cmp);
+            assert_eq!(a.estimate(), crate::stats::quantile(&pooled, p), "p={p}");
+            // One more observation crosses into marker mode without a
+            // panic and with the marker heights seeded from the sorted
+            // pool.
+            a.record(2.0);
+            assert_eq!(a.count(), 5);
+            assert!(a.estimate().is_finite());
+        }
+    }
+
+    #[test]
+    fn merge_of_two_single_sample_estimators_is_exact() {
+        let mut a = P2Quantile::new(0.5);
+        a.record(10.0);
+        let mut b = P2Quantile::new(0.5);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        // Pooled sample {2, 10}: exact median by the same interpolation
+        // rule as stats::quantile.
+        assert_eq!(a.estimate(), crate::stats::quantile(&[2.0, 10.0], 0.5));
+        // The merged estimator keeps absorbing without panicking through
+        // the end of its init phase and beyond.
+        for &x in &[6.0, 4.0, 8.0, 5.0, 7.0] {
+            a.record(x);
+        }
+        assert_eq!(a.count(), 7);
+        assert!(a.estimate().is_finite());
+    }
+
+    #[test]
     #[should_panic(expected = "levels differ")]
     fn merge_rejects_level_mismatch() {
         let mut a = P2Quantile::new(0.5);

@@ -12,6 +12,39 @@
 use crate::cmp::exact_zero;
 use crate::complex::Complex64;
 use crate::finite_guard::{finite, not_nan};
+use fpsping_obs::{Counter, Histogram};
+
+static BISECTION_CALLS: Counter = Counter::new("num.roots.bisection.calls");
+static BISECTION_ITERS: Counter = Counter::new("num.roots.bisection.iterations");
+static BRENT_CALLS: Counter = Counter::new("num.roots.brent.calls");
+static BRENT_ITERS: Counter = Counter::new("num.roots.brent.iterations");
+static BRENT_ITER_HIST: Histogram = Histogram::new("num.roots.brent.iterations");
+static NEWTON_CALLS: Counter = Counter::new("num.roots.newton.calls");
+static NEWTON_ITERS: Counter = Counter::new("num.roots.newton.iterations");
+static FIXED_POINT_CALLS: Counter = Counter::new("num.roots.fixed_point.calls");
+static FIXED_POINT_ITERS: Counter = Counter::new("num.roots.fixed_point.iterations");
+
+/// Folds one real-root solve into the obs counters: a failed convergence
+/// consumed the whole budget, a missing bracket consumed (essentially)
+/// nothing.
+fn record_solve(
+    calls: &'static Counter,
+    iters: &'static Counter,
+    hist: Option<&'static Histogram>,
+    r: &Result<RootResult, RootError>,
+    max_iter: usize,
+) {
+    calls.incr();
+    let n = match r {
+        Ok(res) => res.iterations as u64,
+        Err(RootError::NoConvergence { .. }) => max_iter as u64,
+        Err(RootError::NoBracket { .. }) => 0,
+    };
+    iters.add(n);
+    if let Some(h) = hist {
+        h.record(n);
+    }
+}
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +93,18 @@ impl std::error::Error for RootError {}
 
 /// Plain bisection on `[a, b]`; requires `f(a)·f(b) ≤ 0`.
 pub fn bisection(
+    f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let r = bisection_impl(f, a, b, tol, max_iter);
+    record_solve(&BISECTION_CALLS, &BISECTION_ITERS, None, &r, max_iter);
+    r
+}
+
+fn bisection_impl(
     mut f: impl FnMut(f64) -> f64,
     mut a: f64,
     mut b: f64,
@@ -114,6 +159,24 @@ pub fn bisection(
 /// Superlinear in practice with the robustness of bisection — the default
 /// solver throughout the workspace.
 pub fn brent(
+    f: impl FnMut(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let r = brent_impl(f, a0, b0, tol, max_iter);
+    record_solve(
+        &BRENT_CALLS,
+        &BRENT_ITERS,
+        Some(&BRENT_ITER_HIST),
+        &r,
+        max_iter,
+    );
+    r
+}
+
+fn brent_impl(
     mut f: impl FnMut(f64) -> f64,
     a0: f64,
     b0: f64,
@@ -207,6 +270,17 @@ pub fn brent(
 /// [`RootError::NoConvergence`]; callers should then fall back to a
 /// bracketed method.
 pub fn newton(
+    f: impl FnMut(f64) -> (f64, f64),
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<RootResult, RootError> {
+    let r = newton_impl(f, x0, tol, max_iter);
+    record_solve(&NEWTON_CALLS, &NEWTON_ITERS, None, &r, max_iter);
+    r
+}
+
+fn newton_impl(
     mut f: impl FnMut(f64) -> (f64, f64),
     x0: f64,
     tol: f64,
@@ -308,6 +382,18 @@ pub struct ComplexFixedPoint {
 /// routine is that iteration. Returns `None` if the budget is exhausted or
 /// the iterate leaves the finite plane.
 pub fn complex_fixed_point(
+    f: impl FnMut(Complex64) -> Complex64,
+    z0: Complex64,
+    tol: f64,
+    max_iter: usize,
+) -> Option<ComplexFixedPoint> {
+    let r = complex_fixed_point_impl(f, z0, tol, max_iter);
+    FIXED_POINT_CALLS.incr();
+    FIXED_POINT_ITERS.add(r.map_or(max_iter as u64, |c| c.iterations as u64));
+    r
+}
+
+fn complex_fixed_point_impl(
     mut f: impl FnMut(Complex64) -> Complex64,
     z0: Complex64,
     tol: f64,

@@ -36,6 +36,10 @@ use crate::position::{Position, PositionDelay};
 use crate::QueueError;
 use fpsping_num::cmp::exact_zero;
 use fpsping_num::Complex64;
+use fpsping_obs::Counter;
+
+static CHERNOFF_EXPANSIONS: Counter = Counter::new("queue.combine.chernoff.bracket_expansions");
+static POSITION_EXPANSIONS: Counter = Counter::new("queue.combine.position.bracket_expansions");
 
 /// The position-delay factor: either a proper Erlang mix (K > 1 uniform,
 /// or any fixed spot) or the K = 1 logarithmic transform of eq. (33).
@@ -127,6 +131,7 @@ impl PositionFactor {
                 while self.tail(hi) > target && n < 200 {
                     hi *= 2.0;
                     n += 1;
+                    POSITION_EXPANSIONS.incr();
                 }
                 fpsping_num::roots::brent(|x| self.tail(x) - target, 0.0, hi, 1e-14 / beta, 300)
                     .map(|r| r.root)
@@ -398,6 +403,7 @@ impl TotalDelay {
         while self.tail_chernoff(hi) > target && expansions < 200 {
             hi *= 2.0;
             expansions += 1;
+            CHERNOFF_EXPANSIONS.incr();
         }
         fpsping_num::roots::brent(
             |x| self.tail_chernoff(x) - target,

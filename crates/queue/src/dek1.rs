@@ -34,6 +34,10 @@ use fpsping_num::cmp::exact_zero;
 use fpsping_num::finite_guard::{finite, finite_c};
 use fpsping_num::roots::complex_fixed_point;
 use fpsping_num::Complex64;
+use fpsping_obs::Counter;
+
+static ZETA_SOLVES: Counter = Counter::new("queue.dek1.zeta.solves");
+static ZETA_POLISH_STEPS: Counter = Counter::new("queue.dek1.zeta.newton_polish_steps");
 
 /// Solved D/E_K/1 queue: burst inter-arrival `T`, Erlang(K, β) service.
 ///
@@ -302,6 +306,7 @@ impl DEk1 {
 /// iteration from `z = 0`, then polishes each root with complex Newton on
 /// `g(z) = z - exp((z-1)/ρ + iφ)`.
 fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
+    ZETA_SOLVES.incr();
     let mut zetas = Vec::with_capacity(k as usize);
     for j in 0..k {
         let phase = 2.0 * std::f64::consts::PI * j as f64 / k as f64;
@@ -317,6 +322,7 @@ fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
         // g'(z) = 1 - map(z)/ρ.
         let mut z = fp.point;
         for _ in 0..50 {
+            ZETA_POLISH_STEPS.incr();
             let m = map(z);
             let g = z - m;
             let dg = Complex64::ONE - m / rho;

@@ -23,6 +23,10 @@
 
 use fpsping_num::poly::{partial_exp_complex, rising_factorial};
 use fpsping_num::Complex64;
+use fpsping_obs::Counter;
+
+static BRACKET_SEARCHES: Counter = Counter::new("queue.quantile.bracket.searches");
+static BRACKET_STEPS: Counter = Counter::new("queue.quantile.bracket.steps");
 
 /// One pole of an [`ErlangMix`] together with the coefficients of all its
 /// multiplicities: `Σ_{m=1}^{M} coeffs[m-1] · (pole/(pole-s))^m`.
@@ -131,6 +135,7 @@ const POLE_COLLISION_RTOL: f64 = 1e-7;
 /// value however it is reached.
 pub(crate) fn canonical_bracket(done: impl Fn(f64) -> bool, scale: f64, hint: Option<f64>) -> f64 {
     const MAX_DOUBLINGS: i32 = 200;
+    BRACKET_SEARCHES.incr();
     let at = |n: i32| scale * 2f64.powi(n);
     let mut n = match hint {
         Some(h) if h.is_finite() && h > 0.0 => {
@@ -141,10 +146,12 @@ pub(crate) fn canonical_bracket(done: impl Fn(f64) -> bool, scale: f64, hint: Op
     if done(at(n)) {
         while n > 0 && done(at(n - 1)) {
             n -= 1;
+            BRACKET_STEPS.incr();
         }
     } else {
         while n < MAX_DOUBLINGS && !done(at(n)) {
             n += 1;
+            BRACKET_STEPS.incr();
         }
     }
     at(n)

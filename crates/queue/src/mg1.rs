@@ -22,7 +22,12 @@ use crate::QueueError;
 use fpsping_dist::{Distribution, Mixture};
 use fpsping_num::finite_guard::finite;
 use fpsping_num::Complex64;
+use fpsping_obs::Counter;
 use std::sync::OnceLock;
+
+static POLE_SOLVES: Counter = Counter::new("queue.mg1.pole.solves");
+static POLE_BRACKET_EXPANSIONS: Counter = Counter::new("queue.mg1.pole.bracket_expansions");
+static POLE_BRENT_ITERS: Counter = Counter::new("queue.mg1.pole.brent_iterations");
 
 /// An M/G/1 queue: Poisson(λ) arrivals, i.i.d. service from a
 /// [`Distribution`].
@@ -183,6 +188,7 @@ impl Mg1 {
     }
 
     fn solve_dominant_pole(&self) -> Result<f64, QueueError> {
+        POLE_SOLVES.incr();
         let f = |s: f64| -> Option<f64> {
             let b = self.service.mgf(Complex64::from_real(s))?;
             let v = self.lambda * (b.re - 1.0) - s;
@@ -240,6 +246,7 @@ impl Mg1 {
                 }
             }
             expansions += 1;
+            POLE_BRACKET_EXPANSIONS.incr();
             if expansions > 400 {
                 return Err(QueueError::SolveFailure {
                     what: "dominant pole bracket expansion",
@@ -258,7 +265,10 @@ impl Mg1 {
             a *= 0.5;
         }
         fpsping_num::roots::brent(g, a, hi, 1e-14 * scale.max(1.0), 300)
-            .map(|r| r.root)
+            .map(|r| {
+                POLE_BRENT_ITERS.add(r.iterations as u64);
+                r.root
+            })
             .map_err(|_| QueueError::SolveFailure {
                 what: "dominant pole Brent solve",
             })

@@ -189,9 +189,21 @@ impl SimEngine {
     /// count).
     pub fn effective_jobs(&self) -> usize {
         let jobs = if self.cfg.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            match std::thread::available_parallelism() {
+                Ok(n) => n.get(),
+                Err(e) => {
+                    // The old code fell back to 1 silently, which made a
+                    // misconfigured container look like a 1-core host with
+                    // no trace of why the batch ran serial.
+                    fpsping_obs::warn_once(
+                        "sim.jobs.autodetect",
+                        &format!(
+                            "could not detect available parallelism ({e}); running replications single-threaded"
+                        ),
+                    );
+                    1
+                }
+            }
         } else {
             self.cfg.jobs
         };
@@ -210,6 +222,7 @@ impl SimEngine {
     where
         F: Fn(usize) -> NetworkConfig + Sync,
     {
+        let _span = fpsping_obs::span("sim.batch");
         let reps = self.cfg.reps.max(1);
         let jobs = self.effective_jobs();
         let run_one = |rep: usize| -> Measurements {

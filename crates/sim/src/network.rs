@@ -25,9 +25,14 @@ use crate::rng::BatchRng;
 use crate::scheduler::Discipline;
 use crate::time::SimTime;
 use fpsping_dist::{uniform01, Distribution};
-use rand::RngCore;
+use fpsping_obs::{Counter, Histogram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+static EVENTS: Counter = Counter::new("sim.events");
+static PACKETS_UP: Counter = Counter::new("sim.packets.up");
+static PACKETS_DOWN: Counter = Counter::new("sim.packets.down");
+static REPLICATION_WALL_US: Histogram = Histogram::new("sim.replication.wall_us");
 
 /// The quantile levels every [`SimReport`] exports (and the levels a
 /// streaming-mode probe tracks).
@@ -441,6 +446,8 @@ impl Network {
     /// probes rather than summaries) — what the replication engine
     /// merges across independent runs.
     pub fn run_measurements(mut self) -> Measurements {
+        let _wall = REPLICATION_WALL_US.start_timer();
+        let _span = fpsping_obs::span("sim.replication");
         let end = self.cfg.duration;
         while let Some(Reverse(s)) = self.heap.pop() {
             if s.time > end {
@@ -456,6 +463,9 @@ impl Network {
                 Ev::BgEmit(l) => self.on_bg_emit(l),
             }
         }
+        EVENTS.add(self.events);
+        PACKETS_UP.add(self.packets_up);
+        PACKETS_DOWN.add(self.packets_down);
         let dur = (self.cfg.duration.saturating_sub(SimTime::ZERO)).as_secs();
         Measurements {
             upstream_delay: self.upstream_delay,
@@ -509,14 +519,16 @@ impl Network {
     fn on_server_tick(&mut self) {
         // One packet per client, optionally shuffled emission order. The
         // order and size buffers are reused across ticks — no per-burst
-        // heap traffic. The identity reset keeps the Fisher–Yates draw
-        // sequence identical to the old fresh-vector code.
+        // heap traffic. The Fisher–Yates index is drawn by rejection
+        // sampling (`next_bounded`), not `next_u64() % (k+1)`: the modulo
+        // draw over-weights low indices by up to 2⁻³² relatively, which
+        // biases which client lands late in the burst.
         let n = self.cfg.n_clients;
         self.tick_order.clear();
         self.tick_order.extend(0..n);
         if self.cfg.shuffle_burst_order {
             for k in (1..n).rev() {
-                let j = (self.rng.next_u64() % (k as u64 + 1)) as usize;
+                let j = self.rng.next_bounded(k as u64 + 1) as usize;
                 self.tick_order.swap(k, j);
             }
         }

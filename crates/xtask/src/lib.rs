@@ -14,6 +14,7 @@
 //! | L05  | `pub fn … -> f64` in `fpsping-num` / `fpsping-queue` without a NaN/domain doc contract |
 //! | L06  | a first-party `lib.rs` missing `#![forbid(unsafe_code)]` |
 //! | L07  | `std::process::exit` outside `src/bin` |
+//! | L08  | direct `std::time::Instant` in library crates outside `crates/obs` |
 //!
 //! Individual findings are silenced inline with
 //! `// lint:allow(<slug>): <non-empty reason>` on the same or preceding
@@ -56,6 +57,8 @@ pub enum Rule {
     L06,
     /// `std::process::exit` outside `src/bin`.
     L07,
+    /// Direct `std::time::Instant` in a library crate outside `crates/obs`.
+    L08,
     /// A waiver (inline or baseline) with an empty justification.
     W01,
 }
@@ -71,6 +74,7 @@ impl Rule {
             Rule::L05 => "doc_contract",
             Rule::L06 => "forbid_unsafe",
             Rule::L07 => "process_exit",
+            Rule::L08 => "instant",
             Rule::W01 => "waiver",
         }
     }
@@ -85,6 +89,7 @@ impl Rule {
             "L05" | "doc_contract" => Some(Rule::L05),
             "L06" | "forbid_unsafe" => Some(Rule::L06),
             "L07" | "process_exit" => Some(Rule::L07),
+            "L08" | "instant" => Some(Rule::L08),
             "W01" | "waiver" => Some(Rule::W01),
             _ => None,
         }

@@ -1,4 +1,4 @@
-//! The domain lint rules (L01–L07) and the inline-waiver mechanism.
+//! The domain lint rules (L01–L08) and the inline-waiver mechanism.
 
 use crate::classify::FileClass;
 use crate::lexer::{lex, test_regions, LexedLine};
@@ -29,6 +29,21 @@ pub fn check_file(rel_path: &str, source: &str, class: &FileClass) -> (Vec<Findi
                     line: lineno,
                     rule: Rule::L07,
                     message: "`std::process::exit` outside `src/bin` — return an error instead"
+                        .into(),
+                });
+            }
+            if !class.is_bin
+                && class.crate_dir != "obs"
+                && (code.contains("std::time::Instant") || code.contains("Instant::now"))
+            {
+                raw.push(Finding {
+                    file: rel_path.into(),
+                    line: lineno,
+                    rule: Rule::L08,
+                    message: "direct `std::time::Instant` in library code — time scopes with \
+                              `fpsping_obs::Histogram::start_timer` so the measurement lands \
+                              in the metrics registry (or waive with \
+                              `// lint:allow(instant): <reason>`)"
                         .into(),
                 });
             }
@@ -480,6 +495,35 @@ mod tests {
             "fn main() { panic!(\"boom\"); println!(\"x\"); std::process::exit(1); }\n",
         );
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l08_fires_in_library_code_outside_obs_only() {
+        let src = "fn a() { let t = std::time::Instant::now(); }\n";
+        let f = lint("crates/sim/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == Rule::L08));
+        // `crates/obs` owns the clock; bins may time themselves.
+        assert!(lint("crates/obs/src/x.rs", src).is_empty());
+        let bin = "fn main() { let t = std::time::Instant::now(); }\n";
+        assert!(lint("crates/sim/src/bin/x.rs", bin).is_empty());
+        // `use` of the type alone is enough to flag.
+        let f = lint("crates/queue/src/x.rs", "use std::time::Instant;\n");
+        assert!(f.iter().any(|f| f.rule == Rule::L08));
+        // Prose like "Instantiates" must not trip the rule.
+        let f = lint(
+            "crates/sim/src/x.rs",
+            "/// Instantiates the scheduler.\nfn a() { instantiate(); }\n",
+        );
+        assert!(f.iter().all(|f| f.rule != Rule::L08));
+    }
+
+    #[test]
+    fn l08_waiver_with_reason_silences() {
+        let src = "// lint:allow(instant): coarse one-shot timing, not a metric\n\
+                   fn a() { let t = std::time::Instant::now(); }\n";
+        let (f, waived) = check_file("crates/sim/src/x.rs", src, &classify("crates/sim/src/x.rs"));
+        assert!(f.iter().all(|f| f.rule != Rule::L08));
+        assert_eq!(waived, 1);
     }
 
     #[test]

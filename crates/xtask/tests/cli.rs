@@ -106,6 +106,21 @@ fn l07_fixture_flags_process_exit() {
 }
 
 #[test]
+fn l08_fixture_flags_instant_in_library_code() {
+    let out = lint_fixture("l08_instant.rs", "crates/sim/src/fixture.rs");
+    assert_finding(&out, "L08", "crates/sim/src/fixture.rs", 4);
+}
+
+#[test]
+fn l08_fixture_is_clean_in_obs_and_bins() {
+    // `crates/obs` owns the clock; bins may time themselves directly.
+    let out = lint_fixture("l08_instant.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(out.status.code(), Some(0));
+    let out = lint_fixture("l08_instant.rs", "crates/sim/src/bin/fixture.rs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
 fn fixture_findings_survive_into_json() {
     let out = xtask()
         .args(["lint", "--file"])

@@ -1,0 +1,6 @@
+//! Fixture: direct `std::time::Instant` in library code (L08).
+
+pub fn time_it() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros()
+}

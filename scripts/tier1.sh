@@ -18,11 +18,33 @@ if cargo clippy --version >/dev/null 2>&1; then
     # third-party APIs and are not held to the repo's lint bar.
     cargo clippy -q --all-targets \
         -p fpsping -p fpsping-num -p fpsping-dist -p fpsping-traffic \
-        -p fpsping-queue -p fpsping-sim -p fpsping-bench -p xtask \
+        -p fpsping-queue -p fpsping-sim -p fpsping-bench -p fpsping-obs \
+        -p xtask \
         -- -D warnings
 else
     echo "tier-1: clippy not installed; domain lint stands in:"
     cargo xtask lint --format summary
+fi
+
+# Metrics smoke: the observability layer must produce parseable JSON with
+# live solver counters from a real (tiny) sweep run.
+METRICS_TMP="$(mktemp /tmp/fpsping-metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS_TMP"' EXIT
+./target/release/fpsping-cli sweep --metrics-out "$METRICS_TMP" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$METRICS_TMP" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["schema"] == "fpsping-obs/1", snap.get("schema")
+counters = snap["counters"]
+assert any(k.startswith("num.roots.") and v > 0 for k, v in counters.items()), \
+    "no live num.roots.* counter in metrics JSON"
+print("tier-1: metrics smoke OK (%d counters)" % len(counters))
+PY
+else
+    grep -q '"schema": "fpsping-obs/1"' "$METRICS_TMP"
+    grep -q '"num\.roots\.' "$METRICS_TMP"
+    echo "tier-1: metrics smoke OK (grep fallback)"
 fi
 
 echo "tier-1: OK"
