@@ -77,6 +77,29 @@ impl RttModel {
         })
     }
 
+    /// [`RttModel::from_parts`] for the batch engine's sweep path: the
+    /// eq.-35 product skips its re-expansion on cells a cheap bound
+    /// already proves ill-conditioned (see
+    /// [`TotalDelay::new_deferring_ill_conditioned`]). Every RTT-facing
+    /// method behaves identically; only the diagnostic expansion
+    /// accessors differ on skipped cells.
+    pub fn from_parts_batch(
+        scenario: Scenario,
+        downstream: DEk1,
+        position: PositionDelay,
+        upstream: Option<Mg1>,
+    ) -> Result<Self, QueueError> {
+        let total =
+            TotalDelay::new_deferring_ill_conditioned(upstream.as_ref(), &downstream, &position)?;
+        Ok(Self {
+            scenario,
+            downstream,
+            position,
+            upstream,
+            total,
+        })
+    }
+
     /// The scenario this model was built from.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
@@ -125,6 +148,18 @@ impl RttModel {
             .quantile_with_hint(self.scenario.quantile, hint_s)
             + det)
             * 1e3
+    }
+
+    /// [`RttModel::rtt_quantile_ms_with_hint`] through the batch engine's
+    /// tolerance-relaxed root-finder ([`TotalDelay::quantile_fast`]):
+    /// identical on well-conditioned cells, within the engine's documented
+    /// batch tolerance (and several times cheaper) on the
+    /// numerical-inversion regime. NaN only if even the exact fallback
+    /// fails to converge.
+    pub fn rtt_quantile_ms_fast(&self, hint_ms: Option<f64>) -> f64 {
+        let det = self.scenario.deterministic_delay_s();
+        let hint_s = hint_ms.map(|h| h / 1e3 - det).filter(|h| *h > 0.0);
+        (self.total.quantile_fast(self.scenario.quantile, hint_s) + det) * 1e3
     }
 
     /// Tail of the full RTT: `P(RTT > rtt_ms)`.

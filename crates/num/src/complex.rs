@@ -90,6 +90,19 @@ impl Complex64 {
         }
     }
 
+    /// Branchless reciprocal `z̄/|z|²` — one real division instead of
+    /// [`Complex64::inv`]'s scaled (Smith) three, at the price of
+    /// overflowing the intermediate `|z|²` when `|z| ≳ 1e154` (and
+    /// underflowing below `~1e-154`). Hot numerical-inversion loops whose
+    /// operands are bounded by construction (poles and Bromwich contour
+    /// points, magnitudes ~1e0–1e6) use this; anything that can see
+    /// extreme magnitudes must stay on `inv`.
+    #[inline]
+    pub fn inv_fast(self) -> Self {
+        let d = 1.0 / (self.re * self.re + self.im * self.im);
+        Self::new(self.re * d, -self.im * d)
+    }
+
     /// Complex exponential `e^z`.
     pub fn exp(self) -> Self {
         Self::from_polar(self.re.exp(), self.im)

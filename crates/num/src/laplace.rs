@@ -37,22 +37,28 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
     let n = 2 * m;
     EULER_INVERSIONS.incr();
     EULER_TRANSFORM_EVALS.add((n + 1) as u64);
-    // ξ weights: ξ_0 = 1/2, ξ_k = 1 (1..=m), ξ_{2m} = 2^{-m},
-    // ξ_{2m-j} = ξ_{2m-j+1} + 2^{-m}·C(m, j) for j = 1..m-1.
-    let mut xi = vec![1.0; n + 1];
-    xi[0] = 0.5;
-    let two_pow_neg_m = 0.5f64.powi(m as i32);
-    xi[n] = two_pow_neg_m;
-    for j in 1..m {
-        xi[n - j] = xi[n - j + 1] + two_pow_neg_m * binomial(m as u64, j as u64);
-    }
+    let default_store;
+    let scratch_store;
+    let xi: &[f64] = if m == DEFAULT_EULER_M {
+        // Shared table: a sweep's quantile solves run tens of inversions
+        // per cell, all at the default order.
+        default_store = XI_DEFAULT.get_or_init(|| xi_weights(DEFAULT_EULER_M));
+        default_store
+    } else {
+        scratch_store = xi_weights(m);
+        &scratch_store
+    };
     let ln10 = std::f64::consts::LN_10;
     let a = (m as f64) * ln10 / 3.0;
     let scale = 10f64.powf(m as f64 / 3.0);
+    let recip_t = 1.0 / t;
     let mut sum = 0.0;
     for (k, &xik) in xi.iter().enumerate() {
         let beta = Complex64::new(a, std::f64::consts::PI * k as f64);
-        let val = not_nan("euler_inversion: transform value", transform(beta / t).re);
+        let val = not_nan(
+            "euler_inversion: transform value",
+            transform(beta * recip_t).re,
+        );
         let eta = if k % 2 == 0 {
             scale * xik
         } else {
@@ -63,6 +69,23 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
     finite("euler_inversion: result", sum / t)
 }
 
+static XI_DEFAULT: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+
+/// The Euler ξ weights of order `m`: ξ_0 = 1/2, ξ_k = 1 (1..=m),
+/// ξ_{2m} = 2^{-m}, ξ_{2m-j} = ξ_{2m-j+1} + 2^{-m}·C(m, j) for
+/// j = 1..m-1.
+fn xi_weights(m: usize) -> Vec<f64> {
+    let n = 2 * m;
+    let mut xi = vec![1.0; n + 1];
+    xi[0] = 0.5;
+    let two_pow_neg_m = 0.5f64.powi(m as i32);
+    xi[n] = two_pow_neg_m;
+    for j in 1..m {
+        xi[n - j] = xi[n - j + 1] + two_pow_neg_m * binomial(m as u64, j as u64);
+    }
+    xi
+}
+
 /// Inverts the *tail* (complementary CDF) of a non-negative random variable
 /// from its MGF `E[e^{sX}]` at the point `t`.
 ///
@@ -71,7 +94,9 @@ pub fn euler_inversion(transform: impl Fn(Complex64) -> Complex64, t: f64, m: us
 /// Panics unless `t > 0` and `m ≥ 1`; finite whenever the MGF is finite
 /// along the inversion contour (debug builds assert this per term).
 pub fn tail_from_mgf(mgf: impl Fn(Complex64) -> Complex64, t: f64, m: usize) -> f64 {
-    euler_inversion(|s| (Complex64::ONE - mgf(-s)) / s, t, m)
+    // `s` is a Bromwich contour point (|s| between ~1/t and ~m²/t), far
+    // inside `inv_fast`'s safe magnitude range.
+    euler_inversion(|s| (Complex64::ONE - mgf(-s)) * s.inv_fast(), t, m)
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //! * [`roots`] — bracketed real solvers (bisection / Brent / Newton) for
 //!   dominant poles and quantiles, plus the complex fixed-point iteration
 //!   the paper prescribes for eq. (26),
+//! * [`batch`] — lockstep structure-of-arrays kernels that iterate a whole
+//!   family of complex roots (all K branches of eq. (26)) through one
+//!   fixed-point/Newton sweep loop, bit-identical per root to the scalar
+//!   solvers,
 //! * [`poly`] — Horner evaluation used throughout the Erlang-mix algebra,
 //! * [`quad`] — adaptive Simpson and Gauss–Legendre quadrature,
 //! * [`laplace`] — Abate–Whitt Euler numerical Laplace inversion, used as an
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cmp;
 pub mod complex;
 pub mod finite_guard;

@@ -405,12 +405,15 @@ fn complex_fixed_point_impl(
         if !next.is_finite() {
             return None;
         }
-        let delta = (next - z).abs();
+        // Squared-norm test, mirrored exactly by the lockstep batch kernel
+        // (`fpsping_num::batch`) so batched and scalar solves keep their
+        // bit-parity contract.
+        let delta2 = (next - z).norm_sqr();
         z = next;
-        if delta < tol {
+        if delta2 < tol * tol {
             return Some(ComplexFixedPoint {
                 point: z,
-                residual: delta,
+                residual: delta2.sqrt(),
                 iterations: i + 1,
             });
         }

@@ -34,12 +34,19 @@ use crate::erlang_mix::ErlangMix;
 use crate::mg1::Mg1;
 use crate::position::{Position, PositionDelay};
 use crate::QueueError;
-use fpsping_num::cmp::exact_zero;
+use fpsping_num::batch::SimplePoleBank;
+use fpsping_num::cmp::{exact_eq, exact_zero};
 use fpsping_num::Complex64;
 use fpsping_obs::Counter;
 
 static CHERNOFF_EXPANSIONS: Counter = Counter::new("queue.combine.chernoff.bracket_expansions");
 static POSITION_EXPANSIONS: Counter = Counter::new("queue.combine.position.bracket_expansions");
+static EXPANSIONS_SKIPPED: Counter =
+    Counter::new("queue.combine.expansion.skipped_ill_conditioned");
+static FAST_QUANTILES: Counter = Counter::new("queue.combine.quantile_fast.calls");
+static FAST_TAIL_EVALS: Counter = Counter::new("queue.combine.quantile_fast.tail_evals");
+static FAST_FALLBACKS: Counter = Counter::new("queue.combine.quantile_fast.fallbacks");
+static QUANTILE_BRACKET_FAILURES: Counter = Counter::new("queue.combine.quantile.bracket_failures");
 
 /// The position-delay factor: either a proper Erlang mix (K > 1 uniform,
 /// or any fixed spot) or the K = 1 logarithmic transform of eq. (33).
@@ -150,11 +157,66 @@ pub struct TotalDelay {
     position: PositionFactor,
     product: Option<ErlangMix>,
     well_conditioned: bool,
+    /// Flat SoA view of `burst_wait` when all its poles are simple — the
+    /// hot operand of the numerical tail inversion (K reciprocals per
+    /// contour point). `None` when a pole has multiplicity > 1 or the
+    /// bank would be too small to pay for itself.
+    burst_bank: Option<SimplePoleBank>,
+}
+
+/// Builds the flat evaluation bank for a burst-wait mix of ≥ 4 simple
+/// poles (the D/E_K/1 shape); smaller or multiplicity-carrying mixes stay
+/// on the blockwise path.
+fn burst_bank_of(burst: &ErlangMix) -> Option<SimplePoleBank> {
+    if burst.blocks.len() < 4 || burst.blocks.iter().any(|b| b.coeffs.len() != 1) {
+        return None;
+    }
+    let poles: Vec<Complex64> = burst.blocks.iter().map(|b| b.pole).collect();
+    let weights: Vec<Complex64> = burst.blocks.iter().map(|b| b.coeffs[0]).collect();
+    Some(SimplePoleBank::new(burst.constant, &poles, &weights))
 }
 
 /// Expansion coefficients above this L1 norm lose too many of f64's ~16
 /// digits to cancellation for a trustworthy 1e-5 tail.
 const CONDITION_LIMIT: f64 = 1e6;
+
+/// Absolute noise floor of the Abate–Whitt inversion backing the
+/// unexpanded-product tail (`tail_numeric` is documented ~1e-10-accurate;
+/// one extra decade of headroom). Below this, the clamped numeric tail is
+/// sign-noise — non-monotone, dipping through zero at pseudo-random `x` —
+/// and a bracketed quantile solve on it finds a crossing of *noise*, not
+/// of the distribution. Targets under the floor are rejected outright.
+const NUMERIC_TAIL_FLOOR: f64 = 1e-9;
+
+/// Convergence width (seconds) of [`TotalDelay::quantile_fast`]'s secant
+/// solve: 2e-8 s = 2e-5 ms. Together with the ~8e-6 ms warm-root
+/// deviation this keeps the batch path's worst case ~3× under the
+/// engine's documented 1e-4 ms tolerance while saving roughly one tail
+/// evaluation per cell over a tighter setting.
+const QUANTILE_FAST_ATOL: f64 = 2e-8;
+
+/// Exact lower bound on the coefficient L1 norm of the re-expanded
+/// product `D_u·W·P`, from the simple (multiplicity-1) burst-wait poles
+/// alone: Appendix A assigns pole `b_j` the coefficient
+/// `A_j·D_u(b_j)·P(b_j)`, each of which contributes its modulus to the
+/// L1 norm. Returns `+∞` (never NaN) when a burst pole sits on a pole of
+/// another factor — the expansion there is degenerate-by-collision, the
+/// worst conditioning of all.
+fn expansion_l1_lower_bound(up: &ErlangMix, burst: &ErlangMix, pos: &ErlangMix) -> f64 {
+    let mut bound = 0.0f64;
+    for b in &burst.blocks {
+        if b.coeffs.len() != 1 {
+            continue;
+        }
+        let coeff = b.coeffs[0] * up.eval(b.pole) * pos.eval(b.pole);
+        let term = coeff.abs();
+        if !term.is_finite() {
+            return f64::INFINITY;
+        }
+        bound += term;
+    }
+    bound
+}
 
 impl TotalDelay {
     /// Assembles the model from already-built component mixes.
@@ -162,12 +224,14 @@ impl TotalDelay {
         let product = upstream.product(&burst_wait).product(&position);
         let well_conditioned =
             product.coeff_l1() < CONDITION_LIMIT && (product.total_mass() - 1.0).abs() < 1e-6;
+        let burst_bank = burst_bank_of(&burst_wait);
         Self {
             upstream,
             burst_wait,
             position: PositionFactor::Mix(position),
             product: Some(product),
             well_conditioned,
+            burst_bank,
         }
     }
 
@@ -191,12 +255,15 @@ impl TotalDelay {
             let pos = PositionFactor::LogK1 {
                 beta: position.beta(),
             };
+            let burst_wait = downstream.to_mix();
+            let burst_bank = burst_bank_of(&burst_wait);
             return Ok(Self {
                 upstream: up,
-                burst_wait: downstream.to_mix(),
+                burst_wait,
                 position: pos,
                 product: None,
                 well_conditioned: false,
+                burst_bank,
             });
         }
         Ok(Self::from_mixes(
@@ -204,6 +271,63 @@ impl TotalDelay {
             downstream.to_mix(),
             position.to_mix()?,
         ))
+    }
+
+    /// [`TotalDelay::new`], except that the eq.-(35) re-expansion is
+    /// *skipped* when a cheap lower bound already proves it would be
+    /// discarded as ill-conditioned.
+    ///
+    /// The re-expanded coefficient at a simple burst-wait pole `b_j` is
+    /// exactly `A_j · D_u(b_j) · P(b_j)` (Appendix A with multiplicity 1),
+    /// so `Σ_j |A_j·D_u(b_j)·P(b_j)|` is a lower bound on the product's
+    /// coefficient L1 norm. When that bound is already ≥ the condition
+    /// limit, [`TotalDelay::tail`] and the quantile methods would route
+    /// to numerical inversion anyway — building (then ignoring) the
+    /// O(K²) expansion is pure waste on a sweep's cold path.
+    ///
+    /// Every probability-facing method behaves identically to a model
+    /// from [`TotalDelay::new`]; only the diagnostic accessors differ on
+    /// skipped cells ([`TotalDelay::product`] returns `None`,
+    /// [`TotalDelay::tail_expanded`] panics). The batch engine uses this;
+    /// the bit-exact configurations keep [`TotalDelay::new`].
+    pub fn new_deferring_ill_conditioned(
+        upstream: Option<&Mg1>,
+        downstream: &DEk1,
+        position: &PositionDelay,
+    ) -> Result<Self, QueueError> {
+        let up = match upstream {
+            Some(q) => q.paper_mix()?,
+            None => ErlangMix::unit(),
+        };
+        if position.order() == 1 && matches!(position.position(), Position::Uniform) {
+            let burst_wait = downstream.to_mix();
+            let burst_bank = burst_bank_of(&burst_wait);
+            return Ok(Self {
+                upstream: up,
+                burst_wait,
+                position: PositionFactor::LogK1 {
+                    beta: position.beta(),
+                },
+                product: None,
+                well_conditioned: false,
+                burst_bank,
+            });
+        }
+        let burst = downstream.to_mix();
+        let pos = position.to_mix()?;
+        if expansion_l1_lower_bound(&up, &burst, &pos) >= CONDITION_LIMIT {
+            EXPANSIONS_SKIPPED.incr();
+            let burst_bank = burst_bank_of(&burst);
+            return Ok(Self {
+                upstream: up,
+                burst_wait: burst,
+                position: PositionFactor::Mix(pos),
+                product: None,
+                well_conditioned: false,
+                burst_bank,
+            });
+        }
+        Ok(Self::from_mixes(up, burst, pos))
     }
 
     /// Whether the eq.-(35) expansion exists and is numerically
@@ -245,7 +369,11 @@ impl TotalDelay {
 
     /// The unexpanded product MGF.
     fn eval_factors(&self, s: Complex64) -> Complex64 {
-        self.upstream.eval(s) * self.burst_wait.eval(s) * self.position.eval(s)
+        let burst = match &self.burst_bank {
+            Some(bank) => bank.eval(s),
+            None => self.burst_wait.eval(s),
+        };
+        self.upstream.eval(s) * burst * self.position.eval(s)
     }
 
     /// Tail `P(total > x)`: closed-form expansion when well-conditioned,
@@ -310,19 +438,67 @@ impl TotalDelay {
     /// [`ErlangMix::quantile_with_hint`], the hint only accelerates the
     /// bracket search — the bracket itself, and therefore the root, is
     /// bit-identical to the cold path's. Panics unless `p ∈ (0, 1)`; NaN
-    /// if the bracketed solve fails to converge.
+    /// exactly when [`TotalDelay::try_quantile_with_hint`] reports an
+    /// error (never a clamped-noise pseudo-root).
     pub fn quantile_with_hint(&self, p: f64, hint: Option<f64>) -> f64 {
+        self.try_quantile_with_hint(p, hint).unwrap_or(f64::NAN)
+    }
+
+    /// Fallible form of [`TotalDelay::quantile`]: same value on success,
+    /// explicit [`QueueError::SolveFailure`] where the infallible form
+    /// returns NaN. Panics unless `p ∈ (0, 1)`.
+    pub fn try_quantile(&self, p: f64) -> Result<f64, QueueError> {
+        self.try_quantile_with_hint(p, None)
+    }
+
+    /// Fallible p-quantile with an optional warm-start hint.
+    ///
+    /// On the numeric-inversion regime (ill-conditioned or K = 1 models)
+    /// the solve runs on `tail_numeric(x).clamp(0, 1)`, whose clamp used
+    /// to *hide* failure modes: a target below the inversion's noise
+    /// floor, or a doubling search that never crosses the target, both
+    /// previously handed the Brent solve a non-monotone noise curve and
+    /// returned whichever pseudo-root it hit. Those cases are now explicit
+    /// [`QueueError::SolveFailure`]s (and counted under
+    /// `queue.combine.quantile.bracket_failures`). Panics unless
+    /// `p ∈ (0, 1)`; the returned value is finite and non-negative.
+    pub fn try_quantile_with_hint(&self, p: f64, hint: Option<f64>) -> Result<f64, QueueError> {
+        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         if self.well_conditioned {
             // lint:allow(unwrap): the constructor sets `well_conditioned` only after building `product`
-            return self.product.as_ref().unwrap().quantile_with_hint(p, hint);
+            let q = self.product.as_ref().unwrap().quantile_with_hint(p, hint);
+            return if q.is_finite() {
+                Ok(q)
+            } else {
+                Err(QueueError::SolveFailure {
+                    what: "expanded-product quantile solve",
+                })
+            };
         }
-        assert!(p > 0.0 && p < 1.0, "quantile: p must lie in (0,1), got {p}");
         let target = 1.0 - p;
+        if target < NUMERIC_TAIL_FLOOR {
+            // The clamped numeric tail has no digits at this depth; any
+            // bracket the search found would be a zero-crossing of
+            // inversion noise, not of the distribution.
+            QUANTILE_BRACKET_FAILURES.incr();
+            return Err(QueueError::SolveFailure {
+                what: "quantile target below the numeric inversion's noise floor",
+            });
+        }
         if self.tail(0.0) <= target {
-            return 0.0;
+            return Ok(0.0);
         }
         let scale = self.mean().abs().max(1e-9);
         let hi = crate::erlang_mix::canonical_bracket(|x| self.tail(x) <= target, scale, hint);
+        if self.tail(hi) > target {
+            // The doubling search gave up at its cap without ever crossing
+            // the target — previously this handed Brent an unbracketed
+            // interval and returned garbage.
+            QUANTILE_BRACKET_FAILURES.incr();
+            return Err(QueueError::SolveFailure {
+                what: "quantile bracket search never crossed the target",
+            });
+        }
         fpsping_num::roots::brent(
             |x| self.tail(x.max(1e-15)) - target,
             0.0,
@@ -331,7 +507,155 @@ impl TotalDelay {
             300,
         )
         .map(|r| r.root)
-        .unwrap_or(f64::NAN)
+        .map_err(|_| QueueError::SolveFailure {
+            what: "total-delay quantile Brent solve",
+        })
+    }
+
+    /// Tolerance-relaxed quantile for the batch engine's sweep path.
+    ///
+    /// Replaces the bracketed Brent solve with a safeguarded secant on
+    /// `ln tail(x)`, which is near-linear once the dominant exponential
+    /// takes over: seeded from `hint` (a neighboring sweep cell, seconds)
+    /// or the exponential-with-matched-mean guess, with the second point
+    /// one asymptotic-decay-rate step away, it typically converges in 3-5
+    /// tail evaluations against Brent's ~30. On the numerical-inversion
+    /// regime every evaluation is a 2m+1-point Laplace inversion, so this
+    /// is the difference between ~300 µs and ~25 µs per sweep cell;
+    /// well-conditioned cells run the same secant on the cheap expansion
+    /// tail.
+    ///
+    /// The secant terminates at step width [`QUANTILE_FAST_ATOL`]
+    /// (2e-8 s = 2e-5 ms), several times under the engine's documented
+    /// batch tolerance; any breakdown (non-finite tail, eval budget
+    /// exhausted) falls back to the exact
+    /// [`TotalDelay::quantile_with_hint`] path. Panics unless
+    /// `p ∈ (0, 1)`; NaN only if the fallback itself fails to converge.
+    pub fn quantile_fast(&self, p: f64, hint: Option<f64>) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile_fast: p must lie in (0,1), got {p}"
+        );
+        FAST_QUANTILES.incr();
+        let target = 1.0 - p;
+        if self.tail(0.0) <= target {
+            return 0.0;
+        }
+        let scale = self.mean().abs().max(1e-9);
+        let seed = hint
+            .filter(|h| h.is_finite() && *h > 0.0)
+            // Exponential with the model's mean: exact if the total were
+            // memoryless, an upper-ish start otherwise — either way one
+            // slope step away from the linear regime.
+            .unwrap_or_else(|| scale * (1.0 / target).ln());
+        let solved = match (self.well_conditioned, &self.product) {
+            (true, Some(prod)) => self.quantile_log_secant(|x| prod.tail(x), target, seed),
+            // Below the inversion noise floor the secant would chase
+            // sign-noise; route straight to the (also-rejecting) fallback.
+            _ if target < NUMERIC_TAIL_FLOOR => None,
+            _ => self.quantile_log_secant(|x| self.tail_numeric(x.max(1e-15)), target, seed),
+        };
+        if let Some(x) = solved {
+            return x;
+        }
+        FAST_FALLBACKS.incr();
+        self.quantile_with_hint(p, hint)
+    }
+
+    /// The total's asymptotic decay rate: the tail behaves like
+    /// `e^{-r·x}` with `r` the smallest decay bound among the three
+    /// factors (the product is analytic on `Re s < r`). `None` when no
+    /// factor reports one.
+    fn decay_rate(&self) -> Option<f64> {
+        let r = [
+            self.upstream.dominant_decay(),
+            self.burst_wait.dominant_decay(),
+            self.position.decay_bound(),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(f64::INFINITY, f64::min);
+        r.is_finite().then_some(r)
+    }
+
+    /// Safeguarded secant on `ln tail(x) − ln target`, the workhorse of
+    /// [`TotalDelay::quantile_fast`]. Maintains the sign bracket
+    /// discovered along the way; a secant step that leaves it (or a
+    /// degenerate secant) bisects instead, so progress never stalls on
+    /// inversion noise. `None` on any non-finite tail value or when the
+    /// evaluation budget runs out — the caller falls back to Brent.
+    fn quantile_log_secant(
+        &self,
+        tail: impl Fn(f64) -> f64,
+        target: f64,
+        seed: f64,
+    ) -> Option<f64> {
+        const MAX_EVALS: usize = 40;
+        let ln_target = target.ln();
+        let mut evals = 0usize;
+        let f = |x: f64| -> Option<f64> {
+            FAST_TAIL_EVALS.incr();
+            let t = tail(x);
+            if !t.is_finite() {
+                return None;
+            }
+            // Clamp before the log: beyond the inversion's noise floor the
+            // tail can dip ≤ 0, which simply reads as "far past the root".
+            Some(t.max(1e-300).ln() - ln_target)
+        };
+        // f is decreasing: f(lo) > 0 ≥ f(hi). The caller's atom check
+        // guarantees f(0+) > 0.
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        let mut x0 = seed.max(QUANTILE_FAST_ATOL);
+        evals += 1;
+        let mut f0 = f(x0)?;
+        // Second point: one step along the asymptotic log-slope −r lands
+        // it near the root (exact if the tail were already in its
+        // single-exponential regime), so the first secant is interpolation
+        // rather than a blind 5% probe.
+        let mut x1 = match self.decay_rate().filter(|r| *r > 0.0) {
+            Some(r) if (f0 / r).abs() > QUANTILE_FAST_ATOL => (x0 + f0 / r).max(0.25 * x0),
+            _ => x0 * 1.05 + QUANTILE_FAST_ATOL,
+        };
+        if exact_eq(x1, x0) {
+            x1 = x0 * 1.05 + QUANTILE_FAST_ATOL;
+        }
+        evals += 1;
+        let mut f1 = f(x1)?;
+        loop {
+            for (x, fx) in [(x0, f0), (x1, f1)] {
+                if fx > 0.0 {
+                    lo = lo.max(x);
+                } else {
+                    hi = hi.min(x);
+                }
+            }
+            if evals >= MAX_EVALS {
+                return None;
+            }
+            let denom = f1 - f0;
+            let mut next = if exact_zero(denom) {
+                f64::NAN
+            } else {
+                x1 - f1 * (x1 - x0) / denom
+            };
+            if !next.is_finite() || next <= lo || next >= hi {
+                // Left the known bracket or degenerated: bisect when both
+                // ends are known, otherwise push outward geometrically.
+                next = if hi.is_finite() {
+                    0.5 * (lo + hi)
+                } else {
+                    x0.max(x1) * 2.0
+                };
+            }
+            if (next - x1).abs() <= QUANTILE_FAST_ATOL {
+                return Some(next);
+            }
+            evals += 1;
+            let fnext = f(next)?;
+            (x0, f0) = (x1, f1);
+            (x1, f1) = (next, fnext);
+        }
     }
 
     /// Method 2: p-quantile keeping only the dominant pole of eq. (35)
@@ -552,6 +876,36 @@ mod tests {
                 "x={x}: auto {t_auto:e} vs position {t_pos:e}"
             );
         }
+    }
+
+    #[test]
+    fn noise_floor_quantile_is_an_error_not_clamped_garbage() {
+        // Ill-conditioned model: every tail/quantile runs on the clamped
+        // numerical inversion, whose absolute accuracy is ~1e-10. A target
+        // of 1e-12 sits below that floor; the clamp used to hide the
+        // resulting non-monotone noise from the bracket search, and the
+        // Brent solve would return whichever noise zero-crossing it hit —
+        // a finite, plausible-looking, meaningless quantile.
+        let t = 0.06;
+        let k = 9u32;
+        let rho = 0.05;
+        let dek1 = DEk1::new(k, rho * t, t).unwrap();
+        let pos = PositionDelay::uniform(k, k as f64 / (rho * t)).unwrap();
+        let m = TotalDelay::new(None, &dek1, &pos).unwrap();
+        assert!(!m.expansion_well_conditioned());
+        let p = 1.0 - 1e-12;
+        assert!(matches!(
+            m.try_quantile(p),
+            Err(QueueError::SolveFailure { .. })
+        ));
+        // The infallible forms surface the failure as NaN, never a number.
+        assert!(m.quantile(p).is_nan());
+        assert!(m.quantile_fast(p, None).is_nan());
+        // Targets above the floor still solve, and the fallible and
+        // infallible paths agree exactly.
+        let q = m.try_quantile(0.99999).unwrap();
+        assert!(q.is_finite() && q > 0.0);
+        assert_eq!(q, m.quantile(0.99999));
     }
 
     #[test]

@@ -30,14 +30,24 @@
 
 use crate::erlang_mix::{ErlangMix, PoleBlock};
 use crate::QueueError;
+use fpsping_num::batch::{complex_fixed_point_lockstep, complex_newton_lockstep};
 use fpsping_num::cmp::exact_zero;
 use fpsping_num::finite_guard::{finite, finite_c};
-use fpsping_num::roots::complex_fixed_point;
 use fpsping_num::Complex64;
 use fpsping_obs::Counter;
 
 static ZETA_SOLVES: Counter = Counter::new("queue.dek1.zeta.solves");
 static ZETA_POLISH_STEPS: Counter = Counter::new("queue.dek1.zeta.newton_polish_steps");
+static ZETA_COLD_SOLVES: Counter = Counter::new("queue.dek1.zeta.cold_solves");
+static ZETA_WARM_SOLVES: Counter = Counter::new("queue.dek1.zeta.warm_solves");
+static ZETA_WARM_STEPS: Counter = Counter::new("queue.dek1.zeta.warm_newton_steps");
+static ZETA_WARM_FALLBACKS: Counter = Counter::new("queue.dek1.zeta.warm_fallbacks");
+
+/// Residual tolerance `|z - map(z)|` for accepting a continuation
+/// warm-started root. Cold solves land around 1e-15; anything above this
+/// means the Newton polish wandered and the cell falls back to the cold
+/// fixed-point path.
+const WARM_RESIDUAL_TOL: f64 = 1e-10;
 
 /// Solved D/E_K/1 queue: burst inter-arrival `T`, Erlang(K, β) service.
 ///
@@ -101,6 +111,60 @@ impl DekSolution {
         })
     }
 
+    /// Continuation solve: like [`DekSolution::solve`], but seeds the K
+    /// roots from `prev` — a solution for the *same Erlang order* at a
+    /// neighboring load — and polishes with Newton only, skipping the
+    /// (expensive) fixed-point stage.
+    ///
+    /// Falls back to the cold path, transparently, when `prev` is absent,
+    /// has a different order, or when any warm-polished root fails the
+    /// validity gates (finite, `Re ζ < 1`, `|ζ| < 1`, branch residual
+    /// ≤ 1e-10) — so the result is always a valid solution, warm or not.
+    ///
+    /// Warm-started roots are *not* bit-identical to cold ones: Newton
+    /// from a neighboring seed lands within ~1e-15 relative of the cold
+    /// root but may differ in the last ulps. The engine's batch sweep
+    /// bounds the resulting RTT-quantile deviation by its documented
+    /// `BATCH_RTT_TOLERANCE_MS` (1e-4 ms; observed warm-root contribution
+    /// is ~1e-9 ms). Callers that need bit-exact reproduction of the
+    /// serial path must use [`DekSolution::solve`].
+    pub fn solve_warm(k: u32, rho: f64, prev: Option<&DekSolution>) -> Result<Self, QueueError> {
+        if k < 1 {
+            return Err(QueueError::InvalidParameter {
+                name: "k",
+                value: k as f64,
+            });
+        }
+        if !(0.0..1.0).contains(&rho) || exact_zero(rho) {
+            return Err(QueueError::UnstableLoad { rho });
+        }
+        if let Some(p) = prev {
+            if p.k == k {
+                if let Some(zetas) = solve_zetas_warm(k, rho, &p.zetas) {
+                    ZETA_SOLVES.incr();
+                    ZETA_WARM_SOLVES.incr();
+                    let weights = solve_weights(&zetas);
+                    return Ok(Self {
+                        k,
+                        rho,
+                        zetas,
+                        weights,
+                    });
+                }
+                ZETA_WARM_FALLBACKS.incr();
+                // Cold fallback below re-counts the solve.
+            }
+        }
+        let zetas = solve_zetas(k, rho)?;
+        let weights = solve_weights(&zetas);
+        Ok(Self {
+            k,
+            rho,
+            zetas,
+            weights,
+        })
+    }
+
     /// Erlang order K.
     pub fn order(&self) -> u32 {
         self.k
@@ -110,6 +174,12 @@ impl DekSolution {
     /// construction.
     pub fn load(&self) -> f64 {
         self.rho
+    }
+
+    /// The solved branch roots ζⱼ (read-only view, for continuation
+    /// seeding and diagnostics).
+    pub fn zetas(&self) -> &[Complex64] {
+        &self.zetas
     }
 }
 
@@ -302,47 +372,106 @@ impl DEk1 {
     }
 }
 
+/// The branch-`j` fixed-point map of eq. (26):
+/// `z ↦ exp((z-1)/ρ + 2πi·j/K)` (0-based `j`).
+#[inline]
+fn branch_map(k: u32, rho: f64, j: usize, z: Complex64) -> Complex64 {
+    let phase = 2.0 * std::f64::consts::PI * j as f64 / k as f64;
+    ((z - 1.0) / rho + Complex64::new(0.0, phase)).exp()
+}
+
+/// `(g, g')` for the Newton polish on branch `j`: `g(z) = z - map(z)`,
+/// `g'(z) = 1 - map(z)/ρ`.
+#[inline]
+fn branch_newton(k: u32, rho: f64, j: usize, z: Complex64) -> (Complex64, Complex64) {
+    let m = branch_map(k, rho, j, z);
+    (z - m, Complex64::ONE - m / rho)
+}
+
 /// Solves the K branch equations (26) by Appendix C's fixed-point
 /// iteration from `z = 0`, then polishes each root with complex Newton on
-/// `g(z) = z - exp((z-1)/ρ + iφ)`.
+/// `g(z) = z - exp((z-1)/ρ + iφ)`. All K branches run in lockstep through
+/// the batch kernels; per branch the iterate sequence — and therefore the
+/// result, to the last bit — is identical to the historical one-root-at-a-
+/// time loop.
 fn solve_zetas(k: u32, rho: f64) -> Result<Vec<Complex64>, QueueError> {
     ZETA_SOLVES.incr();
-    let mut zetas = Vec::with_capacity(k as usize);
-    for j in 0..k {
-        let phase = 2.0 * std::f64::consts::PI * j as f64 / k as f64;
-        let map = |z: Complex64| ((z - 1.0) / rho + Complex64::new(0.0, phase)).exp();
-        // Fixed point to modest precision (contraction factor |ζ|/ρ can
-        // approach 1 near saturation)...
-        let fp = complex_fixed_point(map, Complex64::ZERO, 1e-8, 2_000_000).ok_or(
-            QueueError::SolveFailure {
-                what: "fixed-point iteration for ζ did not converge",
-            },
-        )?;
-        // ...then Newton to machine precision: g(z) = z - map(z),
-        // g'(z) = 1 - map(z)/ρ.
-        let mut z = fp.point;
-        for _ in 0..50 {
-            ZETA_POLISH_STEPS.incr();
-            let m = map(z);
-            let g = z - m;
-            let dg = Complex64::ONE - m / rho;
-            if dg.abs() < 1e-300 {
-                break;
-            }
-            let step = g / dg;
-            z -= step;
-            if step.abs() < 1e-15 * z.abs().max(1.0) {
-                break;
-            }
+    ZETA_COLD_SOLVES.incr();
+    let mut zetas = vec![Complex64::ZERO; k as usize];
+    // Fixed point to modest precision (contraction factor |ζ|/ρ can
+    // approach 1 near saturation)...
+    complex_fixed_point_lockstep(|j, z| branch_map(k, rho, j, z), &mut zetas, 1e-8, 2_000_000)
+        .ok_or(QueueError::SolveFailure {
+            what: "fixed-point iteration for ζ did not converge",
+        })?;
+    // ...then Newton to machine precision.
+    let polish = complex_newton_lockstep(
+        |j, z| branch_newton(k, rho, j, z),
+        &mut zetas,
+        50,
+        1e-15,
+        1e-300,
+    );
+    ZETA_POLISH_STEPS.add(polish.steps);
+    validate_zetas(&zetas)?;
+    Ok(zetas)
+}
+
+/// Continuation solve: polishes `seeds` (the converged roots of a
+/// *neighboring* load) with Newton only, skipping the fixed-point stage.
+///
+/// Every accepted root must pass the same validity gates as a cold solve
+/// plus two checks that together rule out landing on a wrong root:
+///
+/// * **residual** `|z - map_j(z)| ≤ 1e-10` — each branch solves a
+///   differently-phased equation, so a converged iterate satisfies its
+///   *own* branch's equation or none;
+/// * **modulus** `|ζ| < ρ` — branch `j`'s *attracting* fixed point (the
+///   queueing root Appendix C's iteration converges to) has map
+///   derivative `ζ/ρ` of modulus < 1, i.e. `|ζ| < ρ`. The trivial
+///   repelling root `z = 1` of the branch-0 equation has residual 0 and
+///   `Re z < 1` in floats (`0.999…9`), so the residual and half-plane
+///   gates alone would accept it; only the modulus gate excludes it.
+///   Newton genuinely reaches it when a downward load step starts the
+///   polish above the basin boundary — see the
+///   `continuation_never_reaches_the_trivial_root` test.
+///
+/// Returns `None` if any branch fails a gate; callers fall back to the
+/// cold path.
+fn solve_zetas_warm(k: u32, rho: f64, seeds: &[Complex64]) -> Option<Vec<Complex64>> {
+    debug_assert_eq!(seeds.len(), k as usize);
+    let mut zetas = seeds.to_vec();
+    let polish = complex_newton_lockstep(
+        |j, z| branch_newton(k, rho, j, z),
+        &mut zetas,
+        50,
+        1e-15,
+        1e-300,
+    );
+    ZETA_WARM_STEPS.add(polish.steps);
+    for (j, &z) in zetas.iter().enumerate() {
+        if !z.is_finite() || z.re >= 1.0 || z.norm_sqr() >= rho * rho {
+            return None;
         }
+        if (z - branch_map(k, rho, j, z)).abs() > WARM_RESIDUAL_TOL {
+            return None;
+        }
+    }
+    Some(zetas)
+}
+
+/// Shared validity gate for cold-solved roots: finite and inside the
+/// `Re z < 1` half-plane, per Appendix C.
+fn validate_zetas(zetas: &[Complex64]) -> Result<(), QueueError> {
+    for &z in zetas {
         if !z.is_finite() || z.re >= 1.0 {
             return Err(QueueError::SolveFailure {
                 what: "ζ root left the Re z < 1 half-plane",
             });
         }
-        zetas.push(finite_c("solve_zetas: polished root", z));
+        finite_c("solve_zetas: polished root", z);
     }
-    Ok(zetas)
+    Ok(())
 }
 
 /// Closed-form weights of eq. (27): `aⱼ = ζⱼ^K Π_{k≠j}(1-ζ_k)/(ζⱼ-ζ_k)`
@@ -627,6 +756,78 @@ mod tests {
         for j in 0..k as usize {
             assert!(q.pole_residual(j) < 1e-8);
         }
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_within_tolerance() {
+        let k = 9u32;
+        let mut prev: Option<DekSolution> = None;
+        for i in 1..=18 {
+            let rho = 0.05 * i as f64;
+            let cold = DekSolution::solve(k, rho).unwrap();
+            let warm = DekSolution::solve_warm(k, rho, prev.as_ref()).unwrap();
+            for (&zc, &zw) in cold.zetas().iter().zip(warm.zetas()) {
+                assert!(
+                    (zc - zw).abs() <= 1e-12 * (1.0 + zc.abs()),
+                    "rho={rho}: cold {zc} vs warm {zw}"
+                );
+            }
+            prev = Some(warm);
+        }
+    }
+
+    #[test]
+    fn warm_solve_without_prev_is_bit_identical_to_cold() {
+        let cold = DekSolution::solve(20, 0.7).unwrap();
+        let warm = DekSolution::solve_warm(20, 0.7, None).unwrap();
+        for (zc, zw) in cold.zetas().iter().zip(warm.zetas()) {
+            assert_eq!(zc.re.to_bits(), zw.re.to_bits());
+            assert_eq!(zc.im.to_bits(), zw.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_solve_with_order_mismatch_falls_back_to_cold() {
+        let prev = DekSolution::solve(9, 0.5).unwrap();
+        let cold = DekSolution::solve(20, 0.5).unwrap();
+        let warm = DekSolution::solve_warm(20, 0.5, Some(&prev)).unwrap();
+        for (zc, zw) in cold.zetas().iter().zip(warm.zetas()) {
+            assert_eq!(zc.re.to_bits(), zw.re.to_bits(), "fallback must be cold");
+            assert_eq!(zc.im.to_bits(), zw.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn continuation_never_reaches_the_trivial_root() {
+        // A downward load step whose seed sits above the Newton basin
+        // boundary of branch 0: the polish converges to the trivial
+        // repelling root z = 1, which has residual ~1e-16 and
+        // `Re z = 0.999…9 < 1` — the residual and half-plane gates accept
+        // it. The modulus gate (|ζ| < ρ holds for every attracting root)
+        // must reject the warm result and fall back to cold.
+        let k = 2u32;
+        let prev = DekSolution::solve(k, 0.9662).unwrap();
+        let warm = DekSolution::solve_warm(k, 0.8802, Some(&prev)).unwrap();
+        let cold = DekSolution::solve(k, 0.8802).unwrap();
+        for (zw, zc) in warm.zetas().iter().zip(cold.zetas()) {
+            assert!(
+                zw.abs() < 0.8802,
+                "warm root {zw:?} is not an attracting fixed point"
+            );
+            assert!(
+                (*zw - *zc).abs() <= 1e-12 * (1.0 + zc.abs()),
+                "warm {zw:?} vs cold {zc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_solve_rejects_unstable_load() {
+        let prev = DekSolution::solve(9, 0.9).unwrap();
+        assert!(matches!(
+            DekSolution::solve_warm(9, 1.0, Some(&prev)),
+            Err(QueueError::UnstableLoad { .. })
+        ));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! which is exactly how the paper obtains the tail of the total queueing
 //! delay from eq. (35).
 
-use fpsping_num::poly::{partial_exp_complex, rising_factorial};
+use fpsping_num::poly::rising_factorial;
 use fpsping_num::Complex64;
 use fpsping_obs::Counter;
 
@@ -46,7 +46,26 @@ impl PoleBlock {
 
     /// Evaluates this block's contribution to the MGF at `s`.
     pub fn eval(&self, s: Complex64) -> Complex64 {
-        let base = self.pole / (self.pole - s);
+        // Branchless reciprocal: poles and evaluation points are queueing
+        // rates / contour points (magnitudes ~1e0–1e6), safely inside
+        // `inv_fast`'s range; this sits in the innermost loop of every
+        // numerical tail inversion.
+        let base = self.pole * (self.pole - s).inv_fast();
+        let n = self.coeffs.len();
+        if n >= 6 {
+            // Equal-coefficient ladder (the uniform K-stage position
+            // factor): Σ_m c·base^m is a geometric sum, O(log K) instead
+            // of O(K). Guarded to |1 - base| > 0.2 so the cancellation in
+            // the closed form stays at the ~1 ulp level of the ladder sum
+            // (numerical tails amplify transform noise by ~10^6; a sloppier
+            // guard here would show up in the quantile tolerance).
+            let c0 = self.coeffs[0];
+            let one_minus = Complex64::ONE - base;
+            if one_minus.norm_sqr() > 0.04 && self.coeffs.iter().all(|&c| c == c0) {
+                let bn = base.powi(n as i32);
+                return c0 * base * (Complex64::ONE - bn) * one_minus.inv_fast();
+            }
+        }
         let mut acc = Complex64::ZERO;
         let mut pw = Complex64::ONE;
         for &c in &self.coeffs {
@@ -73,13 +92,26 @@ impl PoleBlock {
 
     /// This block's contribution to the tail `P(X > x)` (complex; the mix
     /// sums blocks and takes the real part).
+    ///
+    /// The partial exponential sums `P(m) = Σ_{t<m} (λx)^t/t!` for
+    /// `m = 1..M` share their prefixes, so one incremental pass computes
+    /// all of them in O(M) — the term and sum recurrences are exactly
+    /// those of [`partial_exp_complex`], so every `P(m)` (and therefore
+    /// the block tail) is bit-identical to the scratch evaluation the
+    /// quantile solvers relied on before.
     pub fn tail(&self, x: f64) -> Complex64 {
         let lx = self.pole * x;
         let decay = (-lx).exp();
         let mut acc = Complex64::ZERO;
+        // P(1) = 1; P(m+1) = P(m) + term_m with term_m = (λx)^m/m!.
+        let mut term = Complex64::ONE;
+        let mut psum = Complex64::ONE;
         for (i, &c) in self.coeffs.iter().enumerate() {
-            let m = (i + 1) as u32;
-            acc += c * partial_exp_complex(lx, m);
+            if i > 0 {
+                term *= lx / i as f64;
+                psum += term;
+            }
+            acc += c * psum;
         }
         acc * decay
     }
@@ -442,14 +474,37 @@ impl ErlangMix {
 fn convolve_block(block: &PoleBlock, other: &ErlangMix) -> PoleBlock {
     let lam = block.pole;
     let m_max = block.coeffs.len();
-    // Pre-compute G^{(l)}(λ)/l! · (-λ)^l for l = 0..M-1.
-    let mut g_terms = Vec::with_capacity(m_max);
-    let mut fact = 1.0;
-    for l in 0..m_max as u32 {
-        if l > 0 {
-            fact *= l as f64;
+    if m_max == 0 {
+        return PoleBlock {
+            pole: lam,
+            coeffs: Vec::new(),
+        };
+    }
+    // g_terms[l] = G^{(l)}(λ)/l! · (-λ)^l for l = 0..M-1, accumulated in
+    // one incremental pass per pole of G: the term of multiplicity m
+    // contributes A_m·(p·u)^m·C(m+l-1, l)·(-λ·u)^l to g_l, with
+    // u = 1/(p-λ) — so powers and binomials update in O(1) per step
+    // instead of the O(log) `powi` + divide per (m, l) pair of the naive
+    // derivative formula.
+    let mut g_terms = vec![Complex64::ZERO; m_max];
+    g_terms[0] = Complex64::from_real(other.constant);
+    for b in &other.blocks {
+        let u = (b.pole - lam).inv();
+        let pu = b.pole * u;
+        let v = -lam * u;
+        let mut pm = Complex64::ONE;
+        for (i, &a) in b.coeffs.iter().enumerate() {
+            let m = i + 1;
+            pm *= pu;
+            let apm = a * pm;
+            let mut binom = 1.0; // C(m+l-1, l) at l = 0
+            let mut vp = Complex64::ONE;
+            for (l, g) in g_terms.iter_mut().enumerate() {
+                *g += apm * binom * vp;
+                binom = binom * (m + l) as f64 / (l + 1) as f64;
+                vp *= v;
+            }
         }
-        g_terms.push(other.derivative(lam, l) * (-lam).powi(l as i32) / fact);
     }
     let mut coeffs = vec![Complex64::ZERO; m_max];
     for k in 1..=m_max {

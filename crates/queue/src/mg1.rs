@@ -28,6 +28,14 @@ use std::sync::OnceLock;
 static POLE_SOLVES: Counter = Counter::new("queue.mg1.pole.solves");
 static POLE_BRACKET_EXPANSIONS: Counter = Counter::new("queue.mg1.pole.bracket_expansions");
 static POLE_BRENT_ITERS: Counter = Counter::new("queue.mg1.pole.brent_iterations");
+static CDF_CLAMP_EXCURSIONS: Counter = Counter::new("queue.mg1.cdf_exact.clamp_excursions");
+
+/// How far outside `[0, 1]` the pre-clamp Franx CDF sum may wander before
+/// it is counted as a genuine cancellation blow-up rather than benign
+/// last-ulp round-off. The alternating sum loses ~`ε·e^{λt}` absolute
+/// digits, so by `λt ≈ 20` excursions of ~1e-7 are expected and anything
+/// past this tolerance means the formula's answer is numerically dead.
+pub const CDF_EXCURSION_TOL: f64 = 1e-6;
 
 /// An M/G/1 queue: Poisson(λ) arrivals, i.i.d. service from a
 /// [`Distribution`].
@@ -346,7 +354,26 @@ pub fn mdd1_wait_cdf_exact(lambda: f64, tau: f64, t: f64) -> f64 {
         };
         sum += term;
     }
-    ((1.0 - rho) * sum).clamp(0.0, 1.0)
+    let raw = finite("mdd1_wait_cdf_exact: pre-clamp sum", (1.0 - rho) * sum);
+    // The clamp below keeps the return value a valid probability, but it
+    // must not silently absorb a cancellation blow-up: count and warn when
+    // the pre-clamp value leaves [0, 1] by more than the documented
+    // tolerance, so the caller can tell "last-ulp round-off" from "the
+    // alternating sum has no digits left at this λt".
+    if !(-CDF_EXCURSION_TOL..=1.0 + CDF_EXCURSION_TOL).contains(&raw) {
+        CDF_CLAMP_EXCURSIONS.incr();
+        fpsping_obs::warn_once(
+            "queue.mg1.cdf_exact.clamp_excursions",
+            &format!(
+                "mdd1_wait_cdf_exact: pre-clamp CDF {raw:.6e} outside [0,1] beyond \
+                 tolerance {CDF_EXCURSION_TOL:.0e} (λ={lambda}, τ={tau}, t={t}; \
+                 λt={:.1} — the alternating Franx sum loses ~ε·e^{{λt}} digits); \
+                 prefer the dominant-pole tail in this regime",
+                lambda * t
+            ),
+        );
+    }
+    raw.clamp(0.0, 1.0)
 }
 
 /// Exact M/D/1 waiting-time tail via [`mdd1_wait_cdf_exact`]; inherits
@@ -577,6 +604,39 @@ mod tests {
             .ln()
             / (t2 - t1);
         assert!((r - gamma).abs() < 0.02 * gamma, "decay {r} vs γ {gamma}");
+    }
+
+    #[test]
+    fn franx_cancellation_blowup_is_counted_not_silent() {
+        // ρ = 0.95, λt = 50: the alternating sum's ε·e^{λt} round-off is
+        // ~1e11 — astronomically past any probability. The clamp keeps the
+        // return value in [0, 1], but the excursion must be observable.
+        let (lambda, tau, t) = (100.0, 0.0095, 0.5);
+        let before = CDF_CLAMP_EXCURSIONS.get();
+        let c = mdd1_wait_cdf_exact(lambda, tau, t);
+        assert!(
+            (0.0..=1.0).contains(&c),
+            "clamped value stays a probability"
+        );
+        assert!(
+            CDF_CLAMP_EXCURSIONS.get() > before,
+            "a pre-clamp excursion beyond {CDF_EXCURSION_TOL:e} must be counted"
+        );
+        assert!(
+            fpsping_obs::warnings()
+                .iter()
+                .any(|w| w.contains("queue.mg1.cdf_exact.clamp_excursions")),
+            "the excursion must emit a warn_once"
+        );
+        // Benign regime (λt small): no excursion is recorded.
+        let before = CDF_CLAMP_EXCURSIONS.get();
+        let c = mdd1_wait_cdf_exact(60.0, 0.01, 0.02);
+        assert!((0.0..=1.0).contains(&c));
+        assert_eq!(
+            CDF_CLAMP_EXCURSIONS.get(),
+            before,
+            "well-conditioned evaluations must not count excursions"
+        );
     }
 
     #[test]

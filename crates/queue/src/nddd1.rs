@@ -204,10 +204,21 @@ fn grid_golden_max(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
     if !best_v.is_finite() {
         return best_v;
     }
-    let (mut lo, mut hi) = (
-        a + best_i.saturating_sub(1) as f64 * step,
-        (a + (best_i + 1) as f64 * step).min(b),
-    );
+    // Full-width refinement bracket around the best grid point: the
+    // interior case is [x_{i-1}, x_{i+1}]; at either edge the bracket
+    // keeps its two-cell width by extending inward ([x_0, x_2] at the
+    // left edge, [x_{G-2}, b] at the right) instead of silently
+    // collapsing to half width against the domain boundary — a half
+    // bracket can exclude a true optimum that the coarse grid stepped
+    // over just inside the neighboring cell.
+    let (lo_i, hi_i) = if best_i == 0 {
+        (0, 2.min(GRID))
+    } else if best_i == GRID {
+        (GRID - 2, GRID)
+    } else {
+        (best_i - 1, best_i + 1)
+    };
+    let (mut lo, mut hi) = (a + lo_i as f64 * step, (a + hi_i as f64 * step).min(b));
     let mut c = hi - INV_PHI * (hi - lo);
     let mut d = lo + INV_PHI * (hi - lo);
     let (mut fc, mut fd) = (f(c), f(d));
@@ -387,5 +398,30 @@ mod tests {
             Err(QueueError::UnstableLoad { .. })
         ));
         assert!(NDdd1::new(10, -0.04, 0.001).is_err());
+    }
+
+    /// Pin for the edge-bracket fix in `grid_golden_max`: when the coarse
+    /// scan's best point is the *first* grid point, the refinement bracket
+    /// must still span two grid cells ([x₀, x₂]). The old
+    /// `best_i.saturating_sub(1)` bracket collapsed to the half-width
+    /// [x₀, x₁] and missed a maximum that the grid stepped over inside the
+    /// second cell.
+    #[test]
+    fn grid_golden_max_refines_past_the_first_grid_cell() {
+        // Domain [0, 256] → grid step 1. A narrow peak of height 1 at
+        // x = 0 makes index 0 the best *grid* point (the true peak of
+        // height 2 at x = 1.5 is sampled only at x = 1 and x = 2, both
+        // far down its flanks).
+        let bump = |x: f64, c: f64, w: f64| {
+            let z = (x - c) / w;
+            (-z * z).exp()
+        };
+        let f = |x: f64| bump(x, 0.0, 0.2) + 2.0 * bump(x, 1.5, 0.35);
+        assert!(f(0.0) > f(1.0) && f(0.0) > f(2.0), "grid best is index 0");
+        let got = grid_golden_max(f, 0.0, 256.0);
+        assert!(
+            got > 1.9,
+            "refinement must reach the true peak in (x₁, x₂): got {got}"
+        );
     }
 }

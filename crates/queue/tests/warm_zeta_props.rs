@@ -1,0 +1,117 @@
+//! Property tests for the continuation (warm-started) D/E_K/1 root solves.
+//!
+//! `DekSolution::solve_warm` seeds branch `j`'s Newton polish from a
+//! neighboring load's root for the *same* branch. Two things must hold for
+//! every `(K, ρ)` a sweep can visit:
+//!
+//! 1. **Accuracy** — warm roots agree with cold roots within the documented
+//!    tolerance (warm results are Newton-converged to 1e-15 relative, so
+//!    the two independently-converged solves may differ only in the last
+//!    few ulps);
+//! 2. **No branch crossing** — continuation must never let branch `j`'s
+//!    Newton iterate drift into branch `i ≠ j`'s basin: the warm root set
+//!    must match the cold root set under the *identity* permutation, not
+//!    merely as sets.
+
+use fpsping_queue::dek1::DekSolution;
+use proptest::prelude::*;
+
+/// Warm-vs-cold root agreement bound (relative to `1 + |ζ|`). Both solves
+/// finish with the same Newton polish at 1e-15 relative step tolerance, so
+/// their disagreement is a few ulps of independent round-off — 1e-12
+/// leaves two orders of headroom, including at the ρ → 1 near-singular
+/// edge where the branch-0 root approaches the repelling fixed point 1.
+const WARM_VS_COLD_TOL: f64 = 1e-12;
+
+/// Nearest-cold-root index for a warm root — the assignment that must be
+/// the identity for continuation to be crossing-free.
+fn nearest_index(z: fpsping_num::Complex64, cold: &DekSolution) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, &zc) in cold.zetas().iter().enumerate() {
+        let d = (z - zc).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random grid walk: a sorted load ladder (always ending at a
+    /// near-singular ρ ∈ [0.995, 0.9995]) walked with continuation, each
+    /// rung compared against an independent cold solve.
+    #[test]
+    fn warm_walk_matches_cold_across_random_grid(
+        k in 1u32..=24,
+        load_draws in proptest::collection::vec(0.02f64..0.95, 2..10),
+        near_one in 0.995f64..0.9995,
+    ) {
+        let mut loads = load_draws;
+        loads.push(near_one);
+        loads.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+        let mut prev: Option<DekSolution> = None;
+        for &rho in &loads {
+            let cold = DekSolution::solve(k, rho).expect("cold solve");
+            let warm = DekSolution::solve_warm(k, rho, prev.as_ref()).expect("warm solve");
+            for (j, (&zc, &zw)) in cold.zetas().iter().zip(warm.zetas()).enumerate() {
+                prop_assert!(
+                    (zc - zw).abs() <= WARM_VS_COLD_TOL * (1.0 + zc.abs()),
+                    "K={k} rho={rho} branch {j}: cold {zc:?} vs warm {zw:?}"
+                );
+            }
+            prev = Some(warm);
+        }
+    }
+
+    /// Walking the ladder *downward* (continuation seeded from a higher
+    /// load) must be as crossing-free as walking up.
+    #[test]
+    fn warm_walk_downward_matches_cold(
+        k in 2u32..=20,
+        start in 0.90f64..0.995,
+        steps in 3usize..12,
+    ) {
+        let mut prev: Option<DekSolution> = None;
+        for i in 0..steps {
+            let rho = 0.02 + (start - 0.02) * (1.0 - i as f64 / steps as f64);
+            let cold = DekSolution::solve(k, rho).expect("cold solve");
+            let warm = DekSolution::solve_warm(k, rho, prev.as_ref()).expect("warm solve");
+            for (j, (&zc, &zw)) in cold.zetas().iter().zip(warm.zetas()).enumerate() {
+                prop_assert!(
+                    (zc - zw).abs() <= WARM_VS_COLD_TOL * (1.0 + zc.abs()),
+                    "K={k} rho={rho} branch {j}: cold {zc:?} vs warm {zw:?}"
+                );
+            }
+            prev = Some(warm);
+        }
+    }
+}
+
+/// Regression: continuation never permutes roots across branches. Fine
+/// steps up to ρ = 0.999 — the regime where the roots crowd toward the
+/// unit circle and a sloppy seed could plausibly hop basins — checking
+/// that each warm root's nearest cold root is its own branch index.
+#[test]
+fn continuation_never_crosses_roots() {
+    for &k in &[3u32, 9, 16] {
+        let mut prev: Option<DekSolution> = None;
+        let mut loads: Vec<f64> = (1..=18).map(|i| 0.05 * i as f64).collect();
+        loads.extend([0.96, 0.97, 0.98, 0.99, 0.995, 0.999]);
+        for &rho in &loads {
+            let cold = DekSolution::solve(k, rho).expect("cold solve");
+            let warm = DekSolution::solve_warm(k, rho, prev.as_ref()).expect("warm solve");
+            for (j, &zw) in warm.zetas().iter().enumerate() {
+                let nearest = nearest_index(zw, &cold);
+                assert_eq!(
+                    nearest, j,
+                    "K={k} rho={rho}: warm branch {j} landed nearest cold branch {nearest}"
+                );
+            }
+            prev = Some(warm);
+        }
+    }
+}

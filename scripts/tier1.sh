@@ -27,7 +27,10 @@ else
 fi
 
 # Metrics smoke: the observability layer must produce parseable JSON with
-# live solver counters from a real (tiny) sweep run.
+# live solver counters from a real (tiny) sweep run. The CLI sweep runs
+# the batch engine config, so the continuation ζ solver must show up:
+# warm solves outnumbering cold solves is the live form of the reduced
+# per-cell Newton-polish ratio the batch path exists to deliver.
 METRICS_TMP="$(mktemp /tmp/fpsping-metrics.XXXXXX.json)"
 trap 'rm -f "$METRICS_TMP"' EXIT
 ./target/release/fpsping-cli sweep --metrics-out "$METRICS_TMP" >/dev/null
@@ -39,12 +42,51 @@ assert snap["schema"] == "fpsping-obs/1", snap.get("schema")
 counters = snap["counters"]
 assert any(k.startswith("num.roots.") and v > 0 for k, v in counters.items()), \
     "no live num.roots.* counter in metrics JSON"
-print("tier-1: metrics smoke OK (%d counters)" % len(counters))
+warm = counters.get("queue.dek1.zeta.warm_solves", 0)
+cold = counters.get("queue.dek1.zeta.cold_solves", 0)
+assert warm > 0, "batch engine sweep recorded no queue.dek1.zeta.warm_solves"
+assert warm > cold, \
+    "continuation not engaging: warm_solves=%d <= cold_solves=%d" % (warm, cold)
+print("tier-1: metrics smoke OK (%d counters; zeta warm/cold = %d/%d)"
+      % (len(counters), warm, cold))
 PY
 else
     grep -q '"schema": "fpsping-obs/1"' "$METRICS_TMP"
     grep -q '"num\.roots\.' "$METRICS_TMP"
+    grep -q '"queue\.dek1\.zeta\.warm_solves"' "$METRICS_TMP"
     echo "tier-1: metrics smoke OK (grep fallback)"
+fi
+
+# Cold-batch bench contract: the checked-in BENCH_sweep.json must carry
+# the batch-solver counter fields, stay inside the engine's documented
+# batch tolerance, and show the batched cold path doing strictly less
+# Newton-polish work per cell than the serial baseline.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_sweep.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for field in ("batch_rtt_tolerance_ms", "max_abs_delta_bit_exact",
+              "max_abs_delta_vs_serial", "engine_cold_1job_cells_per_sec",
+              "cold_speedup_vs_serial_1job",
+              "zeta_serial_cold_solves", "zeta_serial_polish_steps_per_cell",
+              "zeta_batch_cold_solves", "zeta_batch_warm_solves",
+              "zeta_batch_warm_fallbacks", "zeta_batch_polish_steps_per_cell"):
+    assert field in b, "BENCH_sweep.json missing %r" % field
+assert b["max_abs_delta_bit_exact"] == 0.0, b["max_abs_delta_bit_exact"]
+assert b["max_abs_delta_vs_serial"] <= b["batch_rtt_tolerance_ms"], \
+    (b["max_abs_delta_vs_serial"], b["batch_rtt_tolerance_ms"])
+assert b["zeta_batch_warm_solves"] > 0, "no warm solves in batch window"
+assert b["zeta_batch_polish_steps_per_cell"] < b["zeta_serial_polish_steps_per_cell"], \
+    "batch polish/cell %.3f not below serial %.3f" % (
+        b["zeta_batch_polish_steps_per_cell"], b["zeta_serial_polish_steps_per_cell"])
+print("tier-1: BENCH_sweep.json cold-batch OK (polish/cell %.3f -> %.3f, "
+      "delta %.2e <= tol %.0e)"
+      % (b["zeta_serial_polish_steps_per_cell"], b["zeta_batch_polish_steps_per_cell"],
+         b["max_abs_delta_vs_serial"], b["batch_rtt_tolerance_ms"]))
+PY
+else
+    grep -q '"zeta_batch_polish_steps_per_cell"' BENCH_sweep.json
+    echo "tier-1: BENCH_sweep.json cold-batch OK (grep fallback)"
 fi
 
 echo "tier-1: OK"
