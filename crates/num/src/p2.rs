@@ -54,37 +54,35 @@ impl P2Quantile {
 
     /// Feeds one observation. Panics on NaN — a NaN marker height would
     /// silently corrupt every subsequent parabolic update.
+    ///
+    /// `#[inline]` because this is the per-sample hot path of the
+    /// simulator's streaming delay probes, which live in another crate:
+    /// the workspace builds without LTO, so without the hint every
+    /// recorded delay pays a cross-crate call for ~30 arithmetic ops.
+    /// The sub-5-observation bootstrap is split into a cold helper so
+    /// the inlined body stays small.
+    #[inline]
     pub fn record(&mut self, x: f64) {
         assert!(!x.is_nan(), "P2Quantile: NaN observation");
         self.count += 1;
         if self.init.len() < 5 {
-            self.init.push(x);
-            if self.init.len() == 5 {
-                self.init.sort_by(f64::total_cmp);
-                for i in 0..5 {
-                    self.q[i] = self.init[i];
-                }
-            }
+            self.record_init(x);
             return;
         }
-        // Locate the cell and update extreme markers.
-        let k = if x < self.q[0] {
+        // Update extreme markers, then locate the cell branchlessly:
+        // the three comparisons sum to the same k as the textbook
+        // if-chain (x < q0 implies x < q1, x > q4 implies x >= q3), but
+        // on random data the chain's branches mispredict constantly and
+        // dominate the per-sample cost.
+        if x < self.q[0] {
             self.q[0] = x;
-            0
-        } else if x < self.q[1] {
-            0
-        } else if x < self.q[2] {
-            1
-        } else if x < self.q[3] {
-            2
-        } else if x <= self.q[4] {
-            3
-        } else {
+        } else if x > self.q[4] {
             self.q[4] = x;
-            3
-        };
-        for i in (k + 1)..5 {
-            self.n[i] += 1.0;
+        }
+        let k = (x >= self.q[1]) as usize + (x >= self.q[2]) as usize + (x >= self.q[3]) as usize;
+        for i in 1..5 {
+            // Adding 0.0 or 1.0: exact, and branch-free.
+            self.n[i] += (i > k) as u64 as f64;
         }
         for i in 0..5 {
             self.np[i] += self.dn[i];
@@ -107,6 +105,21 @@ impl P2Quantile {
         }
     }
 
+    /// The first five observations, before the marker structure exists.
+    /// Runs five times per estimator lifetime — kept out of line so the
+    /// inlined `record` body is just the steady-state marker update.
+    #[cold]
+    fn record_init(&mut self, x: f64) {
+        self.init.push(x);
+        if self.init.len() == 5 {
+            self.init.sort_by(f64::total_cmp);
+            for i in 0..5 {
+                self.q[i] = self.init[i];
+            }
+        }
+    }
+
+    #[inline]
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (qm, qi, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
         let (nm, ni, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
@@ -114,6 +127,7 @@ impl P2Quantile {
             * ((ni - nm + d) * (qp - qi) / (np - ni) + (np - ni - d) * (qi - qm) / (ni - nm))
     }
 
+    #[inline]
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = if d > 0.0 { i + 1 } else { i - 1 };
         self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])

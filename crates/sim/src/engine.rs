@@ -347,8 +347,9 @@ where
 
 /// Maps `f` over `0..n` on `jobs` scoped threads, contiguous chunks,
 /// results in index order. `f` runs exactly once per index; which thread
-/// runs it never affects the output vector's order.
-fn par_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+/// runs it never affects the output vector's order. Shared with the
+/// scale engine, whose shards are jobs over DSLAM indices.
+pub(crate) fn par_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

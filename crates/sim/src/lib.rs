@@ -26,6 +26,8 @@
 //!
 //! * [`time`] — integer-nanosecond virtual time (no float drift in the
 //!   event clock),
+//! * [`calendar`] — the pending-event set: binary-heap and O(1)
+//!   bucket-ring backends behind one enum, bit-identical event order,
 //! * [`packet`] — packets and traffic classes,
 //! * [`scheduler`] — FIFO, non-preemptive HoL priority, and WFQ service
 //!   disciplines (the Section-1 discussion),
@@ -38,21 +40,28 @@
 //! * [`rng`] — batched RNG draws with a sequence-exactness guarantee,
 //! * [`engine`] — the replicated-simulation engine: R independent
 //!   replications across threads, deterministic per-replication seeds,
-//!   merged estimates with 95% confidence intervals.
+//!   merged estimates with 95% confidence intervals,
+//! * [`scale`] — the sharded scale engine: N = 10⁵–10⁶ players across
+//!   per-DSLAM subtrees feeding a core link, deterministic across shard
+//!   counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod link;
 pub mod network;
 pub mod packet;
 pub mod probe;
 pub mod rng;
+pub mod scale;
 pub mod scheduler;
 pub mod time;
 
+pub use calendar::{Calendar, CalendarKind, CalendarStats};
 pub use engine::{MergedProbe, ReplicatedReport, SimEngine, SimEngineConfig};
 pub use network::{BurstSizing, NetworkConfig, SimReport};
 pub use packet::{Packet, TrafficClass};
+pub use scale::{ScaleConfig, ScaleEngine, ScaleReport};
 pub use time::SimTime;

@@ -2,9 +2,11 @@
 //! node, a bottleneck link `C` to the game server, and the mirrored
 //! downstream path.
 //!
-//! The event loop is a classic calendar-queue DES: a binary heap of
-//! `(time, seq)`-ordered events, links as store-and-forward servers, and
-//! probes recording the delays the paper's model predicts —
+//! The event loop is a classic calendar DES: `(time, seq)`-ordered events
+//! in a [`CalendarKind`] backend (binary heap or O(1)-amortized bucket
+//! ring — both pop in the identical total order), links as
+//! store-and-forward servers, and probes recording the delays the
+//! paper's model predicts —
 //!
 //! * `agg_wait` — queueing delay at the aggregation node onto `C`
 //!   (the N·D/D/1 → M/G/1 quantity of §3.1),
@@ -18,6 +20,7 @@
 //!   (includes the tick-alignment wait the analytic model deliberately
 //!   excludes).
 
+use crate::calendar::{Calendar, CalendarKind, Scheduled};
 use crate::link::{Link, LinkAction};
 use crate::packet::{Packet, TrafficClass};
 use crate::probe::{DelayProbe, ProbeSummary};
@@ -26,8 +29,6 @@ use crate::scheduler::Discipline;
 use crate::time::SimTime;
 use fpsping_dist::{uniform01, Distribution};
 use fpsping_obs::{Counter, Histogram};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 static EVENTS: Counter = Counter::new("sim.events");
 static PACKETS_UP: Counter = Counter::new("sim.packets.up");
@@ -37,6 +38,14 @@ static REPLICATION_WALL_US: Histogram = Histogram::new("sim.replication.wall_us"
 /// The quantile levels every [`SimReport`] exports (and the levels a
 /// streaming-mode probe tracks).
 pub const QUANTILE_LEVELS: [f64; 6] = [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999];
+
+/// Above this many clients, probes switch to streaming (P²) quantiles
+/// automatically even when `stream_quantiles` is off: the eager
+/// per-packet sample vectors are the dominant allocation at scale
+/// (~48 B/packet across the probes — gigabytes at N = 10⁵–10⁶ over a
+/// realistic duration), and truncating at `max_samples` would silently
+/// bias the quantiles instead. The switch is announced via `warn_once`.
+pub const AUTO_STREAM_CLIENTS: usize = 10_000;
 
 /// Background elastic traffic on the bottleneck links (Section 1's
 /// competing TCP-like class), modeled as Poisson arrivals of fixed-size
@@ -146,6 +155,11 @@ pub struct NetworkConfig {
     /// Random extra delay (ms) added to each packet on the access
     /// downlinks — the artificial jitter of the paper's reference [23].
     pub downlink_jitter_ms: Option<Box<dyn Distribution>>,
+    /// Event-calendar backend. Both pop events in the identical
+    /// `(time, seq)` order (pinned by the golden-parity tests), so this
+    /// is purely a performance choice; [`Calendar::Bucket`] is O(1)
+    /// amortized and the default.
+    pub calendar: Calendar,
 }
 
 impl NetworkConfig {
@@ -180,6 +194,7 @@ impl NetworkConfig {
             client_overrides: None,
             capture_trace: false,
             downlink_jitter_ms: None,
+            calendar: Calendar::Bucket,
         }
     }
 }
@@ -271,33 +286,10 @@ enum Ev {
     BgEmit(usize),
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The running simulation.
 ///
 /// The event loop is allocation-free in steady state: packets are `Copy`
-/// and live inline in the calendar heap's `Scheduled` entries (the heap
+/// and live inline in the calendar's `Scheduled` entries (the calendar
 /// itself is the event pool — preallocated, and `pop`/`push` recycle its
 /// storage), link queues sit inline in their links behind enum dispatch,
 /// and the per-tick burst scratch (`tick_order`/`tick_sizes`) is reused
@@ -306,7 +298,7 @@ impl Ord for Scheduled {
 pub struct Network {
     cfg: NetworkConfig,
     links: Vec<Link>,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    calendar: CalendarKind<Ev>,
     seq: u64,
     now: SimTime,
     rng: BatchRng,
@@ -343,9 +335,20 @@ impl Network {
     }
 
     /// Builds the network and seeds the initial events.
-    pub fn new(cfg: NetworkConfig) -> Self {
+    pub fn new(mut cfg: NetworkConfig) -> Self {
         assert!(cfg.n_clients >= 1, "need at least one client");
         assert!(cfg.tick_ms > 0.0, "tick must be positive");
+        if !cfg.stream_quantiles && cfg.n_clients > AUTO_STREAM_CLIENTS {
+            fpsping_obs::warn_once(
+                "sim.probe.auto_stream",
+                &format!(
+                    "n_clients = {} exceeds AUTO_STREAM_CLIENTS = {AUTO_STREAM_CLIENTS}; \
+                     switching probes to streaming (P²) quantiles to bound memory",
+                    cfg.n_clients
+                ),
+            );
+            cfg.stream_quantiles = true;
+        }
         if let Some(ov) = &cfg.client_overrides {
             assert_eq!(
                 ov.len(),
@@ -357,13 +360,18 @@ impl Network {
                 "override values must be positive"
             );
         }
+        // Exactly 2N + 2 links, fixed at construction — never per-packet.
         let mut links = Vec::with_capacity(2 * cfg.n_clients + 2);
         for _ in 0..cfg.n_clients {
+            // lint:allow(unbounded_push): one uplink per client, fixed at construction
             links.push(Link::new(cfg.r_up_bps, SimTime::ZERO, Discipline::Fifo));
         }
+        // lint:allow(unbounded_push): one aggregation link, fixed at construction
         links.push(Link::new(cfg.c_bps, SimTime::ZERO, cfg.discipline)); // up agg
+                                                                         // lint:allow(unbounded_push): one server-side link, fixed at construction
         links.push(Link::new(cfg.c_bps, SimTime::ZERO, cfg.discipline)); // down srv
         for _ in 0..cfg.n_clients {
+            // lint:allow(unbounded_push): one downlink per client, fixed at construction
             links.push(Link::new(cfg.r_down_bps, SimTime::ZERO, Discipline::Fifo));
         }
         let max_samples = cfg.max_samples;
@@ -376,13 +384,23 @@ impl Network {
                 DelayProbe::new(max_samples, &thr)
             }
         };
+        // The longest routine look-ahead any handler schedules: the next
+        // emit one interval (or tick) out. Background exponential gaps
+        // occasionally exceed it — the bucket backend spills those.
+        let mut lookahead_ms = cfg.tick_ms.max(cfg.client_interval_ms.mean());
+        if let Some(ov) = &cfg.client_overrides {
+            for &(interval, _) in ov {
+                lookahead_ms = lookahead_ms.max(interval);
+            }
+        }
+        let horizon = SimTime::from_millis(4.0 * lookahead_ms);
         let mut net = Self {
             rng: BatchRng::seed_from_u64(cfg.seed),
             links,
             // Steady state holds at most a handful of events per link
             // (one completion or delivery in flight) plus one emit per
-            // source; preallocate so the heap never grows mid-run.
-            heap: BinaryHeap::with_capacity(4 * n + 64),
+            // source; preallocate so the calendar never grows mid-run.
+            calendar: cfg.calendar.build(4 * n + 64, horizon),
             seq: 0,
             now: SimTime::ZERO,
             upstream_delay: probe(),
@@ -417,13 +435,14 @@ impl Network {
         net
     }
 
+    #[inline]
     fn schedule(&mut self, time: SimTime, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
+        self.calendar.push(Scheduled {
             time,
             seq: self.seq,
             ev,
-        }));
+        });
     }
 
     fn offer(&mut self, link: usize, p: Packet) {
@@ -449,7 +468,7 @@ impl Network {
         let _wall = REPLICATION_WALL_US.start_timer();
         let _span = fpsping_obs::span("sim.replication");
         let end = self.cfg.duration;
-        while let Some(Reverse(s)) = self.heap.pop() {
+        while let Some(s) = self.calendar.pop() {
             if s.time > end {
                 break;
             }
@@ -463,6 +482,7 @@ impl Network {
                 Ev::BgEmit(l) => self.on_bg_emit(l),
             }
         }
+        self.calendar.stats().flush_obs();
         EVENTS.add(self.events);
         PACKETS_UP.add(self.packets_up);
         PACKETS_DOWN.add(self.packets_down);
@@ -488,6 +508,7 @@ impl Network {
 
     fn capture(&mut self, direction: fpsping_traffic::Direction, p: &Packet) {
         if self.cfg.capture_trace && self.warm() {
+            // lint:allow(unbounded_push): opt-in trace capture for short calibration runs — documented per-packet growth, off by default
             self.captured.push(fpsping_traffic::PacketRecord {
                 time_ms: self.now.as_millis(),
                 size_bytes: p.size_bytes,
@@ -537,8 +558,9 @@ impl Network {
         match self.cfg.burst_sizing {
             BurstSizing::IidPerPacket => {
                 for _ in 0..n {
-                    self.tick_sizes
-                        .push(self.cfg.server_packet_bytes.sample(&mut self.rng).max(1.0));
+                    let size = self.cfg.server_packet_bytes.sample(&mut self.rng).max(1.0);
+                    // lint:allow(unbounded_push): cleared each tick and capped at one entry per client
+                    self.tick_sizes.push(size);
                 }
             }
             BurstSizing::ErlangBurst { k } => {
@@ -711,6 +733,53 @@ mod tests {
         );
         assert!(rep.packets_upstream > 0);
         assert!(rep.events > rep.packets_downstream);
+    }
+
+    #[test]
+    fn calendar_backends_are_bit_identical() {
+        // The exact-parity contract: heap and bucket calendars pop the
+        // same (time, seq) total order, so whole-run results match bit
+        // for bit — including under background traffic, whose
+        // exponential gaps exercise the bucket backend's spill path.
+        let mk = |calendar| {
+            let mut cfg = small_cfg(12, 125.0, 40.0, 9);
+            cfg.calendar = calendar;
+            cfg.background = Some(BackgroundConfig {
+                load: 0.3,
+                packet_bytes: 1500.0,
+            });
+            cfg.run()
+        };
+        let heap = mk(Calendar::Heap);
+        let bucket = mk(Calendar::Bucket);
+        assert_eq!(heap.events, bucket.events);
+        assert_eq!(heap.packets_downstream, bucket.packets_downstream);
+        assert_eq!(
+            heap.downstream_delay.mean_s.to_bits(),
+            bucket.downstream_delay.mean_s.to_bits()
+        );
+        assert_eq!(
+            heap.ping_rtt.mean_s.to_bits(),
+            bucket.ping_rtt.mean_s.to_bits()
+        );
+        assert_eq!(
+            heap.downstream_delay.quantiles,
+            bucket.downstream_delay.quantiles
+        );
+    }
+
+    #[test]
+    fn auto_stream_switch_above_threshold() {
+        // A config just above the threshold must not allocate raw sample
+        // vectors; the report still carries quantiles (from P² markers).
+        let mut cfg = small_cfg(AUTO_STREAM_CLIENTS + 1, 125.0, 40.0, 10);
+        cfg.c_bps = 600_000_000.0; // keep the bottleneck uncongested
+        cfg.duration = SimTime::from_secs(1.2);
+        cfg.warmup = SimTime::from_secs(0.2);
+        assert!(!cfg.stream_quantiles);
+        let rep = cfg.run();
+        assert!(rep.packets_upstream > 0);
+        assert!(rep.upstream_delay.quantiles[0].1 > 0.0);
     }
 
     #[test]

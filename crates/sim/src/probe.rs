@@ -99,6 +99,7 @@ impl DelayProbe {
                     if *sorted {
                         *sorted = samples.last().is_none_or(|&l| l <= delay_s);
                     }
+                    // lint:allow(unbounded_push): the eager-probe path — capped at max_samples, overflow counted in `skipped`
                     samples.push(delay_s);
                 } else {
                     self.skipped += 1;

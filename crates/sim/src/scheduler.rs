@@ -214,6 +214,9 @@ pub enum Discipline {
 /// the hot loop. [`SchedulerKind`] implements [`Scheduler`], so code
 /// written against the trait — including everything that called the old
 /// boxed builder — compiles unchanged.
+///
+/// The event calendar uses the same closed-set enum-dispatch pattern:
+/// see [`crate::calendar::CalendarKind`].
 #[derive(Debug)]
 pub enum SchedulerKind {
     /// First-in first-out.

@@ -15,6 +15,17 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// From integer nanoseconds (exact).
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// As integer nanoseconds (exact) — what the calendar queue's bucket
+    /// arithmetic runs on.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
     /// From seconds (rounds to the nearest nanosecond).
     pub fn from_secs(s: f64) -> Self {
         assert!(
@@ -94,6 +105,8 @@ mod tests {
         assert!((t.as_millis() - 47.0).abs() < 1e-12);
         assert!((t.as_secs() - 0.047).abs() < 1e-15);
         assert_eq!(SimTime::from_micros(1.5).0, 1_500);
+        assert_eq!(SimTime::from_nanos(250).as_nanos(), 250);
+        assert_eq!(SimTime::from_nanos(47_000_000), t);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | L06  | a first-party `lib.rs` missing `#![forbid(unsafe_code)]` |
 //! | L07  | `std::process::exit` outside `src/bin` |
 //! | L08  | direct `std::time::Instant` in library crates outside `crates/obs` |
+//! | L09  | `.push(…)` onto a growable buffer in `crates/sim` library code without a documented size bound (pending-event queues exempt) |
 //!
 //! Individual findings are silenced inline with
 //! `// lint:allow(<slug>): <non-empty reason>` on the same or preceding
@@ -59,6 +60,8 @@ pub enum Rule {
     L07,
     /// Direct `std::time::Instant` in a library crate outside `crates/obs`.
     L08,
+    /// Undocumented growable-buffer `.push(…)` in `crates/sim` library code.
+    L09,
     /// A waiver (inline or baseline) with an empty justification.
     W01,
 }
@@ -75,6 +78,7 @@ impl Rule {
             Rule::L06 => "forbid_unsafe",
             Rule::L07 => "process_exit",
             Rule::L08 => "instant",
+            Rule::L09 => "unbounded_push",
             Rule::W01 => "waiver",
         }
     }
@@ -90,6 +94,7 @@ impl Rule {
             "L06" | "forbid_unsafe" => Some(Rule::L06),
             "L07" | "process_exit" => Some(Rule::L07),
             "L08" | "instant" => Some(Rule::L08),
+            "L09" | "unbounded_push" => Some(Rule::L09),
             "W01" | "waiver" => Some(Rule::W01),
             _ => None,
         }

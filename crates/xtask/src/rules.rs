@@ -1,4 +1,4 @@
-//! The domain lint rules (L01–L08) and the inline-waiver mechanism.
+//! The domain lint rules (L01–L09) and the inline-waiver mechanism.
 
 use crate::classify::FileClass;
 use crate::lexer::{lex, test_regions, LexedLine};
@@ -31,6 +31,9 @@ pub fn check_file(rel_path: &str, source: &str, class: &FileClass) -> (Vec<Findi
                     message: "`std::process::exit` outside `src/bin` — return an error instead"
                         .into(),
                 });
+            }
+            if class.crate_dir == "sim" && !class.is_bin {
+                check_l09(rel_path, lineno, code, &mut raw);
             }
             if !class.is_bin
                 && class.crate_dir != "obs"
@@ -314,6 +317,42 @@ fn check_l04(file: &str, lineno: usize, code: &str, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------- L09 --
+
+/// Receiver-name suffixes that denote pending-event / k-way-merge
+/// queues, whose size is the pending-event set the simulator bounds by
+/// construction — pushes there are not sample-buffer growth. Like L01,
+/// a high-precision name heuristic, not a type checker.
+const L09_BOUNDED_RECEIVERS: &[&str] = &["calendar", "heap", "bucket", "overflow", "heads"];
+
+/// Per-packet `Vec` growth is how a 10⁶-player scale run OOMs: every
+/// sample buffer in `crates/sim` must either stream (probes), recycle
+/// (ring buckets), or carry a waiver documenting its size bound — the
+/// eager-probe path and the core-stage hand-off buffer are the two
+/// documented ones.
+fn check_l09(file: &str, lineno: usize, code: &str, out: &mut Vec<Finding>) {
+    let needle = ".push(";
+    let mut start = 0;
+    while let Some(p) = code[start..].find(needle) {
+        let abs = start + p;
+        let recv = trailing_token(&code[..abs]);
+        let last = recv.rsplit(['.', ':']).next().unwrap_or(recv);
+        if !L09_BOUNDED_RECEIVERS.contains(&last) {
+            out.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: Rule::L09,
+                message: format!(
+                    "`{last}.push(…)` grows a buffer in simulator library code — per-packet \
+                     growth is unbounded at scale; stream/bound it, or document the size bound \
+                     with `// lint:allow(unbounded_push): <bound>`"
+                ),
+            });
+        }
+        start = abs + needle.len();
+    }
+}
+
 // ---------------------------------------------------------------- L05 --
 
 /// Doc-contract keywords: one of these (case-insensitive) in the doc
@@ -523,6 +562,49 @@ mod tests {
                    fn a() { let t = std::time::Instant::now(); }\n";
         let (f, waived) = check_file("crates/sim/src/x.rs", src, &classify("crates/sim/src/x.rs"));
         assert!(f.iter().all(|f| f.rule != Rule::L08));
+        assert_eq!(waived, 1);
+    }
+
+    #[test]
+    fn l09_flags_buffer_push_in_sim_library_code_only() {
+        let src = "fn a(&mut self, x: f64) { self.samples.push(x); }\n";
+        let f = lint("crates/sim/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == Rule::L09));
+        // Other crates, bins, and tests are out of scope.
+        assert!(lint("crates/queue/src/x.rs", src).is_empty());
+        assert!(lint("crates/sim/src/bin/x.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn a(v: &mut Vec<f64>) { v.push(1.0); }\n}\n";
+        assert!(lint("crates/sim/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn l09_exempts_pending_event_queues() {
+        for src in [
+            "fn a(&mut self) { self.calendar.push(s); }\n",
+            "fn a(&mut self) { heap.push(Reverse(s)); }\n",
+            "fn a(&mut self) { self.overflow.push(Reverse(s)); }\n",
+            "fn a(&mut self) { heads.push(Reverse((t, i))); }\n",
+            "fn a(&mut self) { bucket.push(s); }\n",
+        ] {
+            assert!(
+                lint("crates/sim/src/x.rs", src).is_empty(),
+                "false positive on {src}"
+            );
+        }
+        // `push_str` and similar are not `.push(`.
+        assert!(lint(
+            "crates/sim/src/x.rs",
+            "fn a(s: &mut String) { s.push_str(\"x\"); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l09_waiver_with_bound_silences() {
+        let src = "// lint:allow(unbounded_push): one entry per client, fixed at construction\n\
+                   fn a(&mut self) { self.links.push(link); }\n";
+        let (f, waived) = check_file("crates/sim/src/x.rs", src, &classify("crates/sim/src/x.rs"));
+        assert!(f.iter().all(|f| f.rule != Rule::L09));
         assert_eq!(waived, 1);
     }
 

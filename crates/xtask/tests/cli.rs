@@ -121,6 +121,17 @@ fn l08_fixture_is_clean_in_obs_and_bins() {
 }
 
 #[test]
+fn l09_fixture_flags_buffer_push_in_sim_only() {
+    let out = lint_fixture("l09_unbounded_push.rs", "crates/sim/src/fixture.rs");
+    assert_finding(&out, "L09", "crates/sim/src/fixture.rs", 4);
+    // The rule is scoped to the simulator crate's library code.
+    let out = lint_fixture("l09_unbounded_push.rs", "crates/queue/src/fixture.rs");
+    assert_eq!(out.status.code(), Some(0));
+    let out = lint_fixture("l09_unbounded_push.rs", "crates/sim/src/bin/fixture.rs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
 fn fixture_findings_survive_into_json() {
     let out = xtask()
         .args(["lint", "--file"])

@@ -1,0 +1,9 @@
+//! Fixture for L09: per-packet buffer growth in simulator library code.
+
+pub fn record(samples: &mut Vec<f64>, delay_s: f64) {
+    samples.push(delay_s);
+}
+
+pub fn schedule(calendar: &mut PendingEvents, ev: Scheduled) {
+    calendar.push(ev); // pending-event set — exempt, not flagged
+}

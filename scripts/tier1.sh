@@ -89,4 +89,68 @@ else
     echo "tier-1: BENCH_sweep.json cold-batch OK (grep fallback)"
 fi
 
+# Scale bench contract: the checked-in BENCH_scale.json must carry the
+# determinism flags and a sane curve — event totals strictly monotone in
+# N, the N=10⁶ point present under the ~2 GiB peak-RSS bound, and the
+# calendar-vs-heap trace replay at its >=2x acceptance figure.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_scale.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for field in ("shard_merge_deterministic", "calendar_parity", "curve",
+              "events_monotone_vs_n", "peak_rss_mib_max",
+              "calendar_speedup_vs_heap"):
+    assert field in b, "BENCH_scale.json missing %r" % field
+assert "bit-identical" in b["shard_merge_deterministic"], b["shard_merge_deterministic"]
+assert b["events_monotone_vs_n"] is True
+curve = b["curve"]
+ns = [pt["n"] for pt in curve]
+events = [pt["events"] for pt in curve]
+assert ns == sorted(ns) and len(set(ns)) == len(ns), "curve N not ascending: %r" % ns
+assert all(a < b_ for a, b_ in zip(events, events[1:])), \
+    "event totals not monotone vs N: %r" % events
+assert ns[-1] >= 1_000_000, "curve does not reach N=1e6: %r" % ns
+assert b["peak_rss_mib_max"] < 2048, b["peak_rss_mib_max"]
+assert b["calendar_speedup_vs_heap"] >= 2.0, b["calendar_speedup_vs_heap"]
+print("tier-1: BENCH_scale.json OK (N=%d at %.0f MiB peak, calendar %.2fx vs heap)"
+      % (ns[-1], b["peak_rss_mib_max"], b["calendar_speedup_vs_heap"]))
+PY
+else
+    grep -q '"shard_merge_deterministic": "bit-identical' BENCH_scale.json
+    grep -q '"events_monotone_vs_n": true' BENCH_scale.json
+    grep -q '"n": 1000000' BENCH_scale.json
+    echo "tier-1: BENCH_scale.json OK (grep fallback)"
+fi
+
+# Scale smoke: a fast N=10⁴ run (3 DSLAMs) must produce byte-identical
+# CLI output across --shards 1 and --shards 2 — the sharding knob is
+# worker parallelism only — and its metrics snapshot must show the
+# bucket calendar doing real work.
+SCALE_METRICS="$(mktemp /tmp/fpsping-scale-metrics.XXXXXX.json)"
+SCALE_OUT1="$(mktemp /tmp/fpsping-scale-out1.XXXXXX)"
+SCALE_OUT2="$(mktemp /tmp/fpsping-scale-out2.XXXXXX)"
+trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2"' EXIT
+./target/release/fpsping-cli sim --scale-n 10000 --shards 1 --sim-seconds 2 \
+    > "$SCALE_OUT1"
+./target/release/fpsping-cli sim --scale-n 10000 --shards 2 --sim-seconds 2 \
+    --metrics-out "$SCALE_METRICS" > "$SCALE_OUT2"
+diff "$SCALE_OUT1" "$SCALE_OUT2" || {
+    echo "tier-1: scale report differs between --shards 1 and --shards 2"
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SCALE_METRICS" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+counters = snap["counters"]
+enq = counters.get("sim.calendar.enqueues", 0)
+assert enq > 0, "scale smoke recorded no sim.calendar.enqueues"
+assert counters.get("sim.scale.events", 0) > 0, "no sim.scale.events counter"
+print("tier-1: scale smoke OK (shard-invariant report; %d calendar enqueues)" % enq)
+PY
+else
+    grep -q '"sim\.calendar\.enqueues"' "$SCALE_METRICS"
+    echo "tier-1: scale smoke OK (grep fallback)"
+fi
+
 echo "tier-1: OK"

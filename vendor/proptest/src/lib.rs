@@ -15,8 +15,12 @@
 //!   cases on every invocation (no persistence files needed; any
 //!   `*.proptest-regressions` files are ignored).
 //! * Only the strategies this workspace uses are implemented: `Range`
-//!   and `RangeInclusive` over the primitive numeric types, and
-//!   `prop::collection::vec` with a `Range<usize>` length.
+//!   and `RangeInclusive` over the primitive numeric types,
+//!   `prop::collection::vec` with a `Range<usize>` length, [`Just`],
+//!   [`Strategy::prop_map`], and the [`prop_oneof!`] weighted union.
+//!
+//! [`Just`]: strategy::Just
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +36,87 @@ pub mod strategy {
         type Value: std::fmt::Debug;
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies of one value type — the
+    /// expansion target of [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `(weight, strategy)` arms; weights must not all
+        /// be zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof!: all weights are zero");
+            Self { arms, total }
+        }
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("arms", &self.arms.len())
+                .field("total", &self.total)
+                .finish()
+        }
+    }
+
+    impl<V: std::fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick exceeds total weight");
+        }
     }
 
     impl Strategy for Range<f64> {
@@ -236,9 +321,9 @@ pub mod test_runner {
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude::*`.
 
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     /// The `prop::` path used by prelude gluers (`prop::collection::vec`).
     pub mod prop {
@@ -359,6 +444,22 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type: `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+}
+
 /// Discards the current case (without counting it) when the precondition
 /// is false.
 #[macro_export]
@@ -424,5 +525,42 @@ mod tests {
             prop_assert!(v.iter().all(|u| (0.0..1.0).contains(u)));
             prop_assert_eq!(v.len(), v.iter().count());
         }
+
+        /// `Just`, `prop_map`, and weighted/unweighted unions compose.
+        #[test]
+        fn union_map_and_just_compose(
+            tagged in prop_oneof![
+                3 => (0u64..10).prop_map(|n| (false, n)),
+                1 => Just((true, 99u64)),
+            ],
+            flat in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            let (is_just, n) = tagged;
+            prop_assert!(
+                if is_just { n == 99u64 } else { n < 10u64 },
+                "tag/value mismatch: ({is_just}, {n})"
+            );
+            prop_assert!(flat == 1u8 || flat == 2u8);
+        }
+    }
+
+    #[test]
+    fn union_weights_bias_the_draw() {
+        use crate::strategy::{Just, Strategy, Union};
+        let s: Union<u8> = Union::new(vec![
+            (9, Box::new(Just(0u8)) as _),
+            (1, Box::new(Just(1u8)) as _),
+        ]);
+        let mut rng = crate::test_runner::TestRng::new(42);
+        let ones: u32 = (0..10_000).map(|_| u32::from(s.generate(&mut rng))).sum();
+        // ~10% ± a comfortable band.
+        assert!((500..2_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn union_rejects_zero_total_weight() {
+        use crate::strategy::{Just, Union};
+        let _ = Union::new(vec![(0, Box::new(Just(0u8)) as _)]);
     }
 }
