@@ -506,7 +506,9 @@ fn run(quick: bool) {
         json,
         "  \"poisson_note\": \"poisson_mdd1_wait_ratio = measured core wait / exact M/D/1 mean \
          wait at the measured arrival rate; the paper's Poisson-limit claim says it approaches 1 \
-         as DSLAM count grows\""
+         as DSLAM count grows. The approach is not monotone: mid-size superpositions of \
+         link-regularized DSLAM output streams under-disperse hardest on the core's service \
+         timescale (dip analysis: scale_warmup bin + EXPERIMENTS.md)\""
     );
     json.push_str("}\n");
 

@@ -1,0 +1,113 @@
+//! Reproduces and dissects the non-monotone `poisson_mdd1_wait_ratio`
+//! dip at N = 100 000 in `BENCH_scale.json` (0.67 between 0.88 at
+//! N = 10⁴ and 0.91 at N = 10⁶).
+//!
+//! The paper's §3.1 Poisson-limit claim is asymptotic in the number of
+//! superposed streams: as the DSLAM count D grows, the core link's
+//! arrival process approaches Poisson and the measured mean wait
+//! approaches the exact M/D/1 value. The bench curve samples D = 1, 3,
+//! 25, 245 — and the D = 25 point dips. Two candidate explanations:
+//!
+//! 1. **Measurement artifact** — the warmup discard is too short or the
+//!    measured span too small, so the reported mean still carries the
+//!    transient. If so, the ratio must move as warmup/duration/seed
+//!    vary.
+//! 2. **Structural finite-D effect** — each DSLAM's output stream is
+//!    *regularized* by its bottleneck link (back-to-back departures are
+//!    spaced by the 80 B serialization time, ≈ 4.9 µs at the 4 096
+//!    player DSLAM rate), so a small superposition is *smoother* than
+//!    Poisson on the core's service timescale τ. The dip location then
+//!    tracks where τ crosses that spacing, and the ratio is a function
+//!    of D alone: robust to seed, warmup and duration.
+//!
+//! Output: four CSV sweeps (warmup, duration, seed, DSLAM count) to
+//! stdout. The verdict — documented in `EXPERIMENTS.md` — comes from
+//! which knobs move the ratio and which don't.
+//!
+//! Run: `cargo run --release -p fpsping-bench --bin scale_warmup`
+//! (add `--test` for a single-point smoke).
+
+use fpsping_sim::{ScaleConfig, ScaleEngine, SimTime};
+
+/// The bench's master seed — sweep baselines match `BENCH_scale.json`.
+const MASTER_SEED: u64 = 0x5CA1E;
+
+/// The dipping curve point.
+const N_DIP: usize = 100_000;
+
+/// One measured point: the Poisson ratio plus its ingredients.
+struct Point {
+    ratio: f64,
+    mean_wait_us: f64,
+    mdd1_wait_us: f64,
+    packets: u64,
+    dslams: usize,
+}
+
+fn measure(n: usize, dur_s: f64, warmup_s: f64, seed: u64) -> Point {
+    let mut cfg = ScaleConfig::new(n);
+    cfg.duration = SimTime::from_secs(dur_s);
+    cfg.warmup = SimTime::from_secs(warmup_s);
+    cfg.seed = seed;
+    let rep = ScaleEngine::new(cfg).run();
+    let q = fpsping_queue::mg1::mdd1(rep.core_arrival_rate_hz, rep.core_service_s)
+        .expect("stable M/D/1 operating point");
+    Point {
+        ratio: rep.core_wait.mean_s / q.mean_wait(),
+        mean_wait_us: rep.core_wait.mean_s * 1e6,
+        mdd1_wait_us: q.mean_wait() * 1e6,
+        packets: rep.packets,
+        dslams: rep.dslams,
+    }
+}
+
+fn emit(sweep: &str, knob: &str, value: f64, p: &Point) {
+    println!(
+        "{sweep},{knob},{value},{},{},{:.4},{:.3},{:.3}",
+        p.dslams, p.packets, p.ratio, p.mean_wait_us, p.mdd1_wait_us
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    println!("sweep,knob,value,dslams,packets,poisson_mdd1_wait_ratio,mean_wait_us,mdd1_wait_us");
+
+    if quick {
+        // Smoke: one cheap point, schema only.
+        let p = measure(10_000, 0.5, 0.25, MASTER_SEED);
+        emit("smoke", "duration_s", 0.5, &p);
+        return;
+    }
+
+    // Sweep 1 — warmup at the dipping point (duration fixed at the
+    // bench's 2 s). If the dip is transient leakage, longer warmups
+    // must pull the ratio up toward the large-D values.
+    for warmup_s in [0.1, 0.25, 0.5, 1.0, 1.5] {
+        let p = measure(N_DIP, 2.0, warmup_s, MASTER_SEED);
+        emit("warmup", "warmup_s", warmup_s, &p);
+    }
+
+    // Sweep 2 — measured span (warmup fixed at the bench's 0.5 s). A
+    // transient's weight shrinks as 1/span; a structural ratio holds.
+    for dur_s in [1.0, 2.0, 4.0, 6.0] {
+        let p = measure(N_DIP, dur_s, 0.5, MASTER_SEED);
+        emit("duration", "duration_s", dur_s, &p);
+    }
+
+    // Sweep 3 — seed (the bench's operating point exactly). Spread here
+    // bounds the statistical error bar on the committed 0.67.
+    for (i, seed) in [MASTER_SEED, 1, 2, 3, 4].into_iter().enumerate() {
+        let p = measure(N_DIP, 2.0, 0.5, seed);
+        emit("seed", "seed_index", i as f64, &p);
+    }
+
+    // Sweep 4 — DSLAM count D at fixed per-DSLAM population: the
+    // Poisson-limit abscissa itself, on a finer grid than the bench's
+    // decade curve (sim time scaled so each point costs about the same).
+    for d in [1usize, 3, 6, 12, 25, 50, 98] {
+        let n = d * 4_096;
+        let dur_s = (2.0 * N_DIP as f64 / n as f64).clamp(0.75, 8.0);
+        let p = measure(n, dur_s, 0.5, MASTER_SEED);
+        emit("dslams", "dslams", d as f64, &p);
+    }
+}

@@ -1,0 +1,369 @@
+//! `SharedCache`: an N-way sharded, capacity-bounded concurrent map.
+//!
+//! The engine's solver caches started life as three global
+//! `Mutex<HashMap>`s — correct, but with two scaling problems once the
+//! solver became a long-running query service (`fpsping-serve`):
+//!
+//! 1. **One lock per cache.** Every cell evaluated by every worker
+//!    serialized on the same mutex. Sharding by key hash (power-of-two
+//!    shard count, shard picked from the hash's high bits) keeps the
+//!    per-lookup cost identical while letting concurrent workers touch
+//!    disjoint shards without contention.
+//! 2. **Unbounded memory.** A grid sweep visits a bounded key set, but a
+//!    network-facing query stream does not — an adversarial client
+//!    cycling through fresh `(K, ρ)` cells would grow the maps without
+//!    limit. Each shard therefore holds at most `capacity / shards`
+//!    entries and evicts with CLOCK (second chance): a circular hand
+//!    sweeps the shard's slots, clearing reference bits until it finds an
+//!    unreferenced victim. Hits set the reference bit, so repeatedly-used
+//!    entries survive scans of one-shot keys — the behavior that matters
+//!    under a hot-spot-plus-scan mix, at a fraction of LRU's bookkeeping.
+//!
+//! Eviction is **transparent to correctness**: these caches memoize pure
+//! functions of their keys, so an evicted entry that gets re-solved
+//! reproduces the identical bits (asserted by `tests/cache_eviction.rs`
+//! across random interleavings and by `tests/engine_parity.rs` end to
+//! end). Bounding the cache trades only *time* (re-solves) for *memory*.
+//!
+//! Accounting invariant, asserted by the multi-thread hammer test: every
+//! insert either lands in a free slot, replaces an existing key in
+//! place, or evicts exactly one victim — so at all times
+//! `first_inserts − evictions == occupancy ≤ capacity` (no lost
+//! updates, bounded memory).
+
+use fpsping_obs::lock;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic multiply–mix hasher for the cache's bit-pattern keys.
+///
+/// Two reasons not to use `std`'s `DefaultHasher` (SipHash) here:
+///
+/// * **The lookup is the product.** The cached engine answers a repeat
+///   cell in ~100 ns, and a sharded cache needs the key's hash *twice*
+///   per operation (shard pick + bucket placement, both from one
+///   [`finish`]). SipHashing a multi-word `ScenarioKey` twice is a
+///   measurable fraction of that budget; this mixer is a few cycles per
+///   word plus a SplitMix64-style finalizer for full avalanche (the top
+///   bits select the shard, so they must be as good as the bottom ones).
+/// * **Determinism is a feature.** Keys are already bit patterns of
+///   trusted numeric inputs — there is no hash-flooding adversary inside
+///   the process — and a fixed initial state makes cache layout, and
+///   therefore eviction order, reproducible run to run.
+#[derive(Default)]
+struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(w) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(23);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // SplitMix64 finalizer: avalanche the accumulated state so both
+        // the high (shard) and low (bucket) bits are well distributed.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The deterministic build-hasher used for both shard selection and the
+/// per-shard maps.
+type FixedState = BuildHasherDefault<MixHasher>;
+
+/// One cache slot: a key/value pair plus its CLOCK reference bit.
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    referenced: bool,
+}
+
+/// One shard: a key → slot-index map over a circular slot arena.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, usize, FixedState>,
+    slots: Vec<Slot<K, V>>,
+    /// CLOCK hand: index of the next eviction candidate.
+    hand: usize,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::default(),
+            slots: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+/// A sharded, optionally capacity-bounded concurrent memo map.
+///
+/// `get` clones the stored value (the engine stores `f64`s and
+/// `Arc`s, so clones are trivially cheap). See the module docs for the
+/// sharding and eviction design.
+#[derive(Debug)]
+pub struct SharedCache<K, V> {
+    shards: Box<[Mutex<Shard<K, V>>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    /// Max entries per shard; `usize::MAX` when unbounded.
+    per_shard_cap: usize,
+    hasher: FixedState,
+    first_inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count: enough that a handful of worker threads rarely
+/// collide, small enough that an empty cache is a few hundred bytes.
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl<K: Eq + Hash, V: Clone> SharedCache<K, V> {
+    /// A cache with `shards` shards (rounded up to a power of two) and a
+    /// total entry budget of `capacity` (`0` = unbounded). The budget is
+    /// split evenly across shards (rounding up), so worst-case occupancy
+    /// is `capacity + shards - 1` entries.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_cap = if capacity == 0 {
+            usize::MAX
+        } else {
+            capacity.div_ceil(shards)
+        };
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: (shards - 1) as u64,
+            per_shard_cap,
+            hasher: FixedState::default(),
+            first_inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// An unbounded cache with [`DEFAULT_SHARDS`] shards — the drop-in
+    /// replacement for the old global `Mutex<HashMap>`.
+    pub fn unbounded() -> Self {
+        Self::new(DEFAULT_SHARDS, 0)
+    }
+
+    /// The shard holding `key`: the *high* bits of the key's hash, so the
+    /// shard index and the `HashMap`'s internal bucket choice (low bits)
+    /// stay decorrelated.
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key);
+        let i = ((h >> 32) ^ h) & self.mask;
+        &self.shards[i as usize]
+    }
+
+    /// Looks up `key`, marking the entry recently-used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut shard = lock(self.shard_of(key));
+        let &i = shard.map.get(key)?;
+        let slot = &mut shard.slots[i];
+        slot.referenced = true;
+        Some(slot.value.clone())
+    }
+
+    /// Inserts `value` for `key` unless the key is already present, and
+    /// returns the winning value — callers racing to memoize the same
+    /// solve all observe the first inserter's result, exactly like the
+    /// old `entry().or_insert_with()` idiom. May evict one victim (CLOCK
+    /// second chance) when the shard is at capacity.
+    pub fn get_or_insert(&self, key: K, value: V) -> V
+    where
+        K: Clone,
+    {
+        let mut shard = lock(self.shard_of(&key));
+        if let Some(&i) = shard.map.get(&key) {
+            let slot = &mut shard.slots[i];
+            slot.referenced = true;
+            return slot.value.clone();
+        }
+        self.first_inserts.fetch_add(1, Ordering::Relaxed);
+        if shard.slots.len() < self.per_shard_cap {
+            let i = shard.slots.len();
+            shard.slots.push(Slot {
+                key: key.clone(),
+                value: value.clone(),
+                referenced: false,
+            });
+            shard.map.insert(key, i);
+            return value;
+        }
+        // At capacity: sweep the CLOCK hand. Terminates within two laps —
+        // the first lap clears every reference bit it passes.
+        let len = shard.slots.len();
+        let mut hand = shard.hand;
+        loop {
+            if shard.slots[hand].referenced {
+                shard.slots[hand].referenced = false;
+                hand = (hand + 1) % len;
+                continue;
+            }
+            break;
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let victim = std::mem::replace(
+            &mut shard.slots[hand],
+            Slot {
+                key: key.clone(),
+                value: value.clone(),
+                referenced: false,
+            },
+        );
+        shard.map.remove(&victim.key);
+        shard.map.insert(key, hand);
+        shard.hand = (hand + 1) % len;
+        value
+    }
+
+    /// Current total occupancy across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entry budget (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        if self.per_shard_cap == usize::MAX {
+            usize::MAX
+        } else {
+            self.per_shard_cap * self.shards.len()
+        }
+    }
+
+    /// Entries evicted since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Inserts of previously-absent keys since construction. At all
+    /// times `first_inserts() - evictions() == len()`.
+    pub fn first_inserts(&self) -> u64 {
+        self.first_inserts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_insert_first_writer_wins() {
+        let c: SharedCache<u32, u64> = SharedCache::unbounded();
+        assert_eq!(c.get(&7), None);
+        assert_eq!(c.get_or_insert(7, 70), 70);
+        assert_eq!(c.get_or_insert(7, 71), 70, "existing entry must win");
+        assert_eq!(c.get(&7), Some(70));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.first_inserts(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy_and_counts_evictions() {
+        // 1 shard so the bound is exact.
+        let c: SharedCache<u64, u64> = SharedCache::new(1, 8);
+        for k in 0..100u64 {
+            c.get_or_insert(k, k * 3);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.evictions(), 92);
+        assert_eq!(c.first_inserts(), 100);
+        // Whatever survived is bit-correct.
+        for k in 0..100u64 {
+            if let Some(v) = c.get(&k) {
+                assert_eq!(v, k * 3, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_second_chance_protects_hot_entries() {
+        let c: SharedCache<u64, u64> = SharedCache::new(1, 4);
+        for k in 0..4u64 {
+            c.get_or_insert(k, k);
+        }
+        // Make key 0 hot, then scan 64 one-shot keys through the shard.
+        for scan in 100..164u64 {
+            assert_eq!(c.get(&0), Some(0), "hot key evicted during scan {scan}");
+            c.get_or_insert(scan, scan);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (req, got) in [(1usize, 1usize), (2, 2), (3, 4), (5, 8), (16, 16)] {
+            let c: SharedCache<u64, u64> = SharedCache::new(req, 0);
+            assert_eq!(c.shards.len(), got, "requested {req}");
+        }
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let c: SharedCache<u64, u64> = SharedCache::unbounded();
+        for k in 0..10_000u64 {
+            c.get_or_insert(k, !k);
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.capacity(), usize::MAX);
+        assert_eq!(c.get(&9_999), Some(!9_999u64));
+    }
+
+    #[test]
+    fn bounded_capacity_reports_shard_rounding() {
+        let c: SharedCache<u64, u64> = SharedCache::new(4, 10);
+        // 10 over 4 shards → 3 per shard → 12 total worst case.
+        assert_eq!(c.capacity(), 12);
+        for k in 0..1000u64 {
+            c.get_or_insert(k, k);
+        }
+        assert!(c.len() <= 12, "occupancy {} over bound", c.len());
+        assert_eq!(c.first_inserts() - c.evictions(), c.len() as u64);
+    }
+}

@@ -36,6 +36,7 @@
 //! of `jobs` — so results never depend on the worker count, and setting
 //! `batch: false` restores exact bit-parity with the serial seed path.
 
+use crate::cache::SharedCache;
 use crate::dimensioning::DimensioningResult;
 use crate::rtt::RttModel;
 use crate::scenario::Scenario;
@@ -43,20 +44,22 @@ use crate::sweep::LoadPoint;
 use fpsping_dist::Deterministic;
 use fpsping_obs::{Counter, Gauge};
 use fpsping_queue::{DEk1, DekSolution, Mg1, PositionDelay, QueueError};
-use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 static DEK_HITS: Counter = Counter::new("engine.cache.dek.hits");
 static DEK_MISSES: Counter = Counter::new("engine.cache.dek.misses");
 static DEK_ENTRIES: Gauge = Gauge::new("engine.cache.dek.entries");
+static DEK_EVICTIONS: Counter = Counter::new("engine.cache.dek.evictions");
 static POLE_HITS: Counter = Counter::new("engine.cache.pole.hits");
 static POLE_MISSES: Counter = Counter::new("engine.cache.pole.misses");
 static POLE_ENTRIES: Gauge = Gauge::new("engine.cache.pole.entries");
+static POLE_EVICTIONS: Counter = Counter::new("engine.cache.pole.evictions");
 static RTT_HITS: Counter = Counter::new("engine.cache.rtt.hits");
 static RTT_MISSES: Counter = Counter::new("engine.cache.rtt.misses");
 static RTT_ENTRIES: Gauge = Gauge::new("engine.cache.rtt.entries");
+static RTT_EVICTIONS: Counter = Counter::new("engine.cache.rtt.evictions");
 
 /// Documented accuracy bound for batch (continuation-warm-started) sweeps
 /// versus the serial seed path, in milliseconds of RTT quantile.
@@ -87,6 +90,14 @@ pub struct EngineConfig {
     /// [`BATCH_RTT_TOLERANCE_MS`] of the serial path (documented
     /// tolerance) — set `false` for exact bit-parity.
     pub batch: bool,
+    /// Entry budget for **each** of the three solver caches (D/E_K/1
+    /// solutions, M/D/1 poles, whole-cell RTT memos); `0` (the default)
+    /// leaves them unbounded, which is right for grid sweeps over a
+    /// bounded key set. Long-running query services set a budget so an
+    /// adversarial stream of fresh `(K, ρ)` cells cannot grow memory
+    /// without limit; see [`crate::cache::SharedCache`] for the eviction
+    /// policy and why eviction never changes a single output bit.
+    pub cache_entries: usize,
 }
 
 impl EngineConfig {
@@ -99,6 +110,7 @@ impl EngineConfig {
             cache: false,
             warm_start: false,
             batch: false,
+            cache_entries: 0,
         }
     }
 
@@ -129,6 +141,7 @@ impl Default for EngineConfig {
             cache: true,
             warm_start: true,
             batch: true,
+            cache_entries: 0,
         }
     }
 }
@@ -161,6 +174,29 @@ pub struct CacheStats {
     pub rtt_hits: u64,
     /// Whole-cell RTT quantiles computed fresh.
     pub rtt_misses: u64,
+    /// D/E_K/1 entries evicted under the cache budget (0 if unbounded).
+    pub dek_evictions: u64,
+    /// M/D/1 pole entries evicted under the cache budget.
+    pub pole_evictions: u64,
+    /// Whole-cell RTT entries evicted under the cache budget.
+    pub rtt_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all three caches.
+    pub fn hits(&self) -> u64 {
+        self.dek_hits + self.pole_hits + self.rtt_hits
+    }
+
+    /// Total misses across all three caches.
+    pub fn misses(&self) -> u64 {
+        self.dek_misses + self.pole_misses + self.rtt_misses
+    }
+
+    /// Total evictions across all three caches.
+    pub fn evictions(&self) -> u64 {
+        self.dek_evictions + self.pole_evictions + self.rtt_evictions
+    }
 }
 
 /// Exact-bit identity of a scenario cell: every parameter that enters
@@ -204,55 +240,74 @@ impl ScenarioKey {
     }
 }
 
-/// Acquires a cache mutex, recovering the contents if a panicking worker
-/// poisoned it: the caches only ever hold fully-constructed entries (the
-/// guard is never held across fallible solver calls), so the map stays
-/// valid after any panic.
-fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Thread-safe memo of the two root solves behind every RTT cell.
 ///
 /// Keys are exact bit patterns of the defining parameters, so a hit can
 /// only occur for a mathematically identical solve — there is no
 /// tolerance-based key collision. Solutions are handed out as cheap
-/// [`Arc`] clones.
-#[derive(Debug, Default)]
+/// [`Arc`] clones. Each constituent cache is a [`SharedCache`]: sharded
+/// (concurrent workers rarely contend) and optionally capacity-bounded
+/// (see [`SolverCache::with_budget`]).
+#[derive(Debug)]
 pub struct SolverCache {
-    dek: Mutex<HashMap<(u32, u64), Arc<DekSolution>>>,
-    pole: Mutex<HashMap<(u64, u64), f64>>,
-    rtt: Mutex<HashMap<ScenarioKey, f64>>,
+    dek: SharedCache<(u32, u64), Arc<DekSolution>>,
+    pole: SharedCache<(u64, u64), f64>,
+    rtt: SharedCache<ScenarioKey, f64>,
     dek_hits: AtomicU64,
     dek_misses: AtomicU64,
     pole_hits: AtomicU64,
     pole_misses: AtomicU64,
     rtt_hits: AtomicU64,
     rtt_misses: AtomicU64,
-    /// How much of each counter above has already been mirrored into the
-    /// global `engine.cache.*` registry counters (same order). Deltas are
-    /// flushed by [`SolverCache::flush_obs`] so the memo-hit fast path
-    /// never touches the registry statics.
-    obs_flushed: [AtomicU64; 6],
+    /// How much of each mirrored counter (six hit/miss atomics above,
+    /// then the three caches' eviction counts, same order as in
+    /// [`SolverCache::flush_obs`]) has already been pushed into the
+    /// global `engine.cache.*` registry counters. Deltas are flushed by
+    /// [`SolverCache::flush_obs`] so the memo-hit fast path never touches
+    /// the registry statics.
+    obs_flushed: [AtomicU64; 9],
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        Self::with_budget(0)
+    }
 }
 
 impl SolverCache {
+    /// A cache bounding each of the three memo maps at `entries` entries
+    /// (`0` = unbounded, the [`Default`]). The budget is per map, not
+    /// shared: the three key spaces have very different sizes (poles are
+    /// shared across every K at one load; RTT memos are one per grid
+    /// cell), so a common pool would let the largest starve the others.
+    pub fn with_budget(entries: usize) -> Self {
+        Self {
+            dek: SharedCache::new(crate::cache::DEFAULT_SHARDS, entries),
+            pole: SharedCache::new(crate::cache::DEFAULT_SHARDS, entries),
+            rtt: SharedCache::new(crate::cache::DEFAULT_SHARDS, entries),
+            dek_hits: AtomicU64::new(0),
+            dek_misses: AtomicU64::new(0),
+            pole_hits: AtomicU64::new(0),
+            pole_misses: AtomicU64::new(0),
+            rtt_hits: AtomicU64::new(0),
+            rtt_misses: AtomicU64::new(0),
+            obs_flushed: Default::default(),
+        }
+    }
+
     /// The dimensionless D/E_K/1 solution for `(k, rho)`, cached by
     /// `(K, ρ bits)`.
     pub fn dek_solution(&self, k: u32, rho: f64) -> Result<Arc<DekSolution>, QueueError> {
         let key = (k, rho.to_bits());
-        if let Some(sol) = lock_cache(&self.dek).get(&key) {
+        if let Some(sol) = self.dek.get(&key) {
             self.dek_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(sol));
+            return Ok(sol);
         }
         self.dek_misses.fetch_add(1, Ordering::Relaxed);
         let sol = Arc::new(DekSolution::solve(k, rho)?);
         // A racing thread may have inserted meanwhile; both solved the
-        // same roots, so either value is fine.
-        let mut dek = lock_cache(&self.dek);
-        dek.entry(key).or_insert_with(|| Arc::clone(&sol));
-        DEK_ENTRIES.set_max(dek.len() as u64);
-        Ok(sol)
+        // same roots, so either value is fine (first insert wins).
+        Ok(self.dek.get_or_insert(key, sol))
     }
 
     /// Like [`SolverCache::dek_solution`], but on a miss the solve is
@@ -274,33 +329,27 @@ impl SolverCache {
         seed: Option<&Arc<DekSolution>>,
     ) -> Result<Arc<DekSolution>, QueueError> {
         let key = (k, rho.to_bits());
-        if let Some(sol) = lock_cache(&self.dek).get(&key) {
+        if let Some(sol) = self.dek.get(&key) {
             self.dek_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(sol));
+            return Ok(sol);
         }
         self.dek_misses.fetch_add(1, Ordering::Relaxed);
         let sol = Arc::new(DekSolution::solve_warm(k, rho, seed.map(Arc::as_ref))?);
-        let mut dek = lock_cache(&self.dek);
-        dek.entry(key).or_insert_with(|| Arc::clone(&sol));
-        DEK_ENTRIES.set_max(dek.len() as u64);
-        Ok(sol)
+        Ok(self.dek.get_or_insert(key, sol))
     }
 
     /// The M/D/1 dominant pole γ for arrival rate `lambda` and packet
     /// serialization time `tau`, cached by `(λ bits, τ bits)`.
     pub fn mdd1_pole(&self, lambda: f64, tau: f64) -> Result<f64, QueueError> {
         let key = (lambda.to_bits(), tau.to_bits());
-        if let Some(&gamma) = lock_cache(&self.pole).get(&key) {
+        if let Some(gamma) = self.pole.get(&key) {
             self.pole_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(gamma);
         }
         self.pole_misses.fetch_add(1, Ordering::Relaxed);
         let q = Mg1::new(lambda, Box::new(Deterministic::new(tau)))?;
         let gamma = q.dominant_pole()?;
-        let mut pole = lock_cache(&self.pole);
-        pole.insert(key, gamma);
-        POLE_ENTRIES.set_max(pole.len() as u64);
-        Ok(gamma)
+        Ok(self.pole.get_or_insert(key, gamma))
     }
 
     /// Mirrors the internal hit/miss totals into the global
@@ -311,22 +360,30 @@ impl SolverCache {
     /// concurrently: the swap telescopes, so every increment is mirrored
     /// exactly once.
     pub fn flush_obs(&self) {
-        let pairs: [(&AtomicU64, &'static Counter); 6] = [
-            (&self.dek_hits, &DEK_HITS),
-            (&self.dek_misses, &DEK_MISSES),
-            (&self.pole_hits, &POLE_HITS),
-            (&self.pole_misses, &POLE_MISSES),
-            (&self.rtt_hits, &RTT_HITS),
-            (&self.rtt_misses, &RTT_MISSES),
+        let totals: [(u64, &'static Counter); 9] = [
+            (self.dek_hits.load(Ordering::Relaxed), &DEK_HITS),
+            (self.dek_misses.load(Ordering::Relaxed), &DEK_MISSES),
+            (self.pole_hits.load(Ordering::Relaxed), &POLE_HITS),
+            (self.pole_misses.load(Ordering::Relaxed), &POLE_MISSES),
+            (self.rtt_hits.load(Ordering::Relaxed), &RTT_HITS),
+            (self.rtt_misses.load(Ordering::Relaxed), &RTT_MISSES),
+            (self.dek.evictions(), &DEK_EVICTIONS),
+            (self.pole.evictions(), &POLE_EVICTIONS),
+            (self.rtt.evictions(), &RTT_EVICTIONS),
         ];
-        for (i, (total, counter)) in pairs.into_iter().enumerate() {
-            let t = total.load(Ordering::Relaxed);
+        for (i, (t, counter)) in totals.into_iter().enumerate() {
             let f = self.obs_flushed[i].swap(t, Ordering::Relaxed);
             counter.add(t.saturating_sub(f));
         }
+        // Occupancy gauges, moved off the insert path: `len()` sweeps
+        // every shard lock, which is fine once per entry point but not
+        // once per memoized solve.
+        DEK_ENTRIES.set_max(self.dek.len() as u64);
+        POLE_ENTRIES.set_max(self.pole.len() as u64);
+        RTT_ENTRIES.set_max(self.rtt.len() as u64);
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             dek_hits: self.dek_hits.load(Ordering::Relaxed),
@@ -335,6 +392,9 @@ impl SolverCache {
             pole_misses: self.pole_misses.load(Ordering::Relaxed),
             rtt_hits: self.rtt_hits.load(Ordering::Relaxed),
             rtt_misses: self.rtt_misses.load(Ordering::Relaxed),
+            dek_evictions: self.dek.evictions(),
+            pole_evictions: self.pole.evictions(),
+            rtt_evictions: self.rtt.evictions(),
         }
     }
 }
@@ -428,12 +488,11 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration (the cache honors
+    /// [`EngineConfig::cache_entries`]).
     pub fn new(config: EngineConfig) -> Self {
-        Self {
-            config,
-            cache: SolverCache::default(),
-        }
+        let cache = SolverCache::with_budget(config.cache_entries);
+        Self { config, cache }
     }
 
     /// The reference engine: single-threaded, uncached, cold-bracketed —
@@ -581,7 +640,7 @@ impl Engine {
                 .map(|m| self.quantile_ms(&m, hint));
         }
         let key = ScenarioKey::of(scenario);
-        if let Some(&v) = lock_cache(&self.cache.rtt).get(&key) {
+        if let Some(v) = self.cache.rtt.get(&key) {
             self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
         }
@@ -596,9 +655,7 @@ impl Engine {
         };
         if let Some(v) = v {
             self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-            let mut rtt = lock_cache(&self.cache.rtt);
-            rtt.insert(key, v);
-            RTT_ENTRIES.set_max(rtt.len() as u64);
+            self.cache.rtt.get_or_insert(key, v);
         }
         v
     }
@@ -643,6 +700,55 @@ impl Engine {
                 .collect::<Vec<_>>()
         })
         .concat()
+    }
+
+    /// Evaluates an arbitrary batch of scenarios, returning one RTT
+    /// quantile (ms) per input in input order (`None` = infeasible).
+    ///
+    /// This is the serving entry point: a read burst of independent
+    /// queries coalesces into one engine pass. Internally the batch is
+    /// *sorted* by `(K, T, ρ_d)` so that cells sharing an Erlang order
+    /// run consecutively in load order — the exact shape the sweep
+    /// machinery exploits: quantile brackets warm-start from the
+    /// neighboring cell, and (batch mode) the D/E_K/1 root solves
+    /// continuation-chain along each run ([`DekSolution::solve_warm`]
+    /// falls back cold whenever a chain crosses a K boundary). Results
+    /// are scattered back to input order, so callers never see the
+    /// permutation. Values match [`Engine::build_model`] +
+    /// `rtt_quantile_ms` bit for bit under a bit-exact config, and stay
+    /// within [`BATCH_RTT_TOLERANCE_MS`] under the default batch config.
+    pub fn rtt_batch(&self, scenarios: &[Scenario]) -> Vec<Option<f64>> {
+        let _span = fpsping_obs::span("engine.rtt_batch");
+        let _flush = FlushOnDrop(&self.cache);
+        let mut order: Vec<usize> = (0..scenarios.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &scenarios[i];
+            (
+                s.erlang_order,
+                s.t_ms.to_bits(),
+                s.downlink_load().to_bits(),
+            )
+        });
+        let runs = self.sweep_runs(order.len(), self.config.jobs);
+        let results = par_map(self.config.jobs, &runs, |run| {
+            let mut hint = None;
+            let mut chain = None;
+            run.clone()
+                .map(|oi| {
+                    let s = &scenarios[order[oi]];
+                    let v = self.cell(s, hint, &mut chain);
+                    hint = v.or(hint);
+                    v
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = vec![None; scenarios.len()];
+        for (run, values) in runs.iter().zip(results) {
+            for (oi, v) in run.clone().zip(values) {
+                out[order[oi]] = v;
+            }
+        }
+        out
     }
 
     /// Engine-powered [`crate::sweep::rtt_surface`]: rows are loads,
@@ -712,7 +818,7 @@ impl Engine {
             let s = base.clone().with_load(rho);
             if self.config.cache {
                 let key = ScenarioKey::of(&s);
-                if let Some(&v) = lock_cache(&self.cache.rtt).get(&key) {
+                if let Some(v) = self.cache.rtt.get(&key) {
                     self.cache.rtt_hits.fetch_add(1, Ordering::Relaxed);
                     last_rtt = Some(v);
                     return Ok(Some(v));
@@ -729,9 +835,7 @@ impl Engine {
                     last_rtt = Some(v);
                     if self.config.cache {
                         self.cache.rtt_misses.fetch_add(1, Ordering::Relaxed);
-                        let mut rtt = lock_cache(&self.cache.rtt);
-                        rtt.insert(ScenarioKey::of(&s), v);
-                        RTT_ENTRIES.set_max(rtt.len() as u64);
+                        self.cache.rtt.get_or_insert(ScenarioKey::of(&s), v);
                     }
                     Ok(Some(v))
                 }

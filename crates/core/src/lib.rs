@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cli;
 pub mod dimensioning;
 pub mod engine;
@@ -51,6 +52,7 @@ pub mod rtt;
 pub mod scenario;
 pub mod sweep;
 
+pub use cache::SharedCache;
 pub use dimensioning::{max_gamers, max_load, DimensioningResult};
 pub use engine::{CacheStats, Engine, EngineConfig, SolverCache};
 pub use rtt::{RttBreakdown, RttModel};

@@ -83,12 +83,49 @@ pub(crate) fn registry() -> &'static Registry {
     })
 }
 
-/// Acquires a registry mutex, recovering the contents if a panicking
-/// thread poisoned it: every guarded structure only ever holds
-/// fully-constructed entries (pushes and single-map inserts), so the data
-/// stays valid after any panic.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// Acquires a mutex, recovering the contents if a panicking thread
+/// poisoned it.
+///
+/// This is the workspace's one audited poison-recovery site (the metric
+/// registry, the engine's solver caches, and the serve layer all route
+/// through it). The recovery is sound **only** for structures that are
+/// never left half-mutated across a panic point: every guarded structure
+/// here only ever holds fully-constructed entries (pushes, single-map
+/// inserts, field stores), so the data stays valid after any panic.
+/// Callers adopting this helper inherit that contract — do not hold the
+/// guard across fallible multi-step mutations.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonic stopwatch for *control flow* (deadlines, timeout budgets)
+/// in library crates.
+///
+/// Measurement timing belongs in [`Histogram::start_timer`]; this type
+/// exists for the other legitimate clock use — "how long has this
+/// request been running" arithmetic — so `std::time::Instant` can stay
+/// inside `crates/obs` (lint rule L08) without library crates smuggling
+/// their own clocks in. Deliberately **not** disabled by `obs-off`:
+/// timeouts are behavior, not instrumentation.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(std::time::Instant::now())
+    }
+
+    /// Whole microseconds elapsed since [`Stopwatch::start`] (saturating).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`], as `f64`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
 }
 
 /// Emits `message` to stderr at most once per `key` (process-wide), and
@@ -126,6 +163,17 @@ mod tests {
             .collect();
         assert_eq!(mine.len(), 1);
         assert!(mine[0].contains("first text"));
+    }
+
+    #[test]
+    fn stopwatch_is_monotone_and_active_under_obs_off() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_micros();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = sw.elapsed_micros();
+        assert!(b >= a);
+        assert!(b >= 1_000, "2 ms sleep must register: {b} µs");
+        assert!(sw.elapsed_secs() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! `fpsping-serve` — the dimensioning query server, as a process.
+//!
+//! Binds a TCP address, prints `listening on <addr>` (scripts parse this
+//! to learn the ephemeral port), and serves until a `shutdown` request
+//! arrives. See `fpsping_serve::protocol` for the wire format; try it
+//! with `nc`:
+//!
+//! ```text
+//! $ fpsping-serve --addr 127.0.0.1:0 &
+//! listening on 127.0.0.1:40123
+//! $ printf '{"id":1,"op":"dimension","k":9,"budget_ms":50}\n' | nc 127.0.0.1 40123
+//! {"id":1,"ok":true,"value":0.4043,"n_max":80}
+//! ```
+
+use fpsping_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fpsping-serve — dimensioning query server for the fpsping model
+
+USAGE:
+    fpsping-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>       bind address (default 127.0.0.1:0; port 0 = ephemeral)
+    --workers <N>            worker threads (default 2)
+    --cache-entries <N>      per-cache entry budget, 0 = unbounded (default 262144)
+    --bit-exact              answer with the bit-exact engine path (slower misses)
+    --timeout-ms <MS>        per-batch service deadline (default 250)
+    --metrics-out <FILE>     write an fpsping-obs JSON snapshot on shutdown
+    -h, --help               print this help
+";
+
+fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<String>), String> {
+    let mut cfg = ServeConfig::default();
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--cache-entries" => {
+                cfg.cache_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("--cache-entries: {e}"))?
+            }
+            "--bit-exact" => cfg.bit_exact = true,
+            "--timeout-ms" => {
+                cfg.request_timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok((cfg, metrics_out))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, metrics_out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts depend on this exact line to discover the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    server.join();
+    if let Some(path) = metrics_out {
+        if let Err(e) = fpsping_obs::write_json(std::path::Path::new(&path)) {
+            eprintln!("error: could not write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let (cfg, metrics) = parse_args(&strings(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "4",
+            "--cache-entries",
+            "1024",
+            "--bit-exact",
+            "--timeout-ms",
+            "50",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .expect("valid args");
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.cache_entries, 1024);
+        assert!(cfg.bit_exact);
+        assert_eq!(cfg.request_timeout_ms, 50);
+        assert_eq!(metrics.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(parse_args(&strings(&["--frobnicate"])).is_err());
+        assert!(parse_args(&strings(&["--workers"])).is_err());
+        assert!(parse_args(&strings(&["--workers", "many"])).is_err());
+    }
+}

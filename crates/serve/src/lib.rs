@@ -1,0 +1,202 @@
+//! # fpsping-serve — the dimensioning query server
+//!
+//! ROADMAP item 2: the paper's closed-form model, packaged as the
+//! operational service it was built to be — an ISP-facing API answering
+//! "what ping will gamers see at this load?" and "how many players fit
+//! behind this DSLAM at a 50 ms budget?" at cache-hit speed.
+//!
+//! Pure `std`: threaded TCP ([`server`]), a two-framing wire protocol
+//! ([`protocol`]; newline-delimited JSON for humans and `nc`, fixed
+//! 40/24-byte binary frames for throughput), read-burst batching into
+//! one [`fpsping::Engine::rtt_batch`] pass per TCP read, and graceful
+//! shutdown. Memory stays bounded under adversarial query streams
+//! because the engine's solver caches are capacity-bounded and evicting
+//! ([`fpsping::SharedCache`]) — an evicted cell re-solves to the
+//! identical bits, so eviction costs time, never correctness.
+//!
+//! Instrumented with `fpsping_obs`: `serve.requests`, `serve.batches`,
+//! `serve.batch.size`, `serve.latency_us`, `serve.cache.{hits,misses,
+//! evictions}`, `serve.conns.{accepted,rejected}`.
+//!
+//! ```no_run
+//! use fpsping_serve::{ServeConfig, Server};
+//! let server = Server::start(ServeConfig::default())?;
+//! let addr = server.local_addr(); // connect, query, send `shutdown`
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Op, Request, Response};
+pub use server::{rss_mib, rss_peak_mib, ServeConfig, Server};
+
+#[cfg(test)]
+mod tests {
+    use super::protocol::*;
+    use super::{ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    fn start_test_server(bit_exact: bool, cache_entries: usize) -> Server {
+        Server::start(ServeConfig {
+            workers: 2,
+            bit_exact,
+            cache_entries,
+            ..ServeConfig::default()
+        })
+        .expect("bind 127.0.0.1:0")
+    }
+
+    fn shutdown_and_join(server: Server) {
+        server.request_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn ndjson_session_answers_rtt_and_dimension() {
+        let server = start_test_server(true, 0);
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        stream
+            .write_all(
+                b"{\"id\":1,\"op\":\"rtt\",\"k\":9,\"tick_ms\":40,\"load\":0.4}\n\
+                  {\"id\":2,\"op\":\"dimension\",\"k\":9,\"tick_ms\":40,\"budget_ms\":50}\n\
+                  {\"id\":3,\"op\":\"rtt\",\"k\":9,\"load\":1.5}\n\
+                  {\"id\":4,\"op\":\"stats\"}\n",
+            )
+            .expect("write");
+        let mut lines = Vec::new();
+        for _ in 0..4 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            lines.push(line);
+        }
+        // id 1: the §4 reference cell, ≈50 ms in the paper.
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"ok\":true"));
+        let value: f64 = lines[0]
+            .split("\"value\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("value field");
+        assert!((20.0..80.0).contains(&value), "rtt {value}");
+        // id 2: the paper's headline dimensioning example (N_max ≈ 80).
+        assert!(lines[1].contains("\"ok\":true"));
+        let n_max: u32 = lines[1]
+            .split("\"n_max\":")
+            .nth(1)
+            .and_then(|s| s.trim_end().trim_end_matches('}').parse().ok())
+            .expect("n_max field");
+        assert!((60..=110).contains(&n_max), "n_max {n_max}");
+        // id 3: load 1.5 is unstable.
+        assert!(lines[2].contains("\"ok\":false"), "{}", lines[2]);
+        // id 4: wide stats object.
+        assert!(
+            lines[3].contains("\"hit_rate\":") && lines[3].contains("\"rss_mib\":"),
+            "{}",
+            lines[3]
+        );
+        shutdown_and_join(server);
+    }
+
+    #[test]
+    fn binary_pipeline_preserves_order_and_matches_engine() {
+        use fpsping::engine::{Engine, EngineConfig};
+        use fpsping::Scenario;
+        let server = start_test_server(true, 0);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // A pipelined burst of 64 rtt queries over a (K, load) grid.
+        let mut burst = Vec::new();
+        let mut expected = Vec::new();
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            batch: false,
+            ..EngineConfig::default()
+        });
+        for i in 0..64u64 {
+            let k = [2u32, 9, 20][(i % 3) as usize];
+            let load = 0.1 + 0.8 * (i as f64 / 64.0);
+            burst.extend_from_slice(&encode_request(&Request::rtt(i, k, 40.0, load)));
+            let s = Scenario::paper_default()
+                .with_erlang_order(k)
+                .with_load(load);
+            expected.push(engine.build_model(&s).map(|m| m.rtt_quantile_ms()).ok());
+        }
+        stream.write_all(&burst).expect("write burst");
+        let mut buf = vec![0u8; 64 * RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read responses");
+        for (i, chunk) in buf.chunks(RESP_FRAME_LEN).enumerate() {
+            let resp = decode_response(chunk).expect("frame");
+            assert_eq!(resp.id, i as u64, "responses in request order");
+            let want = expected[i].expect("grid is feasible");
+            assert_eq!(resp.status, STATUS_OK);
+            assert_eq!(
+                resp.value.to_bits(),
+                want.to_bits(),
+                "bit-exact server answer for request {i}"
+            );
+        }
+        shutdown_and_join(server);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let server = start_test_server(false, 1024);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(&encode_request(&Request::shutdown(99)))
+            .expect("write");
+        let mut buf = [0u8; RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read");
+        let resp = decode_response(&buf).expect("frame");
+        assert_eq!((resp.id, resp.status), (99, STATUS_OK));
+        assert!(server.is_shutdown());
+        server.join();
+    }
+
+    #[test]
+    fn binary_stats_selectors_answer() {
+        let server = start_test_server(false, 1024);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut burst = Vec::new();
+        burst.extend_from_slice(&encode_request(&Request::rtt(0, 9, 40.0, 0.4)));
+        for (id, stat) in [(1, STAT_RSS_MIB), (2, STAT_HIT_RATE), (3, STAT_REQUESTS)] {
+            burst.extend_from_slice(&encode_request(&Request::stats(id, stat)));
+        }
+        stream.write_all(&burst).expect("write");
+        let mut buf = vec![0u8; 4 * RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read");
+        let rss = decode_response(&buf[RESP_FRAME_LEN..]).expect("frame");
+        assert!(rss.value > 1.0, "VmRSS in MiB: {}", rss.value);
+        let hit_rate = decode_response(&buf[2 * RESP_FRAME_LEN..]).expect("frame");
+        assert!((0.0..=1.0).contains(&hit_rate.value));
+        let reqs = decode_response(&buf[3 * RESP_FRAME_LEN..]).expect("frame");
+        assert!(reqs.value >= 4.0, "requests served: {}", reqs.value);
+        shutdown_and_join(server);
+    }
+
+    #[test]
+    fn malformed_requests_answer_bad_request_in_lockstep() {
+        let server = start_test_server(false, 1024);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut burst = Vec::new();
+        let mut bad = encode_request(&Request::rtt(7, 9, 40.0, 0.4));
+        bad[36] = 250; // unknown op
+        burst.extend_from_slice(&bad);
+        burst.extend_from_slice(&encode_request(&Request::rtt(8, 9, 40.0, 0.4)));
+        stream.write_all(&burst).expect("write");
+        let mut buf = vec![0u8; 2 * RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read");
+        let first = decode_response(&buf).expect("frame");
+        assert_eq!((first.id, first.status), (7, STATUS_BAD_REQUEST));
+        let second = decode_response(&buf[RESP_FRAME_LEN..]).expect("frame");
+        assert_eq!((second.id, second.status), (8, STATUS_OK));
+        shutdown_and_join(server);
+    }
+}

@@ -1,0 +1,412 @@
+//! The wire protocol: one request/response vocabulary, two framings.
+//!
+//! Every request names one of four operations against the paper's §4
+//! reference scenario (overriding `K`, `T`, and the downlink load or RTT
+//! budget per request):
+//!
+//! * **rtt** — the RTT quantile (ms) at `(K, T, ρ_d)`; the paper's
+//!   forward question ("what ping will gamers see?").
+//! * **dimension** — the maximum load and gamer count under an RTT
+//!   budget (eq. 37); the paper's inverse question ("how many players
+//!   fit behind this DSLAM at a 50 ms budget?").
+//! * **stats** — server-side counters (requests, cache hit rate,
+//!   evictions, resident set size).
+//! * **shutdown** — graceful stop: the server finishes the batch in
+//!   flight, answers it, and exits.
+//!
+//! ## Framings
+//!
+//! The server auto-detects the framing per connection from the first
+//! byte received: `{` selects **NDJSON**, anything else selects
+//! **binary**. A connection never mixes framings.
+//!
+//! **NDJSON** (human-facing, `nc`-able): one flat JSON object per line,
+//! no nesting, no escaped strings. Unknown keys are ignored.
+//!
+//! ```text
+//! {"id":1,"op":"rtt","k":9,"tick_ms":40,"load":0.4}
+//! {"id":1,"ok":true,"value":49.817,"n_max":0}
+//! {"id":2,"op":"dimension","k":9,"tick_ms":40,"budget_ms":50}
+//! {"id":2,"ok":true,"value":0.404,"n_max":80}
+//! ```
+//!
+//! **Binary** (the throughput path): fixed [`REQ_FRAME_LEN`]-byte
+//! little-endian request frames and [`RESP_FRAME_LEN`]-byte response
+//! frames, layouts below. Fixed-size frames make a read burst splittable
+//! without scanning — `burst_len / 40` requests, no delimiter search —
+//! which is what lets the server coalesce thousands of requests into one
+//! engine pass.
+//!
+//! ```text
+//! request  (40 B): id:u64  tick_ms:f64  load:f64  budget_ms:f64
+//!                  k:u32  op:u8  stat:u8  _pad:u16
+//! response (24 B): id:u64  value:f64  n_max:u32  status:u8  _pad:[u8;3]
+//! ```
+
+/// Binary request frame length in bytes.
+pub const REQ_FRAME_LEN: usize = 40;
+/// Binary response frame length in bytes.
+pub const RESP_FRAME_LEN: usize = 24;
+
+/// Operation selectors (the `op` byte of a binary request frame).
+pub const OP_RTT: u8 = 0;
+/// Binary `op` byte for the dimensioning (inverse) query.
+pub const OP_DIMENSION: u8 = 1;
+/// Binary `op` byte for the server-statistics query.
+pub const OP_STATS: u8 = 2;
+/// Binary `op` byte for graceful shutdown.
+pub const OP_SHUTDOWN: u8 = 3;
+
+/// Response status: the request was answered.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the scenario is infeasible (saturated or unstable),
+/// so there is no RTT / no nonzero dimensioning answer.
+pub const STATUS_INFEASIBLE: u8 = 1;
+/// Response status: the request could not be understood.
+pub const STATUS_BAD_REQUEST: u8 = 2;
+/// Response status: the batch exceeded the server's per-request service
+/// budget before this request was reached.
+pub const STATUS_TIMEOUT: u8 = 3;
+
+/// Statistic selectors for binary `stats` requests (the `stat` byte).
+/// NDJSON `stats` responses carry every field at once instead.
+pub const STAT_RSS_MIB: u8 = 0;
+/// `stat` selector: peak resident set size (VmHWM) in MiB.
+pub const STAT_RSS_PEAK_MIB: u8 = 1;
+/// `stat` selector: engine cache hit rate in `[0, 1]`.
+pub const STAT_HIT_RATE: u8 = 2;
+/// `stat` selector: requests served so far.
+pub const STAT_REQUESTS: u8 = 3;
+/// `stat` selector: solver-cache evictions so far.
+pub const STAT_EVICTIONS: u8 = 4;
+/// `stat` selector: solver-cache hits so far (all three caches).
+pub const STAT_HITS: u8 = 5;
+/// `stat` selector: solver-cache misses so far (all three caches).
+pub const STAT_MISSES: u8 = 6;
+
+/// A decoded request operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Forward query: RTT quantile at `(K, T, ρ_d)`.
+    Rtt,
+    /// Inverse query: max load / gamer count under `budget_ms`.
+    Dimension,
+    /// Server counters (see the `STAT_*` selectors).
+    Stats,
+    /// Graceful stop.
+    Shutdown,
+}
+
+/// A decoded request, framing-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Erlang order `K` of the burst-size distribution.
+    pub k: u32,
+    /// Server tick interval `T` in ms.
+    pub tick_ms: f64,
+    /// Downlink load `ρ_d` (rtt queries).
+    pub load: f64,
+    /// RTT budget in ms (dimension queries).
+    pub budget_ms: f64,
+    /// Statistic selector (binary stats queries).
+    pub stat: u8,
+}
+
+impl Request {
+    /// An `rtt` query against the §4 reference scenario.
+    pub fn rtt(id: u64, k: u32, tick_ms: f64, load: f64) -> Self {
+        Self {
+            id,
+            op: Op::Rtt,
+            k,
+            tick_ms,
+            load,
+            budget_ms: 0.0,
+            stat: 0,
+        }
+    }
+
+    /// A `dimension` query under `budget_ms`.
+    pub fn dimension(id: u64, k: u32, tick_ms: f64, budget_ms: f64) -> Self {
+        Self {
+            id,
+            op: Op::Dimension,
+            k,
+            tick_ms,
+            load: 0.0,
+            budget_ms,
+            stat: 0,
+        }
+    }
+
+    /// A binary `stats` query for one `STAT_*` selector.
+    pub fn stats(id: u64, stat: u8) -> Self {
+        Self {
+            id,
+            op: Op::Stats,
+            k: 0,
+            tick_ms: 0.0,
+            load: 0.0,
+            budget_ms: 0.0,
+            stat,
+        }
+    }
+
+    /// A graceful-shutdown request.
+    pub fn shutdown(id: u64) -> Self {
+        Self {
+            id,
+            op: Op::Shutdown,
+            k: 0,
+            tick_ms: 0.0,
+            load: 0.0,
+            budget_ms: 0.0,
+            stat: 0,
+        }
+    }
+}
+
+/// A response, framing-independent. `value` is the operation's primary
+/// answer (RTT ms, ρ_max, or the selected statistic); `n_max` is the
+/// gamer count for dimension queries and 0 otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Primary answer (meaning depends on the operation).
+    pub value: f64,
+    /// Gamer count `N_max` (dimension queries only).
+    pub n_max: u32,
+    /// One of the `STATUS_*` codes.
+    pub status: u8,
+}
+
+impl Response {
+    /// A `STATUS_OK` response.
+    pub fn ok(id: u64, value: f64, n_max: u32) -> Self {
+        Self {
+            id,
+            value,
+            n_max,
+            status: STATUS_OK,
+        }
+    }
+
+    /// An error response with the given status and no payload.
+    pub fn err(id: u64, status: u8) -> Self {
+        Self {
+            id,
+            value: f64::NAN,
+            n_max: 0,
+            status,
+        }
+    }
+}
+
+fn f64_at(buf: &[u8], i: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[i..i + 8]);
+    f64::from_le_bytes(b)
+}
+
+fn u64_at(buf: &[u8], i: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[i..i + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn u32_at(buf: &[u8], i: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[i..i + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Encodes a request as one binary frame.
+pub fn encode_request(r: &Request) -> [u8; REQ_FRAME_LEN] {
+    let mut f = [0u8; REQ_FRAME_LEN];
+    f[0..8].copy_from_slice(&r.id.to_le_bytes());
+    f[8..16].copy_from_slice(&r.tick_ms.to_le_bytes());
+    f[16..24].copy_from_slice(&r.load.to_le_bytes());
+    f[24..32].copy_from_slice(&r.budget_ms.to_le_bytes());
+    f[32..36].copy_from_slice(&r.k.to_le_bytes());
+    f[36] = match r.op {
+        Op::Rtt => OP_RTT,
+        Op::Dimension => OP_DIMENSION,
+        Op::Stats => OP_STATS,
+        Op::Shutdown => OP_SHUTDOWN,
+    };
+    f[37] = r.stat;
+    f
+}
+
+/// Decodes one binary request frame (`buf.len()` must be
+/// ≥ [`REQ_FRAME_LEN`]; only the first frame is read).
+pub fn decode_request(buf: &[u8]) -> Result<Request, &'static str> {
+    if buf.len() < REQ_FRAME_LEN {
+        return Err("short frame");
+    }
+    let op = match buf[36] {
+        OP_RTT => Op::Rtt,
+        OP_DIMENSION => Op::Dimension,
+        OP_STATS => Op::Stats,
+        OP_SHUTDOWN => Op::Shutdown,
+        _ => return Err("unknown op"),
+    };
+    Ok(Request {
+        id: u64_at(buf, 0),
+        op,
+        tick_ms: f64_at(buf, 8),
+        load: f64_at(buf, 16),
+        budget_ms: f64_at(buf, 24),
+        k: u32_at(buf, 32),
+        stat: buf[37],
+    })
+}
+
+/// Encodes a response as one binary frame.
+pub fn encode_response(r: &Response) -> [u8; RESP_FRAME_LEN] {
+    let mut f = [0u8; RESP_FRAME_LEN];
+    f[0..8].copy_from_slice(&r.id.to_le_bytes());
+    f[8..16].copy_from_slice(&r.value.to_le_bytes());
+    f[16..20].copy_from_slice(&r.n_max.to_le_bytes());
+    f[20] = r.status;
+    f
+}
+
+/// Decodes one binary response frame.
+pub fn decode_response(buf: &[u8]) -> Result<Response, &'static str> {
+    if buf.len() < RESP_FRAME_LEN {
+        return Err("short frame");
+    }
+    Ok(Response {
+        id: u64_at(buf, 0),
+        value: f64_at(buf, 8),
+        n_max: u32_at(buf, 16),
+        status: buf[20],
+    })
+}
+
+/// Parses one NDJSON request line (flat object, unknown keys ignored).
+pub fn parse_json_request(line: &str) -> Result<Request, String> {
+    let s = line.trim();
+    let s = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "request must be a flat JSON object".to_string())?;
+    let mut op = None;
+    let mut req = Request::rtt(0, 9, 40.0, 0.4);
+    for pair in s.split(',') {
+        let Some((key, value)) = pair.split_once(':') else {
+            if pair.trim().is_empty() {
+                continue;
+            }
+            return Err(format!("malformed field {pair:?}"));
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        let num = || -> Result<f64, String> {
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("field {key:?}: expected a number, got {value:?}"))
+        };
+        match key {
+            "id" => req.id = num()? as u64,
+            "k" => req.k = num()? as u32,
+            "tick_ms" => req.tick_ms = num()?,
+            "load" => req.load = num()?,
+            "budget_ms" => req.budget_ms = num()?,
+            "stat" => req.stat = num()? as u8,
+            "op" => {
+                op = Some(match value.trim_matches('"') {
+                    "rtt" => Op::Rtt,
+                    "dimension" => Op::Dimension,
+                    "stats" => Op::Stats,
+                    "shutdown" => Op::Shutdown,
+                    other => return Err(format!("unknown op {other:?}")),
+                })
+            }
+            _ => {}
+        }
+    }
+    req.op = op.ok_or_else(|| "missing \"op\"".to_string())?;
+    Ok(req)
+}
+
+/// Renders a response as one NDJSON line (newline included). Error
+/// statuses carry `"ok":false` and a human-readable `"error"` string.
+pub fn render_json_response(r: &Response) -> String {
+    match r.status {
+        STATUS_OK => format!(
+            "{{\"id\":{},\"ok\":true,\"value\":{},\"n_max\":{}}}\n",
+            r.id, r.value, r.n_max
+        ),
+        status => {
+            let what = match status {
+                STATUS_INFEASIBLE => "infeasible scenario",
+                STATUS_TIMEOUT => "service budget exceeded",
+                _ => "bad request",
+            };
+            format!("{{\"id\":{},\"ok\":false,\"error\":\"{what}\"}}\n", r.id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_request_round_trips() {
+        for r in [
+            Request::rtt(7, 9, 40.0, 0.4),
+            Request::dimension(8, 20, 60.0, 50.0),
+            Request::stats(9, STAT_HIT_RATE),
+            Request::shutdown(10),
+        ] {
+            let frame = encode_request(&r);
+            assert_eq!(decode_request(&frame), Ok(r));
+        }
+    }
+
+    #[test]
+    fn binary_response_round_trips() {
+        let r = Response::ok(42, 49.8125, 80);
+        assert_eq!(decode_response(&encode_response(&r)), Ok(r));
+        let e = decode_response(&encode_response(&Response::err(3, STATUS_TIMEOUT)))
+            .expect("frame length is fixed");
+        assert_eq!((e.id, e.status), (3, STATUS_TIMEOUT));
+        assert!(e.value.is_nan());
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert!(decode_request(&[0u8; 10]).is_err());
+        let mut f = encode_request(&Request::rtt(1, 9, 40.0, 0.4));
+        f[36] = 200;
+        assert!(decode_request(&f).is_err());
+    }
+
+    #[test]
+    fn json_request_parses_and_defaults() {
+        let r = parse_json_request("{\"id\": 3, \"op\": \"rtt\", \"k\": 2, \"load\": 0.25}")
+            .expect("valid request");
+        assert_eq!((r.id, r.op, r.k), (3, Op::Rtt, 2));
+        assert_eq!(r.tick_ms, 40.0, "tick defaults to the paper's 40 ms");
+        assert_eq!(r.load, 0.25);
+        assert!(parse_json_request("{\"id\":1}").is_err(), "op is required");
+        assert!(parse_json_request("not json").is_err());
+        assert!(parse_json_request("{\"op\":\"fly\"}").is_err());
+    }
+
+    #[test]
+    fn json_response_lines_are_flat_and_newline_terminated() {
+        let ok = render_json_response(&Response::ok(1, 50.5, 80));
+        assert_eq!(ok, "{\"id\":1,\"ok\":true,\"value\":50.5,\"n_max\":80}\n");
+        let err = render_json_response(&Response::err(2, STATUS_INFEASIBLE));
+        assert!(err.contains("\"ok\":false") && err.ends_with('\n'));
+    }
+}

@@ -19,7 +19,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q --all-targets \
         -p fpsping -p fpsping-num -p fpsping-dist -p fpsping-traffic \
         -p fpsping-queue -p fpsping-sim -p fpsping-bench -p fpsping-obs \
-        -p xtask \
+        -p fpsping-serve -p fpsping-loadgen -p xtask \
         -- -D warnings
 else
     echo "tier-1: clippy not installed; domain lint stands in:"
@@ -151,6 +151,100 @@ PY
 else
     grep -q '"sim\.calendar\.enqueues"' "$SCALE_METRICS"
     echo "tier-1: scale smoke OK (grep fallback)"
+fi
+
+# Serve smoke: boot the query server on an ephemeral port, replay a
+# bounded loadgen burst against it, and require real live throughput, a
+# warm cache, the eviction-parity gate at exactly zero, and a clean
+# shutdown (the smoke's final frame is the shutdown op; the server
+# process must exit on its own).
+SERVE_LOG="$(mktemp /tmp/fpsping-serve-log.XXXXXX)"
+SERVE_SMOKE="$(mktemp /tmp/fpsping-serve-smoke.XXXXXX.json)"
+trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2" \
+    "$SERVE_LOG" "$SERVE_SMOKE"' EXIT
+./target/release/fpsping-serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-entries 16384 > "$SERVE_LOG" &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.05
+done
+if [ -z "$SERVE_ADDR" ]; then
+    echo "tier-1: fpsping-serve never reported its listen address"
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/fpsping-loadgen --addr "$SERVE_ADDR" --smoke > "$SERVE_SMOKE"
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "tier-1: fpsping-serve did not shut down after the shutdown op"
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+wait "$SERVE_PID" 2>/dev/null || true
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SERVE_SMOKE" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["workload"] == "smoke", s
+assert s["parity_max_abs_delta"] == 0.0, s["parity_max_abs_delta"]
+assert s["clean_shutdown"] is True, s
+# Weak live floor — the committed bench carries the real figures; this
+# only catches a server that is limping (debug build, busy-wait, ...).
+assert s["qps"] >= 10_000, "live smoke QPS %.0f below the 10k floor" % s["qps"]
+assert s["cache_hit_rate"] >= 0.5, \
+    "64-hot-cell smoke should be cache-dominated: hit rate %.3f" % s["cache_hit_rate"]
+assert s["p99_us"] > 0, s
+print("tier-1: serve smoke OK (%.0f qps live, p99 %.1f us, hit rate %.3f)"
+      % (s["qps"], s["p99_us"], s["cache_hit_rate"]))
+PY
+else
+    grep -q '"workload": "smoke"' "$SERVE_SMOKE"
+    grep -q '"clean_shutdown": true' "$SERVE_SMOKE"
+    echo "tier-1: serve smoke OK (grep fallback)"
+fi
+
+# Serve bench contract: the checked-in BENCH_serve.json must show the
+# eviction-parity gate at exactly zero, the three workloads, the >=1M
+# QPS hot-spot acceptance figure, and a flat RSS tail on the adversarial
+# never-repeating stream (the capacity bound holding under pure churn).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_serve.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for field in ("eviction_parity_max_abs_delta", "runs", "server_requests",
+              "server_peak_rss_mib"):
+    assert field in b, "BENCH_serve.json missing %r" % field
+assert b["eviction_parity_max_abs_delta"] == 0.0, b["eviction_parity_max_abs_delta"]
+runs = {r["workload"]: r for r in b["runs"]}
+assert set(runs) == {"uniform", "hotspot", "adversarial"}, sorted(runs)
+for r in runs.values():
+    for field in ("requests", "qps", "p50_us", "p99_us", "cache_hit_rate",
+                  "evictions", "rss_mid_mib", "rss_end_mib"):
+        assert field in r, "run %r missing %r" % (r.get("workload"), field)
+    assert r["qps"] > 0 and r["p99_us"] >= r["p50_us"] > 0, r
+assert runs["hotspot"]["qps"] >= 1_000_000, \
+    "hot-spot QPS %.0f below the 1M acceptance figure" % runs["hotspot"]["qps"]
+assert runs["hotspot"]["cache_hit_rate"] >= 0.99, runs["hotspot"]["cache_hit_rate"]
+adv = runs["adversarial"]
+assert adv["evictions"] > 0, "adversarial stream must overflow the cache bound"
+assert adv["rss_end_mib"] - adv["rss_mid_mib"] <= 2.0, \
+    "adversarial RSS still growing after cache fill: %.1f -> %.1f MiB" % (
+        adv["rss_mid_mib"], adv["rss_end_mib"])
+assert b["server_peak_rss_mib"] < 2048, b["server_peak_rss_mib"]
+print("tier-1: BENCH_serve.json OK (hotspot %.2fM qps, parity 0, adversarial "
+      "RSS flat at %.1f MiB over %d evictions)"
+      % (runs["hotspot"]["qps"] / 1e6, adv["rss_end_mib"], adv["evictions"]))
+PY
+else
+    grep -q '"eviction_parity_max_abs_delta": 0e0' BENCH_serve.json
+    grep -q '"workload": "hotspot"' BENCH_serve.json
+    echo "tier-1: BENCH_serve.json OK (grep fallback)"
 fi
 
 echo "tier-1: OK"

@@ -143,6 +143,125 @@ fn batch_sweep_bits_do_not_depend_on_job_count() {
 }
 
 #[test]
+fn bounded_cache_surface_is_bit_identical_under_eviction() {
+    // The serving acceptance criterion: a capacity-bounded (evicting)
+    // cache must change nothing — max_abs_delta exactly 0 vs the
+    // unbounded engine, even when the budget forces every pass to
+    // re-solve cells the previous pass evicted.
+    let base = Scenario::paper_default();
+    let ks = [2u32, 9, 20];
+    let loads: Vec<f64> = (0..60).map(|i| 0.05 + 0.9 * i as f64 / 60.0).collect();
+    let unbounded = Engine::new(EngineConfig {
+        jobs: 2,
+        ..EngineConfig::bit_exact()
+    });
+    let bounded = Engine::new(EngineConfig {
+        jobs: 2,
+        cache_entries: 64, // 180-cell grid: constant eviction pressure
+        ..EngineConfig::bit_exact()
+    });
+    let mut max_abs_delta = 0.0f64;
+    for pass in 0..2 {
+        let a = bounded.rtt_surface(&base, &ks, &loads);
+        let b = unbounded.rtt_surface(&base, &ks, &loads);
+        for (li, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            for (ki, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+                assert_eq!(
+                    ca.map(f64::to_bits),
+                    cb.map(f64::to_bits),
+                    "pass={pass} row {li} col {ki}: bounded {ca:?} != unbounded {cb:?}"
+                );
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    max_abs_delta = max_abs_delta.max((x - y).abs());
+                }
+            }
+        }
+    }
+    assert_eq!(max_abs_delta, 0.0);
+    let stats = bounded.cache_stats();
+    assert!(
+        stats.evictions() > 0,
+        "the bound must actually evict for this test to mean anything: {stats:?}"
+    );
+    assert_eq!(
+        unbounded.cache_stats().evictions(),
+        0,
+        "the unbounded reference must never evict"
+    );
+}
+
+#[test]
+fn bounded_batch_surface_stays_within_documented_tolerance() {
+    // Same bound, default (continuation warm-started) config: eviction
+    // may change *which* neighbor seeds a warm solve, so values can move
+    // within the documented tolerance — but never beyond it, and the
+    // feasibility pattern is untouchable.
+    let base = Scenario::paper_default();
+    let ks = [2u32, 9, 20];
+    let loads = sweep::paper_load_grid();
+    let serial = sweep::rtt_surface(&base, &ks, &loads);
+    let bounded = Engine::new(EngineConfig {
+        jobs: 2,
+        cache_entries: 16,
+        ..EngineConfig::default()
+    });
+    for pass in 0..2 {
+        let fast = bounded.rtt_surface(&base, &ks, &loads);
+        for (li, (frow, srow)) in fast.iter().zip(&serial).enumerate() {
+            for (ki, (f, s)) in frow.iter().zip(srow).enumerate() {
+                match (f, s) {
+                    (Some(f), Some(s)) => assert!(
+                        (f - s).abs() <= BATCH_RTT_TOLERANCE_MS,
+                        "pass={pass} row {li} col {ki}: {f} vs {s}"
+                    ),
+                    (None, None) => {}
+                    other => {
+                        panic!("pass={pass} row {li} col {ki}: feasibility mismatch {other:?}")
+                    }
+                }
+            }
+        }
+    }
+    assert!(bounded.cache_stats().evictions() > 0);
+}
+
+#[test]
+fn rtt_batch_answers_in_input_order_and_bit_exactly() {
+    // The serving entry point: an arbitrarily ordered batch (here: load
+    // descending, K interleaved — the worst case for the internal sort)
+    // returns one answer per input, in input order, each bit-identical
+    // to a lone build_model call.
+    let engine = Engine::new(EngineConfig {
+        jobs: 2,
+        ..EngineConfig::bit_exact()
+    });
+    let mut scenarios = Vec::new();
+    for i in (0..40).rev() {
+        let k = [2u32, 9, 20][i % 3];
+        let load = 0.05 + 0.9 * i as f64 / 40.0;
+        scenarios.push(
+            Scenario::paper_default()
+                .with_load(load)
+                .with_erlang_order(k),
+        );
+    }
+    // One infeasible cell in the middle must answer None without
+    // disturbing its neighbors.
+    scenarios[17] = scenarios[17].clone().with_load(1.5);
+    let batch = engine.rtt_batch(&scenarios);
+    assert_eq!(batch.len(), scenarios.len());
+    for (i, (got, s)) in batch.iter().zip(&scenarios).enumerate() {
+        let want = RttModel::build(s).map(|m| m.rtt_quantile_ms()).ok();
+        assert_eq!(
+            got.map(f64::to_bits),
+            want.map(f64::to_bits),
+            "batch index {i}"
+        );
+    }
+    assert!(batch[17].is_none());
+}
+
+#[test]
 fn engine_dimensioning_matches_serial_reference() {
     // The engine bisection (cached, warm-started) must land on exactly
     // the serial result for the paper's worked example.

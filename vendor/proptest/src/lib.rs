@@ -15,9 +15,10 @@
 //!   cases on every invocation (no persistence files needed; any
 //!   `*.proptest-regressions` files are ignored).
 //! * Only the strategies this workspace uses are implemented: `Range`
-//!   and `RangeInclusive` over the primitive numeric types,
-//!   `prop::collection::vec` with a `Range<usize>` length, [`Just`],
-//!   [`Strategy::prop_map`], and the [`prop_oneof!`] weighted union.
+//!   and `RangeInclusive` over the primitive numeric types, tuples of up
+//!   to four strategies, `prop::collection::vec` with a `Range<usize>`
+//!   length, [`Just`], [`Strategy::prop_map`], and the [`prop_oneof!`]
+//!   weighted union.
 //!
 //! [`Just`]: strategy::Just
 //! [`Strategy::prop_map`]: strategy::Strategy::prop_map
@@ -157,6 +158,23 @@ pub mod strategy {
     }
 
     int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0 / 0, S1 / 1),
+        (S0 / 0, S1 / 1, S2 / 2),
+        (S0 / 0, S1 / 1, S2 / 2, S3 / 3),
+    }
 
     /// A strategy producing `Vec`s of an element strategy's values.
     #[derive(Debug, Clone)]
