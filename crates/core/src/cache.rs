@@ -31,7 +31,7 @@
 //! `first_inserts − evictions == occupancy ≤ capacity` (no lost
 //! updates, bounded memory).
 
-use fpsping_obs::lock;
+use fpsping_obs::{lock_class, LockClass};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,6 +157,12 @@ pub struct SharedCache<K, V> {
 /// collide, small enough that an empty cache is a few hundred bytes.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// All shards of every `SharedCache` share one lockdep class: they play
+/// one ordering role (leaf memo locks, never held across another
+/// acquisition), and shard choice is data-dependent so per-instance
+/// classes would never converge to a checkable order.
+static SHARD_CLASS: LockClass = LockClass::new("core::SharedCache::shards");
+
 impl<K: Eq + Hash, V: Clone> SharedCache<K, V> {
     /// A cache with `shards` shards (rounded up to a power of two) and a
     /// total entry budget of `capacity` (`0` = unbounded). The budget is
@@ -196,7 +202,7 @@ impl<K: Eq + Hash, V: Clone> SharedCache<K, V> {
 
     /// Looks up `key`, marking the entry recently-used on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
-        let mut shard = lock(self.shard_of(key));
+        let mut shard = lock_class(&SHARD_CLASS, self.shard_of(key));
         let &i = shard.map.get(key)?;
         let slot = &mut shard.slots[i];
         slot.referenced = true;
@@ -212,7 +218,7 @@ impl<K: Eq + Hash, V: Clone> SharedCache<K, V> {
     where
         K: Clone,
     {
-        let mut shard = lock(self.shard_of(&key));
+        let mut shard = lock_class(&SHARD_CLASS, self.shard_of(&key));
         if let Some(&i) = shard.map.get(&key) {
             let slot = &mut shard.slots[i];
             slot.referenced = true;
@@ -258,7 +264,10 @@ impl<K: Eq + Hash, V: Clone> SharedCache<K, V> {
 
     /// Current total occupancy across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| lock_class(&SHARD_CLASS, s).map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.

@@ -22,7 +22,7 @@
 //! Keys are sorted; the document is deterministic for a given registry
 //! state, so tests and the tier-1 smoke can grep it.
 
-use crate::{lock, registry};
+use crate::{lock_class, registry};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -71,27 +71,35 @@ pub struct Snapshot {
 /// Captures the current state of every registered metric.
 pub fn snapshot() -> Snapshot {
     let reg = registry();
-    let mut counters: Vec<(String, u64)> = lock(&reg.counters)
+    let mut counters: Vec<(String, u64)> = lock_class(&crate::REG_COUNTERS, &reg.counters)
         .iter()
         .map(|c| (c.name().to_string(), c.get()))
         .collect();
+    // The lockdep witness counts with plain atomics (its counters must
+    // not re-enter the instrumented registry locks), so its coverage
+    // figures are injected here instead of self-registering. Zeros mean
+    // the witness is compiled out (release or obs-off).
+    let (lockdep_edges, lockdep_checks) = crate::lockdep::stats();
+    counters.push(("lockdep.edges".to_string(), lockdep_edges));
+    counters.push(("lockdep.checks".to_string(), lockdep_checks));
     counters.sort();
-    let mut gauges: Vec<(String, u64)> = lock(&reg.gauges)
+    let mut gauges: Vec<(String, u64)> = lock_class(&crate::REG_GAUGES, &reg.gauges)
         .iter()
         .map(|g| (g.name().to_string(), g.get()))
         .collect();
     gauges.sort();
-    let mut histograms: Vec<HistogramSnapshot> = lock(&reg.histograms)
-        .iter()
-        .map(|h| HistogramSnapshot {
-            name: h.name().to_string(),
-            count: h.count(),
-            sum: h.sum(),
-            buckets: h.buckets(),
-        })
-        .collect();
+    let mut histograms: Vec<HistogramSnapshot> =
+        lock_class(&crate::REG_HISTOGRAMS, &reg.histograms)
+            .iter()
+            .map(|h| HistogramSnapshot {
+                name: h.name().to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h.buckets(),
+            })
+            .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
-    let spans: Vec<SpanSnapshot> = lock(&reg.spans)
+    let spans: Vec<SpanSnapshot> = lock_class(&crate::REG_SPANS, &reg.spans)
         .iter()
         .map(|(path, s)| SpanSnapshot {
             path: path.clone(),
@@ -100,7 +108,7 @@ pub fn snapshot() -> Snapshot {
             max_ms: s.max_ns as f64 / 1e6,
         })
         .collect(); // BTreeMap iteration is already path-sorted
-    let warnings = lock(&reg.warnings).clone();
+    let warnings = lock_class(&crate::REG_WARNINGS, &reg.warnings).clone();
     Snapshot {
         counters,
         gauges,

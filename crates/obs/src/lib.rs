@@ -41,10 +41,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 pub mod export;
+pub mod lockdep;
 pub mod metrics;
 pub mod span;
 
 pub use export::{snapshot, write_json, HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use lockdep::{lock_class, LockClass, TrackedGuard};
 pub use metrics::{Counter, Gauge, Histogram, HistogramTimer};
 pub use span::{span, SpanGuard};
 
@@ -71,6 +73,17 @@ pub(crate) struct Registry {
 }
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// Lockdep classes for the registry's own locks. These are the innermost
+/// classes in `lockorder.toml`: any instrumented lock in any crate may be
+/// held when a metric's lazy registration or a span drop reaches the
+/// registry, and the registry never calls back out while holding them.
+pub(crate) static REG_COUNTERS: LockClass = LockClass::new("obs::Registry::counters");
+pub(crate) static REG_GAUGES: LockClass = LockClass::new("obs::Registry::gauges");
+pub(crate) static REG_HISTOGRAMS: LockClass = LockClass::new("obs::Registry::histograms");
+pub(crate) static REG_SPANS: LockClass = LockClass::new("obs::Registry::spans");
+pub(crate) static REG_WARN_KEYS: LockClass = LockClass::new("obs::Registry::warn_keys");
+pub(crate) static REG_WARNINGS: LockClass = LockClass::new("obs::Registry::warnings");
 
 pub(crate) fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
@@ -135,9 +148,9 @@ impl Stopwatch {
 /// Stays active under `obs-off`: these are operator-facing correctness
 /// warnings (silent-fallback reporting), not measurements.
 pub fn warn_once(key: &'static str, message: &str) {
-    let inserted = lock(&registry().warn_keys).insert(key);
+    let inserted = lock_class(&REG_WARN_KEYS, &registry().warn_keys).insert(key);
     if inserted {
-        lock(&registry().warnings).push(format!("{key}: {message}"));
+        lock_class(&REG_WARNINGS, &registry().warnings).push(format!("{key}: {message}"));
         // lint:allow(println): the whole point of warn_once is a one-shot operator-visible stderr warning; routing through the caller would reintroduce the silent fallback it exists to fix
         eprintln!("warning: {message}");
     }
@@ -145,7 +158,7 @@ pub fn warn_once(key: &'static str, message: &str) {
 
 /// All warnings recorded so far via [`warn_once`], in emission order.
 pub fn warnings() -> Vec<String> {
-    lock(&registry().warnings).clone()
+    lock_class(&REG_WARNINGS, &registry().warnings).clone()
 }
 
 #[cfg(test)]

@@ -1,0 +1,478 @@
+//! # lockdep — a runtime lock-order witness, Linux-style
+//!
+//! The static linter (xtask rules L10–L12) proves properties of lock
+//! acquisitions it can *see*; this module witnesses the ones it cannot —
+//! nesting that only materializes at runtime through call chains (a
+//! counter's lazy registration acquiring the registry lock while a serve
+//! stats guard is held, say). The design follows Linux lockdep:
+//!
+//! * every instrumented lock belongs to a **class** ([`LockClass`], a
+//!   `static` with a stable name — all 16 `SharedCache` shards share one
+//!   class, because they share one ordering role);
+//! * each thread keeps a **held-set** of the classes it currently holds;
+//! * acquiring class `B` while holding class `A` records the directed
+//!   edge `A → B` in a process-global order graph, once per class pair —
+//!   so a nesting only has to happen **once, on any thread**, to be
+//!   checked against every nesting that ever happened before;
+//! * an edge that would close a cycle (`B ⇒ A` already reachable) means
+//!   two call paths disagree about the order — a latent ABBA deadlock —
+//!   and the witness panics immediately with both offending class
+//!   chains: the current thread's, and the first-seen chain recorded for
+//!   every edge along the reverse path.
+//!
+//! ## Cost model
+//!
+//! Active only in debug builds without `obs-off`
+//! (`cfg(all(debug_assertions, not(feature = "obs-off")))`). In release
+//! or `obs-off` builds [`lock_class`] compiles down to the plain
+//! [`crate::lock`] poison-recovering acquisition — no held-set, no
+//! graph, no atomics. When active, the fast path (acquiring with an
+//! empty held-set, i.e. almost always) is one thread-local push and one
+//! relaxed counter increment; the graph mutex is touched only on real
+//! nesting, and then almost always for an already-known edge.
+//!
+//! The witness's own state is guarded by a **plain uninstrumented**
+//! mutex and counts checks/edges with plain atomics rather than
+//! [`crate::Counter`]s: a counter's lazy registration would re-enter the
+//! instrumented registry lock from inside the witness itself.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A lock *class*: the ordering identity shared by every lock instance
+/// playing the same role (all cache shards, all instances of one field).
+///
+/// Declare one `static` per class and pass it to [`lock_class`]. The
+/// name is the canonical `crate::Type::field` spelling — keep it equal
+/// to the class name `cargo xtask lint` derives and `lockorder.toml`
+/// documents, so the static and dynamic layers talk about the same
+/// graph.
+pub struct LockClass {
+    name: &'static str,
+}
+
+impl LockClass {
+    /// Declares a lock class. `const` so it can initialize a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self { name }
+    }
+
+    /// The class's canonical name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Whether the witness is compiled in (debug build, `obs-off` absent).
+pub const fn enabled() -> bool {
+    cfg!(all(debug_assertions, not(feature = "obs-off")))
+}
+
+/// Acquires `m` under lockdep supervision as class `class`.
+///
+/// The order check runs **before** blocking on the mutex — a would-be
+/// deadlock is reported even on executions where the interleaving
+/// happens to win the race. Poison recovery matches [`crate::lock`]
+/// (same contract: guarded structures must never be half-mutated across
+/// a panic point).
+pub fn lock_class<'a, T>(class: &'static LockClass, m: &'a Mutex<T>) -> TrackedGuard<'a, T> {
+    note_acquire(class);
+    TrackedGuard {
+        guard: Some(crate::lock(m)),
+        class,
+    }
+}
+
+/// A [`MutexGuard`] whose lifetime is mirrored in the owning thread's
+/// lockdep held-set. Dereferences to the guarded data.
+pub struct TrackedGuard<'a, T> {
+    /// `None` only transiently inside [`TrackedGuard::wait_timeout`].
+    guard: Option<MutexGuard<'a, T>>,
+    class: &'static LockClass,
+}
+
+impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // lint:allow(unwrap): the Option is None only while ownership is inside wait_timeout, where no borrow can exist
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // lint:allow(unwrap): the Option is None only while ownership is inside wait_timeout, where no borrow can exist
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+impl<T> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.guard.take().is_some() {
+            note_release(self.class);
+        }
+    }
+}
+
+impl<'a, T> TrackedGuard<'a, T> {
+    /// Blocks on `cv` with the lock released, reacquiring it before
+    /// returning — the tracked equivalent of [`Condvar::wait_timeout`].
+    /// Returns the reacquired guard and whether the wait timed out.
+    ///
+    /// The held-set mirrors the real lock state: the class leaves it for
+    /// the duration of the wait (the OS releases the mutex) and is
+    /// re-checked on wakeup, exactly like a fresh acquisition.
+    pub fn wait_timeout(mut self, cv: &Condvar, dur: Duration) -> (Self, bool) {
+        // lint:allow(unwrap): the Option is None only while ownership is inside wait_timeout itself
+        let g = self.guard.take().expect("guard present");
+        note_release(self.class);
+        let (g, res) = cv
+            .wait_timeout(g, dur)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        note_acquire(self.class);
+        self.guard = Some(g);
+        (self, res.timed_out())
+    }
+}
+
+/// `(edges, checks)` recorded so far: distinct ordered class pairs ever
+/// observed nested, and total supervised acquisitions. `(0, 0)` when the
+/// witness is compiled out. Exported as `lockdep.edges` /
+/// `lockdep.checks` in metric snapshots.
+pub fn stats() -> (u64, u64) {
+    #[cfg(all(debug_assertions, not(feature = "obs-off")))]
+    {
+        active::stats()
+    }
+    #[cfg(not(all(debug_assertions, not(feature = "obs-off"))))]
+    {
+        (0, 0)
+    }
+}
+
+/// The recorded order graph as `(held, acquired)` class-name pairs, in
+/// deterministic (lexicographic) order. Empty when compiled out.
+pub fn edges() -> Vec<(String, String)> {
+    #[cfg(all(debug_assertions, not(feature = "obs-off")))]
+    {
+        active::edges()
+    }
+    #[cfg(not(all(debug_assertions, not(feature = "obs-off"))))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(all(debug_assertions, not(feature = "obs-off")))]
+fn note_acquire(class: &'static LockClass) {
+    active::acquire(class.name);
+}
+
+#[cfg(all(debug_assertions, not(feature = "obs-off")))]
+fn note_release(class: &'static LockClass) {
+    active::release(class.name);
+}
+
+#[cfg(not(all(debug_assertions, not(feature = "obs-off"))))]
+fn note_acquire(_class: &'static LockClass) {}
+
+#[cfg(not(all(debug_assertions, not(feature = "obs-off"))))]
+fn note_release(_class: &'static LockClass) {}
+
+#[cfg(all(debug_assertions, not(feature = "obs-off")))]
+mod active {
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Supervised acquisitions (the `lockdep.checks` counter). Plain
+    /// atomics on purpose — see the module docs on re-entrancy.
+    static CHECKS: AtomicU64 = AtomicU64::new(0);
+    /// Distinct ordered class pairs recorded (`lockdep.edges`).
+    static EDGES: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// The classes this thread currently holds, outermost first.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The process-global order graph.
+    struct DepGraph {
+        /// `held → acquired` adjacency.
+        edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+        /// First-seen full held chain per edge, for diagnostics.
+        chains: BTreeMap<(&'static str, &'static str), String>,
+    }
+
+    static GRAPH: OnceLock<Mutex<DepGraph>> = OnceLock::new();
+
+    fn graph() -> &'static Mutex<DepGraph> {
+        GRAPH.get_or_init(|| {
+            Mutex::new(DepGraph {
+                edges: BTreeMap::new(),
+                chains: BTreeMap::new(),
+            })
+        })
+    }
+
+    pub(super) fn stats() -> (u64, u64) {
+        (
+            EDGES.load(Ordering::Relaxed),
+            CHECKS.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(super) fn edges() -> Vec<(String, String)> {
+        let g = crate::lock(graph());
+        g.edges
+            .iter()
+            .flat_map(|(a, bs)| bs.iter().map(move |b| ((*a).to_string(), (*b).to_string())))
+            .collect()
+    }
+
+    pub(super) fn acquire(name: &'static str) {
+        CHECKS.fetch_add(1, Ordering::Relaxed);
+        let (outer, chain) = HELD.with(|h| {
+            let held = h.borrow();
+            if held.contains(&name) {
+                // lint:allow(panic): a reentrant same-class acquisition is a certain self-deadlock; aborting loudly is the witness's entire job
+                panic!(
+                    "lockdep: reentrant acquisition of lock class `{name}` \
+                     (held chain: {})",
+                    held.join(" -> ")
+                );
+            }
+            (held.last().copied(), held.join(" -> "))
+        });
+        if let Some(outer) = outer {
+            record_edge(outer, name, &chain);
+        }
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    pub(super) fn release(name: &'static str) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Records `outer → inner`, panicking if the reverse direction is
+    /// already reachable (a lock-order cycle).
+    fn record_edge(outer: &'static str, inner: &'static str, cur_chain: &str) {
+        let mut g = crate::lock(graph());
+        if g.edges.get(outer).is_some_and(|s| s.contains(inner)) {
+            return; // known-good pair, checked when first recorded
+        }
+        if let Some(path) = path_between(&g.edges, inner, outer) {
+            let mut report = String::new();
+            for w in path.windows(2) {
+                let chain = g
+                    .chains
+                    .get(&(w[0], w[1]))
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                report.push_str(&format!(
+                    "\n  edge `{}` -> `{}` first recorded with held chain: [{}]",
+                    w[0], w[1], chain
+                ));
+            }
+            // lint:allow(panic): a lock-order cycle is a latent ABBA deadlock; aborting with both class chains is the witness's entire job
+            panic!(
+                "lockdep: lock-order cycle — acquiring `{inner}` while holding `{outer}` \
+                 (this thread's chain: [{cur_chain} -> {inner}]), but the opposite order \
+                 `{inner}` ->* `{outer}` is already recorded:{report}"
+            );
+        }
+        g.edges.entry(outer).or_default().insert(inner);
+        g.chains
+            .insert((outer, inner), format!("{cur_chain} -> {inner}"));
+        EDGES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// BFS path `from ->* to` over the edge set, if one exists.
+    fn path_between(
+        edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent: BTreeMap<&str, &'static str> = BTreeMap::new();
+        let mut queue: VecDeque<&'static str> = VecDeque::new();
+        queue.push_back(from);
+        while let Some(node) = queue.pop_front() {
+            for &next in edges.get(node).into_iter().flatten() {
+                if next != from && !parent.contains_key(next) {
+                    parent.insert(next, node);
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = parent.get(cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(all(test, debug_assertions, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    // Class names are process-global state; every test uses its own so
+    // the edge table never couples tests.
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        static A: LockClass = LockClass::new("obs::test_edge::a");
+        static B: LockClass = LockClass::new("obs::test_edge::b");
+        let (ma, mb) = (Mutex::new(0u32), Mutex::new(0u32));
+        let (e0, c0) = stats();
+        {
+            let _ga = lock_class(&A, &ma);
+            let _gb = lock_class(&B, &mb);
+        }
+        let (e1, c1) = stats();
+        assert!(e1 > e0, "edge count must grow: {e0} -> {e1}");
+        assert!(c1 >= c0 + 2, "check count must grow: {c0} -> {c1}");
+        assert!(edges()
+            .iter()
+            .any(|(a, b)| a == "obs::test_edge::a" && b == "obs::test_edge::b"));
+    }
+
+    #[test]
+    fn abba_cycle_is_caught_without_deadlocking() {
+        static A: LockClass = LockClass::new("obs::test_abba::a");
+        static B: LockClass = LockClass::new("obs::test_abba::b");
+        let ma = Mutex::new(0u32);
+        let mb = Mutex::new(0u32);
+        {
+            let _ga = lock_class(&A, &ma);
+            let _gb = lock_class(&B, &mb);
+        }
+        // The reverse nesting on the *same* thread can never deadlock at
+        // runtime — exactly the case only a witness catches.
+        let err = std::panic::catch_unwind(|| {
+            let _gb = lock_class(&B, &mb);
+            let _ga = lock_class(&A, &ma);
+        })
+        .expect_err("lockdep must reject the ABBA inversion");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(msg.contains("obs::test_abba::a"), "{msg}");
+        assert!(msg.contains("obs::test_abba::b"), "{msg}");
+        assert!(msg.contains("first recorded with held chain"), "{msg}");
+        // The failed acquisition must not leak into the held-set.
+        let _gb = lock_class(&B, &mb);
+        drop(_gb);
+    }
+
+    #[test]
+    fn diamond_order_is_accepted() {
+        // a→b→d and a→c→d share endpoints but disagree nowhere.
+        static A: LockClass = LockClass::new("obs::test_diamond::a");
+        static B: LockClass = LockClass::new("obs::test_diamond::b");
+        static C: LockClass = LockClass::new("obs::test_diamond::c");
+        static D: LockClass = LockClass::new("obs::test_diamond::d");
+        let (ma, mb, mc, md) = (
+            Mutex::new(0u32),
+            Mutex::new(0u32),
+            Mutex::new(0u32),
+            Mutex::new(0u32),
+        );
+        {
+            let _ga = lock_class(&A, &ma);
+            let _gb = lock_class(&B, &mb);
+            let _gd = lock_class(&D, &md);
+        }
+        {
+            let _ga = lock_class(&A, &ma);
+            let _gc = lock_class(&C, &mc);
+            let _gd = lock_class(&D, &md);
+        }
+    }
+
+    #[test]
+    fn transitive_cycle_is_caught() {
+        // a→b, b→c recorded; then c→a must close the loop through b.
+        static A: LockClass = LockClass::new("obs::test_trans::a");
+        static B: LockClass = LockClass::new("obs::test_trans::b");
+        static C: LockClass = LockClass::new("obs::test_trans::c");
+        let (ma, mb, mc) = (Mutex::new(0u32), Mutex::new(0u32), Mutex::new(0u32));
+        {
+            let _ga = lock_class(&A, &ma);
+            let _gb = lock_class(&B, &mb);
+        }
+        {
+            let _gb = lock_class(&B, &mb);
+            let _gc = lock_class(&C, &mc);
+        }
+        let err = std::panic::catch_unwind(|| {
+            let _gc = lock_class(&C, &mc);
+            let _ga = lock_class(&A, &ma);
+        })
+        .expect_err("transitive inversion must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reentrant acquisition")]
+    fn reentrant_same_class_panics() {
+        static A: LockClass = LockClass::new("obs::test_reent::a");
+        let m1 = Mutex::new(0u32);
+        let m2 = Mutex::new(0u32);
+        // Different *instances*, same class: still rejected — instance
+        // identity cannot order a class against itself.
+        let _g1 = lock_class(&A, &m1);
+        let _g2 = lock_class(&A, &m2);
+    }
+
+    #[test]
+    fn wait_timeout_releases_and_reacquires_in_the_held_set() {
+        static Q: LockClass = LockClass::new("obs::test_wait::q");
+        static INNER: LockClass = LockClass::new("obs::test_wait::inner");
+        let m = Mutex::new(0u32);
+        let mi = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let g = lock_class(&Q, &m);
+        let (g, timed_out) = g.wait_timeout(&cv, Duration::from_millis(1));
+        assert!(timed_out);
+        // Still held after the wait: nesting under it must record.
+        {
+            let _gi = lock_class(&INNER, &mi);
+        }
+        drop(g);
+        assert!(edges()
+            .iter()
+            .any(|(a, b)| a == "obs::test_wait::q" && b == "obs::test_wait::inner"));
+        // And fully released after drop: a fresh same-class acquisition
+        // must not be flagged reentrant.
+        let _g = lock_class(&Q, &m);
+    }
+
+    #[test]
+    fn guard_derefs_to_the_data() {
+        static A: LockClass = LockClass::new("obs::test_deref::a");
+        let m = Mutex::new(41u32);
+        {
+            let mut g = lock_class(&A, &m);
+            *g += 1;
+        }
+        assert_eq!(*crate::lock(&m), 42);
+    }
+}

@@ -10,7 +10,8 @@
 //! Under the `obs-off` feature every record method compiles to a no-op
 //! and the atomics are never touched.
 
-use crate::{lock, registry};
+#[cfg(not(feature = "obs-off"))]
+use crate::{lock_class, registry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A monotone event counter.
@@ -72,7 +73,7 @@ impl Counter {
     #[cold]
     fn register(&'static self) {
         if !self.registered.swap(true, Ordering::SeqCst) {
-            lock(&registry().counters).push(self);
+            lock_class(&crate::REG_COUNTERS, &registry().counters).push(self);
         }
     }
 }
@@ -138,7 +139,7 @@ impl Gauge {
     #[cold]
     fn register(&'static self) {
         if !self.registered.swap(true, Ordering::SeqCst) {
-            lock(&registry().gauges).push(self);
+            lock_class(&crate::REG_GAUGES, &registry().gauges).push(self);
         }
     }
 }
@@ -243,7 +244,7 @@ impl Histogram {
     #[cold]
     fn register(&'static self) {
         if !self.registered.swap(true, Ordering::SeqCst) {
-            lock(&registry().histograms).push(self);
+            lock_class(&crate::REG_HISTOGRAMS, &registry().histograms).push(self);
         }
     }
 }
@@ -290,7 +291,7 @@ mod tests {
         #[cfg(not(feature = "obs-off"))]
         {
             assert_eq!(C.get(), 5);
-            let names: Vec<&str> = lock(&registry().counters)
+            let names: Vec<&str> = lock_class(&crate::REG_COUNTERS, &registry().counters)
                 .iter()
                 .map(|c| c.name())
                 .collect();

@@ -182,6 +182,34 @@ mod tests {
     }
 
     #[test]
+    fn serving_traffic_records_the_hot_path_lock_order() {
+        // This doubles as the "serve runs lockdep-clean" proof at test
+        // level: a full accept → batch → respond → stats-mirror cycle
+        // under the witness, then the recorded graph must contain the
+        // one hot-path nesting — counter registration (the obs registry
+        // lock) under the `serve::Shared::mirrored` stats guard.
+        if !fpsping_obs::lockdep::enabled() {
+            assert!(fpsping_obs::lockdep::edges().is_empty());
+            return;
+        }
+        let server = start_test_server(false, 1024);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(&encode_request(&Request::rtt(0, 9, 40.0, 0.4)))
+            .expect("write");
+        let mut buf = [0u8; RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read");
+        shutdown_and_join(server);
+        let edges = fpsping_obs::lockdep::edges();
+        assert!(
+            edges
+                .iter()
+                .any(|(a, b)| a == "serve::Shared::mirrored" && b == "obs::Registry::counters"),
+            "hot-path edge missing from the recorded graph: {edges:?}"
+        );
+    }
+
+    #[test]
     fn malformed_requests_answer_bad_request_in_lockstep() {
         let server = start_test_server(false, 1024);
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");

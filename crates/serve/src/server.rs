@@ -39,7 +39,7 @@ use crate::protocol::{
 };
 use fpsping::engine::{CacheStats, Engine, EngineConfig};
 use fpsping::{Scenario, SharedCache};
-use fpsping_obs::{lock, Counter, Histogram, Stopwatch};
+use fpsping_obs::{lock_class, Counter, Histogram, LockClass, Stopwatch};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +56,13 @@ static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
 static CACHE_EVICTIONS: Counter = Counter::new("serve.cache.evictions");
 static LATENCY_US: Histogram = Histogram::new("serve.latency_us");
 static BATCH_SIZE: Histogram = Histogram::new("serve.batch.size");
+
+/// Lockdep classes for the serve layer's two locks. The conn queue is
+/// outermost (held only around queue surgery, but workers block in it);
+/// the stats mirror may nest counter registration (the obs registry
+/// locks) under it — see `lockorder.toml`.
+static CONNQ_CLASS: LockClass = LockClass::new("serve::ConnQueue::q");
+static MIRRORED_CLASS: LockClass = LockClass::new("serve::Shared::mirrored");
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -114,7 +121,7 @@ impl ConnQueue {
     /// backlog is full — backpressure by refusal, never by unbounded
     /// buffering.
     fn push(&self, stream: TcpStream) -> bool {
-        let mut q = lock(&self.q);
+        let mut q = lock_class(&CONNQ_CLASS, &self.q);
         if q.len() >= self.cap {
             return false;
         }
@@ -126,7 +133,7 @@ impl ConnQueue {
     /// Pops the next connection, waiting until one arrives or shutdown
     /// drains the pool (then `None`).
     fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut q = lock(&self.q);
+        let mut q = lock_class(&CONNQ_CLASS, &self.q);
         loop {
             if let Some(s) = q.pop_front() {
                 return Some(s);
@@ -134,10 +141,7 @@ impl ConnQueue {
             if shutdown.load(Ordering::Relaxed) {
                 return None;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(q, Duration::from_millis(50))
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, _) = q.wait_timeout(&self.cv, Duration::from_millis(50));
             q = guard;
         }
     }
@@ -164,7 +168,7 @@ impl Shared {
     /// path).
     fn mirror_cache_obs(&self) {
         let now = self.engine.cache_stats();
-        let mut prev = lock(&self.mirrored);
+        let mut prev = lock_class(&MIRRORED_CLASS, &self.mirrored);
         CACHE_HITS.add(now.hits().saturating_sub(prev.hits()));
         CACHE_MISSES.add(now.misses().saturating_sub(prev.misses()));
         CACHE_EVICTIONS.add(now.evictions().saturating_sub(prev.evictions()));

@@ -226,7 +226,11 @@ pub fn test_regions(lines: &[LexedLine]) -> Vec<bool> {
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
         let started_inside = region_depth.is_some();
-        let attr_positions: Vec<usize> = find_all(code, "#[cfg(test)]");
+        // `#[cfg(test)]` and conjunctions that include it, e.g.
+        // `#[cfg(all(test, debug_assertions, …))]`.
+        let mut attr_positions: Vec<usize> = find_all(code, "#[cfg(test)]");
+        attr_positions.extend(find_all(code, "#[cfg(all(test,"));
+        attr_positions.sort_unstable();
         let mut attr_iter = attr_positions.iter().peekable();
         for (pos, c) in code.char_indices() {
             while attr_iter.peek().is_some_and(|&&p| p <= pos) {

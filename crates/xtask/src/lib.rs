@@ -16,6 +16,14 @@
 //! | L07  | `std::process::exit` outside `src/bin` |
 //! | L08  | direct `std::time::Instant` in library crates outside `crates/obs` |
 //! | L09  | `.push(…)` onto a growable buffer in `crates/sim` library code without a documented size bound (pending-event queues exempt) |
+//! | L10  | nested lock acquisition whose class pair is absent from (or inverts) the checked-in `lockorder.toml` total order |
+//! | L11  | a lock guard held across a `fpsping_num`/`fpsping_queue` solver call or blocking I/O (`read`/`write`/`accept`) |
+//! | L12  | raw `.lock()` / ad-hoc poison recovery outside the audited `fpsping_obs::lock` helpers |
+//!
+//! L10–L12 are **cross-file**: lock classes (`crate::Type::field`) are
+//! indexed over the whole workspace first (see [`locks`]), then each file
+//! is re-walked with a guard-section tracker. The blessed acquisition
+//! order lives in `lockorder.toml` next to `lint.toml`.
 //!
 //! Individual findings are silenced inline with
 //! `// lint:allow(<slug>): <non-empty reason>` on the same or preceding
@@ -36,10 +44,12 @@ use std::path::{Path, PathBuf};
 pub mod baseline;
 pub mod classify;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 
 pub use baseline::{Baseline, Waiver};
 pub use classify::FileClass;
+pub use locks::{LockIndex, LockOrder};
 
 /// The rule identifiers. `W*` rules police the waiver mechanism itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,6 +72,12 @@ pub enum Rule {
     L08,
     /// Undocumented growable-buffer `.push(…)` in `crates/sim` library code.
     L09,
+    /// Nested lock acquisition outside the `lockorder.toml` total order.
+    L10,
+    /// Lock guard held across a solver call or blocking I/O.
+    L11,
+    /// Raw `.lock()` / ad-hoc poison recovery outside `fpsping_obs::lock`.
+    L12,
     /// A waiver (inline or baseline) with an empty justification.
     W01,
 }
@@ -79,6 +95,9 @@ impl Rule {
             Rule::L07 => "process_exit",
             Rule::L08 => "instant",
             Rule::L09 => "unbounded_push",
+            Rule::L10 => "lock_order",
+            Rule::L11 => "lock_held",
+            Rule::L12 => "raw_lock",
             Rule::W01 => "waiver",
         }
     }
@@ -95,6 +114,9 @@ impl Rule {
             "L07" | "process_exit" => Some(Rule::L07),
             "L08" | "instant" => Some(Rule::L08),
             "L09" | "unbounded_push" => Some(Rule::L09),
+            "L10" | "lock_order" => Some(Rule::L10),
+            "L11" | "lock_held" => Some(Rule::L11),
+            "L12" | "raw_lock" => Some(Rule::L12),
             "W01" | "waiver" => Some(Rule::W01),
             _ => None,
         }
@@ -143,6 +165,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Baseline entries that matched zero findings (stale — informational).
     pub stale_waivers: Vec<String>,
+    /// `lockorder.toml` entries naming classes the index never saw
+    /// (stale — informational, must shrink like stale waivers).
+    pub stale_lock_order: Vec<String>,
 }
 
 impl Report {
@@ -155,7 +180,7 @@ impl Report {
     /// absent.
     pub fn summary(&self) -> String {
         format!(
-            "xtask lint: {} finding(s) ({} baseline-waived, {} inline-waived) across {} files{}",
+            "xtask lint: {} finding(s) ({} baseline-waived, {} inline-waived) across {} files{}{}",
             self.active.len(),
             self.baseline_waived.len(),
             self.inline_waived,
@@ -164,6 +189,14 @@ impl Report {
                 String::new()
             } else {
                 format!("; {} stale baseline waiver(s)", self.stale_waivers.len())
+            },
+            if self.stale_lock_order.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "; {} stale lockorder.toml entr(y/ies)",
+                    self.stale_lock_order.len()
+                )
             }
         )
     }
@@ -199,6 +232,13 @@ impl Report {
             }
             out.push_str(&json_str(s));
         }
+        out.push_str("],\n  \"stale_lock_order\": [");
+        for (i, s) in self.stale_lock_order.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(s));
+        }
         out.push_str(&format!("],\n  \"ok\": {}\n}}\n", self.ok()));
         out
     }
@@ -229,6 +269,8 @@ pub enum LintError {
     Io(String),
     /// `lint.toml` could not be parsed.
     Baseline(String),
+    /// `lockorder.toml` could not be parsed.
+    LockOrder(String),
 }
 
 impl fmt::Display for LintError {
@@ -236,6 +278,7 @@ impl fmt::Display for LintError {
         match self {
             LintError::Io(m) => write!(f, "io error: {m}"),
             LintError::Baseline(m) => write!(f, "lint.toml: {m}"),
+            LintError::LockOrder(m) => write!(f, "lockorder.toml: {m}"),
         }
     }
 }
@@ -244,25 +287,52 @@ impl std::error::Error for LintError {}
 
 /// Lints a single source text as if it lived at `rel_path` (workspace
 /// relative, `/`-separated). Inline waivers are honored; the baseline is
-/// not consulted. Returns `(findings, inline_waived_count)`.
+/// not consulted. The cross-file lock index is built from this one file
+/// against an empty lock order. Returns `(findings, inline_waived_count)`.
 pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, usize) {
+    lint_source_with(rel_path, source, &LockOrder::default())
+}
+
+/// [`lint_source`] against an explicit lock order (single-file CLI mode
+/// with `--lockorder`).
+pub fn lint_source_with(rel_path: &str, source: &str, order: &LockOrder) -> (Vec<Finding>, usize) {
     let class = classify::classify(rel_path);
-    rules::check_file(rel_path, source, &class)
+    let mut index = LockIndex::default();
+    let lines = lexer::lex(source);
+    index.index_file(rel_path, source, &lines);
+    rules::check_file_with(rel_path, source, &class, &index, order)
 }
 
 /// Walks `crates/*/src` under `root`, lints every `.rs` file, and applies
-/// the baseline.
-pub fn lint_workspace(root: &Path, baseline: &Baseline) -> Result<Report, LintError> {
+/// the baseline. Two passes: the first builds the workspace-wide lock
+/// index (L10–L12 resolve classes across files), the second runs the
+/// rules.
+pub fn lint_workspace(
+    root: &Path,
+    baseline: &Baseline,
+    order: &LockOrder,
+) -> Result<Report, LintError> {
     let mut files = collect_sources(root)?;
     files.sort();
     let mut report = Report::default();
-    // (file, rule) -> active findings, for baseline matching.
-    let mut by_key: BTreeMap<(String, Rule), Vec<Finding>> = BTreeMap::new();
+    // Pass 1: read everything and index lock classes.
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    let mut index = LockIndex::default();
     for rel in &files {
         let full = root.join(rel);
         let source = std::fs::read_to_string(&full)
             .map_err(|e| LintError::Io(format!("{}: {e}", full.display())))?;
-        let (findings, inline) = lint_source(rel, &source);
+        let lines = lexer::lex(&source);
+        index.index_file(rel, &source, &lines);
+        sources.push((rel.clone(), source));
+    }
+    report.stale_lock_order = order.stale_entries(&index);
+    // Pass 2: run the rules with the full index in hand.
+    // (file, rule) -> active findings, for baseline matching.
+    let mut by_key: BTreeMap<(String, Rule), Vec<Finding>> = BTreeMap::new();
+    for (rel, source) in &sources {
+        let class = classify::classify(rel);
+        let (findings, inline) = rules::check_file_with(rel, source, &class, &index, order);
         report.inline_waived += inline;
         report.files_scanned += 1;
         for f in findings {

@@ -1,12 +1,30 @@
-//! The domain lint rules (L01–L09) and the inline-waiver mechanism.
+//! The domain lint rules (L01–L12) and the inline-waiver mechanism.
+//! L10–L12 delegate to [`crate::locks`], which needs the cross-file
+//! class index; the other rules are pure per-line checks.
 
 use crate::classify::FileClass;
 use crate::lexer::{lex, test_regions, LexedLine};
+use crate::locks::{check_locks, LockIndex, LockOrder};
 use crate::{Finding, Rule};
+
+/// Runs every rule against one file, building the lock index from the
+/// file itself against an empty lock order (single-file convenience —
+/// the workspace walk uses [`check_file_with`]).
+pub fn check_file(rel_path: &str, source: &str, class: &FileClass) -> (Vec<Finding>, usize) {
+    let mut index = LockIndex::default();
+    index.index_file(rel_path, source, &lex(source));
+    check_file_with(rel_path, source, class, &index, &LockOrder::default())
+}
 
 /// Runs every rule against one file. Returns the surviving findings and
 /// the number of findings silenced by valid inline waivers.
-pub fn check_file(rel_path: &str, source: &str, class: &FileClass) -> (Vec<Finding>, usize) {
+pub fn check_file_with(
+    rel_path: &str,
+    source: &str,
+    class: &FileClass,
+    index: &LockIndex,
+    order: &LockOrder,
+) -> (Vec<Finding>, usize) {
     let lines = lex(source);
     let in_test = test_regions(&lines);
     let mut raw: Vec<Finding> = Vec::new();
@@ -56,6 +74,8 @@ pub fn check_file(rel_path: &str, source: &str, class: &FileClass) -> (Vec<Findi
     if class.l05_applies {
         check_l05(rel_path, &lines, &in_test, &mut raw);
     }
+
+    check_locks(rel_path, &lines, &in_test, class, index, order, &mut raw);
 
     if class.is_lib_rs
         && !lines
@@ -504,8 +524,7 @@ mod tests {
 
     #[test]
     fn l02_preceding_line_waiver() {
-        let src =
-            "// lint:allow(unwrap): mutex cannot be poisoned\nfn a() { m.lock().unwrap(); }\n";
+        let src = "// lint:allow(unwrap): length checked above\nfn a() { xs.first().unwrap(); }\n";
         let (f, waived) = check_file("crates/num/src/x.rs", src, &classify("crates/num/src/x.rs"));
         assert!(f.is_empty());
         assert_eq!(waived, 1);

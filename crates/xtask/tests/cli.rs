@@ -132,6 +132,66 @@ fn l09_fixture_flags_buffer_push_in_sim_only() {
 }
 
 #[test]
+fn l10_fixture_flags_unordered_nesting() {
+    let out = lint_fixture("l10_lock_order.rs", "crates/serve/src/fixture.rs");
+    assert_finding(&out, "L10", "crates/serve/src/fixture.rs", 10);
+}
+
+#[test]
+fn l10_fixture_is_clean_under_blessed_order() {
+    // The same nesting passes once lockorder.toml blesses a-before-b.
+    let out = xtask()
+        .args(["lint", "--file"])
+        .arg(fixture("l10_lock_order.rs"))
+        .args(["--as", "crates/serve/src/fixture.rs", "--lockorder"])
+        .arg(fixture("lockorder_pair.toml"))
+        .output()
+        .expect("spawn xtask");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+}
+
+#[test]
+fn l10_fixture_flags_inverted_order() {
+    // Same fixture, order file reversed by pretending the crate differs:
+    // feed the blessed file but lint under a path whose class names miss
+    // it entirely — the pair is then "absent", still L10.
+    let out = xtask()
+        .args(["lint", "--file"])
+        .arg(fixture("l10_lock_order.rs"))
+        .args(["--as", "crates/sim/src/fixture.rs", "--lockorder"])
+        .arg(fixture("lockorder_pair.toml"))
+        .output()
+        .expect("spawn xtask");
+    assert_finding(&out, "L10", "crates/sim/src/fixture.rs", 10);
+}
+
+#[test]
+fn l11_fixture_flags_guard_held_across_io_and_solver() {
+    let out = lint_fixture("l11_lock_held.rs", "crates/serve/src/fixture.rs");
+    assert_finding(&out, "L11", "crates/serve/src/fixture.rs", 9);
+    assert_finding(&out, "L11", "crates/serve/src/fixture.rs", 10);
+}
+
+#[test]
+fn l12_fixture_flags_raw_lock_outside_obs_only() {
+    let out = lint_fixture("l12_raw_lock.rs", "crates/serve/src/fixture.rs");
+    assert_finding(&out, "L12", "crates/serve/src/fixture.rs", 4);
+    // `crates/obs` hosts the audited helpers themselves.
+    let out = lint_fixture("l12_raw_lock.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn temporaries_fixture_is_clean() {
+    // The guard-span blind spot: statement-scoped guards must not
+    // produce L10/L11 false positives.
+    let out = lint_fixture("lock_temporaries.rs", "crates/obs/src/fixture.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+}
+
+#[test]
 fn fixture_findings_survive_into_json() {
     let out = xtask()
         .args(["lint", "--file"])
@@ -162,6 +222,10 @@ fn workspace_is_clean_with_checked_in_baseline() {
         "workspace lint not clean:\n{stdout}\n{stderr}"
     );
     assert!(stdout.contains("0 finding(s)"), "summary:\n{stdout}");
+    assert!(
+        !stdout.contains("stale lockorder"),
+        "checked-in lockorder.toml has stale entries:\n{stdout}"
+    );
 }
 
 #[test]

@@ -1,0 +1,12 @@
+//! Seeded L11: a lock guard held across blocking I/O and a solver call.
+
+pub struct S {
+    stats: std::sync::Mutex<u64>,
+}
+
+pub fn held(s: &S, stream: &mut std::net::TcpStream, buf: &mut [u8]) -> u64 {
+    let g = fpsping_obs::lock(&s.stats);
+    let _ = stream.read(buf);
+    let _v = fpsping_num::roots::bisect(0.0, 1.0);
+    *g
+}

@@ -1,0 +1,6 @@
+//! Seeded L12: raw mutex access outside the audited obs helpers.
+
+pub fn raw(m: &std::sync::Mutex<u32>) -> u32 {
+    let v = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    v
+}

@@ -47,6 +47,10 @@ cold = counters.get("queue.dek1.zeta.cold_solves", 0)
 assert warm > 0, "batch engine sweep recorded no queue.dek1.zeta.warm_solves"
 assert warm > cold, \
     "continuation not engaging: warm_solves=%d <= cold_solves=%d" % (warm, cold)
+# Release builds must compile the lockdep witness out entirely: the
+# counters are still exported (schema stability) but must read zero.
+assert counters.get("lockdep.checks", -1) == 0, \
+    "lockdep active in a release build: checks=%r" % counters.get("lockdep.checks")
 print("tier-1: metrics smoke OK (%d counters; zeta warm/cold = %d/%d)"
       % (len(counters), warm, cold))
 PY
@@ -246,5 +250,71 @@ else
     grep -q '"workload": "hotspot"' BENCH_serve.json
     echo "tier-1: BENCH_serve.json OK (grep fallback)"
 fi
+
+# Lockdep smoke: debug builds carry the fpsping_obs lock-order witness
+# (asserted compiled-out in release by the metrics smoke above). Both
+# hot paths must complete under it — the serve accept → batch → respond
+# → stats-mirror cycle and the N=10⁴ scale simulation. A lock-order
+# cycle or reentrant acquisition panics the process, so a clean exit IS
+# the assertion; debug throughput gets no floor.
+cargo build -q -p fpsping -p fpsping-serve -p fpsping-loadgen
+LOCKDEP_LOG="$(mktemp /tmp/fpsping-lockdep-log.XXXXXX)"
+LOCKDEP_SMOKE="$(mktemp /tmp/fpsping-lockdep-smoke.XXXXXX.json)"
+LOCKDEP_METRICS="$(mktemp /tmp/fpsping-lockdep-metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2" \
+    "$SERVE_LOG" "$SERVE_SMOKE" "$LOCKDEP_LOG" "$LOCKDEP_SMOKE" \
+    "$LOCKDEP_METRICS"' EXIT
+./target/debug/fpsping-serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-entries 16384 > "$LOCKDEP_LOG" &
+LOCKDEP_PID=$!
+LOCKDEP_ADDR=""
+for _ in $(seq 1 100); do
+    LOCKDEP_ADDR="$(sed -n 's/^listening on //p' "$LOCKDEP_LOG")"
+    [ -n "$LOCKDEP_ADDR" ] && break
+    sleep 0.05
+done
+if [ -z "$LOCKDEP_ADDR" ]; then
+    echo "tier-1: debug fpsping-serve never reported its listen address"
+    kill "$LOCKDEP_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/debug/fpsping-loadgen --addr "$LOCKDEP_ADDR" --smoke > "$LOCKDEP_SMOKE"
+for _ in $(seq 1 100); do
+    kill -0 "$LOCKDEP_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$LOCKDEP_PID" 2>/dev/null; then
+    echo "tier-1: debug fpsping-serve did not shut down (lockdep smoke)"
+    kill "$LOCKDEP_PID" 2>/dev/null || true
+    exit 1
+fi
+wait "$LOCKDEP_PID" 2>/dev/null || true
+grep -q '"clean_shutdown": true' "$LOCKDEP_SMOKE" || {
+    echo "tier-1: lockdep serve smoke did not shut down cleanly"
+    exit 1
+}
+./target/debug/fpsping-cli sim --scale-n 10000 --shards 2 --sim-seconds 2 \
+    --metrics-out "$LOCKDEP_METRICS" > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$LOCKDEP_METRICS" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+checks = counters.get("lockdep.checks", 0)
+edges = counters.get("lockdep.edges", 0)
+assert checks > 0, "debug build recorded no supervised lock acquisitions"
+print("tier-1: lockdep smoke OK (serve + N=1e4 sim clean; "
+      "%d checks, %d edges)" % (checks, edges))
+PY
+else
+    grep -q '"lockdep\.checks"' "$LOCKDEP_METRICS"
+    echo "tier-1: lockdep smoke OK (grep fallback)"
+fi
+
+# The obs-off escape hatch must keep building everywhere it is wired:
+# fpsping-bench and fpsping-serve sit at the top of the two dependency
+# stacks, so these two checks cover every crate forwarding the feature.
+cargo check -q -p fpsping-bench --features obs-off
+cargo check -q -p fpsping-serve --features obs-off
+echo "tier-1: obs-off builds OK"
 
 echo "tier-1: OK"
