@@ -1,0 +1,212 @@
+//! Estimator bench: the convergence study (per-player p99 error vs ping
+//! count against the analytic quantile) plus the raw ingest throughput
+//! of the per-player estimator bank on a synthetic 1 000-player packet
+//! feed. Writes `BENCH_estimator.json` at the repo root;
+//! `scripts/tier1.sh` asserts the committed file's invariants.
+//!
+//! Run with `--test` for a quick smoke: a smaller study, a shorter feed,
+//! and — because the committed JSON carries the full-run acceptance
+//! figures — **no file write**.
+
+use fpsping_bench::estimator_study::{pings_to_trustworthy, run_study, StudyConfig};
+use fpsping_traffic::estimator::{EstimatorBank, DEFAULT_CHECKPOINTS};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Trustworthiness bar for the convergence study (median per-player
+/// |rel err| of the p99 estimate; must hold at every later checkpoint).
+const TRUST_THRESHOLD: f64 = 0.10;
+
+/// Ingest acceptance floor (packets/s across 1 000 players, 1 core).
+const INGEST_FLOOR: f64 = 1e6;
+
+/// Synthetic line-rate feed: `players` clients each send `pings` pings
+/// through one shared bank; every ping is sent and all but every 97th
+/// is answered (exercising the loss path at ~1%), with an LCG-jittered
+/// RTT and hold. Returns (packets processed, wall seconds) — one packet
+/// per send plus one per delivered pong, matching what the sim tap
+/// feeds per packet event.
+fn ingest(players: usize, pings: usize) -> (u64, f64) {
+    let mut bank = EstimatorBank::new(players, &DEFAULT_CHECKPOINTS);
+    let mut lcg: u64 = 0x1234_5678_9ABC_DEF0;
+    let mut jitter = || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (lcg >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut packets = 0u64;
+    let t0 = Instant::now();
+    let mut now_ms = 0.0f64;
+    for round in 0..pings {
+        now_ms += 40.0;
+        for i in 0..players {
+            let seq = bank.on_ping_sent(i, now_ms);
+            packets += 1;
+            if (round * players + i).is_multiple_of(97) {
+                continue; // dropped in flight: the recycle path counts it lost
+            }
+            let rtt = 12.0 + 25.0 * jitter();
+            let hold = 20.0 * jitter();
+            bank.on_pong(i, seq, now_ms + rtt + hold, hold);
+            packets += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let summary = bank.into_summary();
+    // The feed is trusted input for a timing loop, but a bank that
+    // miscounts would time the wrong code — sanity-gate it.
+    let expected_losses = (players * pings).div_ceil(97) as u64;
+    assert_eq!(
+        summary.counters.matches + expected_losses,
+        (players * pings) as u64,
+        "ingest feed mismatch: {:?}",
+        summary.counters
+    );
+    assert_eq!(summary.counters.invalid_samples, 0);
+    (packets, wall)
+}
+
+fn run(quick: bool) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cfg = if quick {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::default_study()
+    };
+    println!(
+        "convergence study: N={} for {} s simulated...",
+        cfg.players, cfg.sim_seconds
+    );
+    let study = run_study(&cfg);
+    let est = &study.summary;
+    let pooled_p99 = est
+        .pooled_p99
+        .as_ref()
+        .expect("study produced samples")
+        .estimate();
+    let pooled_p999 = est
+        .pooled_p999
+        .as_ref()
+        .expect("study produced samples")
+        .estimate();
+    let p99_err_pct = 100.0 * (pooled_p99 - study.analytic_p99_ms) / study.analytic_p99_ms;
+    let p999_err_pct = 100.0 * (pooled_p999 - study.analytic_p999_ms) / study.analytic_p999_ms;
+    println!(
+        "  analytic p99 {:.3} ms / p99.9 {:.3} ms; pooled {:.3} ms ({p99_err_pct:+.2}%) / {:.3} ms ({p999_err_pct:+.2}%)",
+        study.analytic_p99_ms, study.analytic_p999_ms, pooled_p99, pooled_p999
+    );
+    for e in &study.errors {
+        println!(
+            "  {:>5} pings: median |err| {:.2}%, p90 {:.2}% ({} players)",
+            e.pings,
+            e.median_rel_err * 100.0,
+            e.p90_rel_err * 100.0,
+            e.players_reached
+        );
+    }
+    let trustworthy = pings_to_trustworthy(&study.errors, TRUST_THRESHOLD);
+    println!(
+        "  pings to trustworthy (median <= {:.0}%): {:?}",
+        TRUST_THRESHOLD * 100.0,
+        trustworthy
+    );
+
+    let (ingest_players, ingest_pings) = if quick { (1_000, 200) } else { (1_000, 2_000) };
+    println!("ingest: {ingest_players} players x {ingest_pings} pings...");
+    let (packets, wall) = ingest(ingest_players, ingest_pings);
+    let pps = packets as f64 / wall;
+    println!(
+        "  {packets} packets in {:.0} ms -> {:.2} M packets/s",
+        wall * 1e3,
+        pps / 1e6
+    );
+
+    if quick {
+        println!("--test: skipping BENCH_estimator.json (committed file carries the full run)");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"estimator convergence, N={} at rho_d={:.2} for {} s (seed {:#x}); ingest feed {} players x {} pings\",",
+        cfg.players,
+        study.scenario.downlink_load(),
+        cfg.sim_seconds,
+        cfg.seed,
+        ingest_players,
+        ingest_pings
+    );
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"analytic_p99_ms\": {:.4},", study.analytic_p99_ms);
+    let _ = writeln!(
+        json,
+        "  \"analytic_p999_ms\": {:.4},",
+        study.analytic_p999_ms
+    );
+    let _ = writeln!(json, "  \"pooled_p99_ms\": {pooled_p99:.4},");
+    let _ = writeln!(json, "  \"pooled_p99_err_pct\": {p99_err_pct:.2},");
+    let _ = writeln!(json, "  \"pooled_p999_ms\": {pooled_p999:.4},");
+    let _ = writeln!(json, "  \"pooled_p999_err_pct\": {p999_err_pct:.2},");
+    let c = est.counters;
+    let _ = writeln!(
+        json,
+        "  \"counters\": {{\"matches\": {}, \"losses\": {}, \"reorders\": {}, \"late_replies\": {}, \"invalid_samples\": {}}},",
+        c.matches, c.losses, c.reorders, c.late_replies, c.invalid_samples
+    );
+    let _ = writeln!(json, "  \"convergence\": [");
+    for (i, e) in study.errors.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"pings\": {}, \"players_reached\": {}, \"median_rel_err\": {:.4}, \"p90_rel_err\": {:.4}}}{}",
+            e.pings,
+            e.players_reached,
+            e.median_rel_err,
+            e.p90_rel_err,
+            if i + 1 < study.errors.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"trust_threshold\": {TRUST_THRESHOLD},");
+    let _ = writeln!(
+        json,
+        "  \"pings_to_trustworthy\": {},",
+        trustworthy.expect("full study must settle under the trust threshold")
+    );
+    let _ = writeln!(json, "  \"ingest_players\": {ingest_players},");
+    let _ = writeln!(json, "  \"ingest_packets\": {packets},");
+    let _ = writeln!(json, "  \"ingest_wall_ms\": {:.1},", wall * 1e3);
+    let _ = writeln!(json, "  \"ingest_packets_per_sec\": {pps:.0},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"pooled tails are count-weighted P2 merges across players; the estimator observes hold-corrected RTTs, directly comparable to the analytic upstream+downstream quantile. pings_to_trustworthy = first checkpoint where the median per-player |rel err| of the p99 estimate drops under the threshold and stays there.\""
+    );
+    json.push_str("}\n");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_estimator.json");
+    std::fs::write(&out, &json).expect("write BENCH_estimator.json");
+    println!("wrote {}", out.display());
+
+    assert!(
+        p99_err_pct.abs() <= 10.0,
+        "pooled p99 err {p99_err_pct:.2}% exceeds the 10% acceptance bound"
+    );
+    assert!(
+        trustworthy.expect("settled") <= 500,
+        "median error did not settle under {TRUST_THRESHOLD} by 500 pings"
+    );
+    assert!(
+        pps >= INGEST_FLOOR,
+        "ingest {pps:.0} packets/s below the 1M floor"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    run(quick);
+}

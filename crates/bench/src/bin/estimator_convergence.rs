@@ -1,0 +1,92 @@
+//! Estimator convergence study (beyond the paper): how many pings does a
+//! client need before its streaming p99 estimate matches the analytic
+//! [`fpsping::RttModel`] quantile?
+//!
+//! Runs the §4 scenario at N = 100 (ρ_d = 0.5) with the per-player
+//! estimator enabled, snapshots every player's P² p99 at the ping-count
+//! checkpoints, and prints the median / p90 relative error against the
+//! analytic 99% network-RTT quantile at each checkpoint. The first
+//! checkpoint where the median error drops under 10% *and stays there*
+//! is reported as "pings to trustworthy". CSV lands in
+//! `results/estimator_convergence.csv`.
+
+use fpsping_bench::estimator_study::{pings_to_trustworthy, run_study, StudyConfig};
+use fpsping_bench::{write_csv, SimArgs};
+
+/// Median relative error under which a client-side p99 estimate is
+/// called trustworthy (see EXPERIMENTS.md for the measured curve).
+const TRUST_THRESHOLD: f64 = 0.10;
+
+fn main() {
+    let args = SimArgs::from_env();
+    let cfg = StudyConfig::default_study();
+    let scenario = cfg.scenario();
+    println!(
+        "Estimator convergence: N={} ρ_d={:.2} T={} ms — {} s simulated (~{:.0} pings/player)",
+        cfg.players,
+        scenario.downlink_load(),
+        scenario.t_ms,
+        cfg.sim_seconds,
+        cfg.sim_seconds * 1e3 / scenario.effective_client_interval_ms(),
+    );
+    let study = run_study(&cfg);
+    let est = &study.summary;
+    println!(
+        "analytic network RTT: p99 {:.3} ms, p99.9 {:.3} ms",
+        study.analytic_p99_ms, study.analytic_p999_ms
+    );
+    println!(
+        "estimator: {} players, {} matches, {} losses, {} reorders, {} late, {} invalid",
+        est.players_with_samples,
+        est.counters.matches,
+        est.counters.losses,
+        est.counters.reorders,
+        est.counters.late_replies,
+        est.counters.invalid_samples
+    );
+    let rel = |measured: f64, analytic: f64| 100.0 * (measured - analytic) / analytic;
+    if let (Some(p99), Some(p999)) = (&est.pooled_p99, &est.pooled_p999) {
+        println!(
+            "pooled tails at end of run: p99 {:.3} ms ({:+.2}%), p99.9 {:.3} ms ({:+.2}%)",
+            p99.estimate(),
+            rel(p99.estimate(), study.analytic_p99_ms),
+            p999.estimate(),
+            rel(p999.estimate(), study.analytic_p999_ms),
+        );
+    }
+
+    println!(
+        "\n{:>8} {:>8} {:>16} {:>16}",
+        "pings", "players", "median |err| [%]", "p90 |err| [%]"
+    );
+    let mut rows = Vec::new();
+    for e in &study.errors {
+        println!(
+            "{:>8} {:>8} {:>16.2} {:>16.2}",
+            e.pings,
+            e.players_reached,
+            e.median_rel_err * 100.0,
+            e.p90_rel_err * 100.0
+        );
+        rows.push(format!(
+            "{},{},{:.6},{:.6}",
+            e.pings, e.players_reached, e.median_rel_err, e.p90_rel_err
+        ));
+    }
+    match pings_to_trustworthy(&study.errors, TRUST_THRESHOLD) {
+        Some(p) => println!(
+            "\npings to trustworthy (median |err| stays <= {:.0}%): {p}",
+            TRUST_THRESHOLD * 100.0
+        ),
+        None => println!(
+            "\nmedian |err| never settled under {:.0}% — extend the run",
+            TRUST_THRESHOLD * 100.0
+        ),
+    }
+    write_csv(
+        "estimator_convergence.csv",
+        "pings,players_reached,median_rel_err,p90_rel_err",
+        &rows,
+    );
+    args.finish();
+}

@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod estimator_study;
+
 use fpsping_sim::SimEngineConfig;
 use std::fs;
 use std::io::Write;

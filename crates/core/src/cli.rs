@@ -39,6 +39,9 @@ pub enum Command {
         jobs: usize,
         /// O(1)-memory streaming quantiles instead of raw samples.
         stream_quantiles: bool,
+        /// Run the per-player streaming RTT estimator and report its
+        /// pooled tails against the analytic quantiles.
+        estimate: bool,
         /// Simulated seconds per replication.
         sim_seconds: f64,
         /// Master seed for the replication seed derivation.
@@ -109,6 +112,8 @@ FLAGS (all optional; defaults are the paper's §4 scenario):
     --no-upstream            drop the upstream M/G/1 term
     --reps <R>               sim: independent replications      [default 1]
     --stream-quantiles       sim: O(1)-memory P-squared quantiles
+    --estimate               sim: per-player streaming RTT estimator
+                             (EWMA + P² tails, compared to the analytic model)
     --sim-seconds <S>        sim: simulated seconds per replication [default 60]
     --seed <S>               sim: master seed                   [default 24301]
     --scale-n <N>            sim: sharded DSLAM-tree scale run with N players
@@ -187,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut jobs = 0usize;
     let mut reps = 1usize;
     let mut stream_quantiles = false;
+    let mut estimate = false;
     let mut sim_seconds = 60.0f64;
     let mut seed = 0x5EEDu64;
     let mut scale_n = 0usize;
@@ -254,6 +260,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 stream_quantiles = true;
                 consumed = 1;
             }
+            "--estimate" => {
+                estimate = true;
+                consumed = 1;
+            }
             "--sim-seconds" => {
                 let s = parse_f64(flag, value)?;
                 if !s.is_finite() || s <= 0.0 {
@@ -319,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             reps,
             jobs,
             stream_quantiles,
+            estimate,
             sim_seconds,
             seed,
             scale_n,
@@ -447,6 +458,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             reps,
             jobs,
             stream_quantiles,
+            estimate,
             sim_seconds,
             seed,
             scale_n,
@@ -483,6 +495,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 cfg.burst_sizing = BurstSizing::ErlangBurst { k: s.erlang_order };
                 cfg.duration = SimTime::from_secs(*sim_seconds);
                 cfg.calendar = *calendar;
+                cfg.estimate = *estimate;
                 cfg
             });
             let _ = writeln!(
@@ -530,6 +543,49 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     q.value_s * 1e3,
                     ci(q.ci95_s)
                 );
+            }
+            if let Some(est) = &rep.estimator {
+                let c = est.counters;
+                let _ = writeln!(
+                    out,
+                    "  estimator: {} players ({} with samples), srtt mean {:.3} ms, rttvar mean {:.3} ms",
+                    est.players, est.players_with_samples, est.srtt_mean_ms, est.rttvar_mean_ms
+                );
+                let _ = writeln!(
+                    out,
+                    "    matches {} | losses {} | reorders {} | late {} | invalid {}",
+                    c.matches, c.losses, c.reorders, c.late_replies, c.invalid_samples
+                );
+                // The estimator observes hold-corrected RTTs — exactly the
+                // upstream + downstream network delay the analytic model's
+                // quantile describes — so the two are directly comparable.
+                let measured_p99 = est.pooled_p99.as_ref().map(|q| q.estimate());
+                let measured_p999 = est.pooled_p999.as_ref().map(|q| q.estimate());
+                for (label, level, measured) in [
+                    ("p99  ", 0.99, measured_p99),
+                    ("p99.9", 0.999, measured_p999),
+                ] {
+                    let mut at = s.clone();
+                    at.quantile = level;
+                    let analytic = RttModel::build(&at)
+                        .map_err(|e| e.to_string())?
+                        .rtt_quantile_ms();
+                    match measured {
+                        Some(m) => {
+                            let err = 100.0 * (m - analytic) / analytic;
+                            let _ = writeln!(
+                                out,
+                                "    est {label}: {m:.3} ms (analytic {analytic:.3} ms, err {err:+.2}%)"
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "    est {label}: n/a (analytic {analytic:.3} ms) — too few samples"
+                            );
+                        }
+                    }
+                }
             }
             if *reps < 2 {
                 let _ = writeln!(
@@ -664,12 +720,18 @@ mod tests {
                 reps,
                 jobs,
                 stream_quantiles,
+                estimate,
                 ..
             } => {
                 assert_eq!(reps, 1, "default single replication");
                 assert_eq!(jobs, 0, "default all cores");
                 assert!(!stream_quantiles);
+                assert!(!estimate, "estimator off by default");
             }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("sim --estimate")).unwrap() {
+            Command::Sim { estimate, .. } => assert!(estimate),
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("sim --reps 0")).is_err());
@@ -731,6 +793,24 @@ mod tests {
         assert!(out.contains("application ping"), "{out}");
         assert!(out.contains("±"), "R=3 must print CIs: {out}");
         assert!(out.contains("p99.999"), "{out}");
+    }
+
+    #[test]
+    fn run_sim_estimate_reports_tails_vs_analytic() {
+        let cmd = parse(&argv(
+            "sim --estimate --gamers 10 --c-kbps 500 --sim-seconds 20 --seed 5",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("estimator:"), "{out}");
+        assert!(out.contains("matches "), "{out}");
+        assert!(out.contains("est p99  "), "{out}");
+        assert!(out.contains("est p99.9"), "{out}");
+        assert!(out.contains("analytic "), "{out}");
+        // Without the flag the block is absent.
+        let plain =
+            run(&parse(&argv("sim --gamers 10 --c-kbps 500 --sim-seconds 5")).unwrap()).unwrap();
+        assert!(!plain.contains("estimator:"), "{plain}");
     }
 
     #[test]

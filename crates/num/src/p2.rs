@@ -19,8 +19,12 @@ pub struct P2Quantile {
     /// Desired position increments per observation.
     dn: [f64; 5],
     count: u64,
-    /// Initial observations (before the 5-marker structure exists).
-    init: Vec<f64>,
+    /// Initial observations (before the 5-marker structure exists),
+    /// inline so an estimator never allocates — banks of thousands of
+    /// per-player estimators construct without touching the heap. Only
+    /// the first `init_len` entries are meaningful.
+    init: [f64; 5],
+    init_len: usize,
 }
 
 impl P2Quantile {
@@ -37,7 +41,8 @@ impl P2Quantile {
             np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
             dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
             count: 0,
-            init: Vec::with_capacity(5),
+            init: [0.0; 5],
+            init_len: 0,
         }
     }
 
@@ -65,7 +70,7 @@ impl P2Quantile {
     pub fn record(&mut self, x: f64) {
         assert!(!x.is_nan(), "P2Quantile: NaN observation");
         self.count += 1;
-        if self.init.len() < 5 {
+        if self.init_len < 5 {
             self.record_init(x);
             return;
         }
@@ -110,12 +115,11 @@ impl P2Quantile {
     /// inlined `record` body is just the steady-state marker update.
     #[cold]
     fn record_init(&mut self, x: f64) {
-        self.init.push(x);
-        if self.init.len() == 5 {
+        self.init[self.init_len] = x;
+        self.init_len += 1;
+        if self.init_len == 5 {
             self.init.sort_by(f64::total_cmp);
-            for i in 0..5 {
-                self.q[i] = self.init[i];
-            }
+            self.q = self.init;
         }
     }
 
@@ -161,16 +165,16 @@ impl P2Quantile {
         }
         // A side without a marker structure yet contributes its raw
         // observations verbatim.
-        if other.init.len() < 5 && other.count == other.init.len() as u64 {
-            for &x in &other.init {
+        if other.init_len < 5 && other.count == other.init_len as u64 {
+            for &x in &other.init[..other.init_len] {
                 self.record(x);
             }
             return;
         }
-        if self.init.len() < 5 && self.count == self.init.len() as u64 {
-            let mine = std::mem::take(&mut self.init);
+        if self.init_len < 5 && self.count == self.init_len as u64 {
+            let (mine, mine_len) = (self.init, self.init_len);
             *self = other.clone();
-            for x in mine {
+            for &x in &mine[..mine_len] {
                 self.record(x);
             }
             return;
@@ -210,11 +214,11 @@ impl P2Quantile {
     /// observations (falls back to order statistics). Panics when no
     /// observations have been recorded yet; never NaN otherwise.
     pub fn estimate(&self) -> f64 {
-        if self.init.len() < 5 {
-            assert!(!self.init.is_empty(), "P2Quantile: no observations yet");
-            let mut v = self.init.clone();
-            v.sort_by(f64::total_cmp);
-            return crate::stats::quantile(&v, self.p);
+        if self.init_len < 5 {
+            assert!(self.init_len > 0, "P2Quantile: no observations yet");
+            let mut v = self.init;
+            v[..self.init_len].sort_by(f64::total_cmp);
+            return crate::stats::quantile(&v[..self.init_len], self.p);
         }
         self.q[2]
     }

@@ -56,6 +56,7 @@ static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
 static CACHE_EVICTIONS: Counter = Counter::new("serve.cache.evictions");
 static LATENCY_US: Histogram = Histogram::new("serve.latency_us");
 static BATCH_SIZE: Histogram = Histogram::new("serve.batch.size");
+static READ_RETRIES: Counter = Counter::new("serve.conns.read_retries");
 
 /// Lockdep classes for the serve layer's two locks. The conn queue is
 /// outermost (held only around queue surgery, but workers block in it);
@@ -268,6 +269,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue: Arc<ConnQueue>
                     CONNS_REJECTED.incr();
                 }
             }
+            // EINTR means a signal landed mid-accept — retry immediately,
+            // without the idle-poll sleep a WouldBlock gets.
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -276,6 +280,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue: Arc<ConnQueue>
     }
     // Wake any worker parked on an empty queue so it can observe the flag.
     queue.cv.notify_all();
+}
+
+/// Read/accept errors that mean "try again", not "the connection is
+/// dead": the non-blocking timeout poll (`WouldBlock` on Unix, also
+/// `TimedOut` on Windows read timeouts) and `Interrupted` (EINTR — a
+/// signal landed mid-syscall). The worker read loop previously retried
+/// only the first two, so any EINTR killed the connection.
+fn read_retryable(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+    )
 }
 
 /// Per-connection framing, detected from the first byte received.
@@ -300,7 +316,10 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
         let n = match stream.read(&mut scratch) {
             Ok(0) => return Ok(()),
             Ok(n) => n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if read_retryable(e.kind()) => {
+                READ_RETRIES.incr();
+                continue;
+            }
             Err(e) => return Err(e),
         };
         pending.extend_from_slice(&scratch[..n]);
@@ -506,4 +525,62 @@ pub fn rss_mib() -> Option<f64> {
 /// Peak resident set size (VmHWM) in MiB (Linux; `None` elsewhere).
 pub fn rss_peak_mib() -> Option<f64> {
     Some(proc_status_field("VmHWM:")? as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupted_is_retryable() {
+        // Regression for the EINTR bug: the worker read loop classified
+        // only WouldBlock/TimedOut as retryable, so a signal landing
+        // mid-read (ErrorKind::Interrupted) killed the connection.
+        assert!(read_retryable(ErrorKind::Interrupted));
+        assert!(read_retryable(ErrorKind::WouldBlock));
+        assert!(read_retryable(ErrorKind::TimedOut));
+        // Genuine connection failures still end the connection.
+        for fatal in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(!read_retryable(fatal), "{fatal:?} must stay fatal");
+        }
+    }
+
+    #[test]
+    fn idle_connection_survives_read_retries() {
+        // Drive the retry arm of serve_conn end-to-end: an idle client
+        // trips the 50 ms read timeout repeatedly (counted in
+        // serve.conns.read_retries), and the connection must still answer
+        // a request sent afterwards.
+        use crate::protocol::{decode_response, encode_request, Request, STATUS_OK};
+        use std::io::{Read as _, Write as _};
+        let before = READ_RETRIES.get();
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind 127.0.0.1:0");
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        // Idle long enough for at least one timeout poll of the worker.
+        std::thread::sleep(Duration::from_millis(150));
+        stream
+            .write_all(&encode_request(&Request::rtt(1, 9, 40.0, 0.4)))
+            .expect("write after idling");
+        let mut buf = [0u8; crate::protocol::RESP_FRAME_LEN];
+        stream.read_exact(&mut buf).expect("read response");
+        let resp = decode_response(&buf).expect("frame");
+        assert_eq!((resp.id, resp.status), (1, STATUS_OK));
+        if cfg!(not(feature = "obs-off")) {
+            assert!(
+                READ_RETRIES.get() > before,
+                "idle polls must be counted as read retries"
+            );
+        }
+        server.request_shutdown();
+        server.join();
+    }
 }

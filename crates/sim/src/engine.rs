@@ -162,6 +162,10 @@ pub struct ReplicatedReport {
     pub packets_upstream: u64,
     /// Total packets delivered to clients.
     pub packets_downstream: u64,
+    /// Client-side estimator summaries merged across replications (when
+    /// the scenario set `estimate`) — each replication's player
+    /// population is treated as an independent cohort.
+    pub estimator: Option<fpsping_traffic::EstimatorSummary>,
     /// Each replication's own summarized report, index = replication.
     pub per_rep: Vec<SimReport>,
 }
@@ -248,6 +252,15 @@ impl SimEngine {
         let events = reps.iter().map(|m| m.events).sum();
         let packets_upstream = reps.iter().map(|m| m.packets_upstream).sum();
         let packets_downstream = reps.iter().map(|m| m.packets_downstream).sum();
+        let mut estimator: Option<fpsping_traffic::EstimatorSummary> = None;
+        for m in &reps {
+            if let Some(s) = &m.estimator {
+                match &mut estimator {
+                    None => estimator = Some(s.clone()),
+                    Some(acc) => acc.merge(s),
+                }
+            }
+        }
         ReplicatedReport {
             reps: r,
             master_seed: self.cfg.master_seed,
@@ -261,6 +274,7 @@ impl SimEngine {
             events,
             packets_upstream,
             packets_downstream,
+            estimator,
             per_rep: reps.into_iter().map(Measurements::into_report).collect(),
         }
     }

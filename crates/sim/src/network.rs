@@ -22,13 +22,15 @@
 
 use crate::calendar::{Calendar, CalendarKind, Scheduled};
 use crate::link::{Link, LinkAction};
-use crate::packet::{Packet, TrafficClass};
+use crate::packet::{AckInfo, Packet, TrafficClass};
 use crate::probe::{DelayProbe, ProbeSummary};
 use crate::rng::BatchRng;
 use crate::scheduler::Discipline;
 use crate::time::SimTime;
 use fpsping_dist::{uniform01, Distribution};
+use fpsping_num::finite_guard::finite;
 use fpsping_obs::{Counter, Histogram};
+use fpsping_traffic::estimator::{EstimatorBank, EstimatorSummary, DEFAULT_CHECKPOINTS};
 
 static EVENTS: Counter = Counter::new("sim.events");
 static PACKETS_UP: Counter = Counter::new("sim.packets.up");
@@ -139,6 +141,14 @@ pub struct NetworkConfig {
     /// `max_samples` truncates (the [`QUANTILE_LEVELS`] are tracked;
     /// moments and exceedance counters stay exact either way).
     pub stream_quantiles: bool,
+    /// Run the client-side online RTT estimator
+    /// ([`fpsping_traffic::estimator`]): every warm client packet is
+    /// registered as a ping, the answering tick packet echoes its
+    /// sequence number plus the server's hold time, and each client
+    /// tracks the hold-corrected RTT (EWMA + P² tails) — the quantity
+    /// the analytic model predicts. Off by default: it adds per-packet
+    /// work and the golden-parity tests pin the plain path.
+    pub estimate: bool,
     /// Max raw samples per probe (exceedance counters stay exact).
     pub max_samples: usize,
     /// Tail thresholds (seconds) for exact exceedance counting.
@@ -189,6 +199,7 @@ impl NetworkConfig {
             warmup: SimTime::from_secs(2.0),
             seed,
             stream_quantiles: false,
+            estimate: false,
             max_samples: 2_000_000,
             tail_thresholds_s: vec![0.010, 0.025, 0.050, 0.100, 0.200],
             client_overrides: None,
@@ -225,6 +236,10 @@ pub struct SimReport {
     pub packets_upstream: u64,
     /// Captured packet trace (when `capture_trace` was set).
     pub trace: Option<fpsping_traffic::Trace>,
+    /// Client-side estimator summary (when `estimate` was set): the
+    /// hold-corrected RTT each client measured, directly comparable to
+    /// the analytic `TotalDelay` quantile.
+    pub estimator: Option<EstimatorSummary>,
 }
 
 /// The raw measurement state of one finished run: live [`DelayProbe`]s
@@ -255,6 +270,8 @@ pub struct Measurements {
     pub packets_upstream: u64,
     /// Captured packet trace (when `capture_trace` was set).
     pub trace: Option<fpsping_traffic::Trace>,
+    /// Client-side estimator summary (when `estimate` was set).
+    pub estimator: Option<EstimatorSummary>,
 }
 
 impl Measurements {
@@ -273,6 +290,7 @@ impl Measurements {
             packets_downstream: self.packets_downstream,
             packets_upstream: self.packets_upstream,
             trace: self.trace,
+            estimator: self.estimator,
         }
     }
 }
@@ -308,9 +326,11 @@ pub struct Network {
     agg_wait: DelayProbe,
     burst_wait: DelayProbe,
     ping_rtt: DelayProbe,
-    // Ping bookkeeping: creation time of the latest client packet that
-    // reached the server, per client.
-    last_arrival: Vec<Option<SimTime>>,
+    // Ping bookkeeping: the latest client packet that reached the server,
+    // per client (send time, server-arrival time, estimator sequence).
+    last_arrival: Vec<Option<AckInfo>>,
+    // Client-side RTT estimators (None unless `cfg.estimate`).
+    estimator: Option<EstimatorBank>,
     events: u64,
     packets_up: u64,
     packets_down: u64,
@@ -409,6 +429,11 @@ impl Network {
             burst_wait: probe(),
             ping_rtt: probe(),
             last_arrival: vec![None; n],
+            estimator: if cfg.estimate {
+                Some(EstimatorBank::new(n, &DEFAULT_CHECKPOINTS))
+            } else {
+                None
+            },
             events: 0,
             packets_up: 0,
             packets_down: 0,
@@ -503,6 +528,10 @@ impl Network {
             } else {
                 None
             },
+            // Collapsing the bank also flushes the aggregate event counts
+            // to the `traffic.estimator.*` obs counters (once per run,
+            // like the calendar stats above).
+            estimator: self.estimator.map(EstimatorBank::into_summary),
         }
     }
 
@@ -531,6 +560,13 @@ impl Network {
         };
         let mut p = Packet::game(size, i, self.now);
         p.enqueued = self.now;
+        // Estimator tap (warm only, like the probes): register the ping
+        // and stamp its sequence number for the server to echo.
+        if self.now >= self.cfg.warmup {
+            if let Some(bank) = &mut self.estimator {
+                p.ping_seq = Some(bank.on_ping_sent(i as usize, self.now.as_millis()));
+            }
+        }
         let link = self.uplink(i as usize);
         self.offer(link, p);
         let t = self.now + SimTime::from_millis(next);
@@ -647,7 +683,11 @@ impl Network {
                     let wait = (self.now.saturating_sub(ser)).saturating_sub(p.enqueued);
                     self.agg_wait.record(wait.as_secs());
                 }
-                self.last_arrival[p.flow as usize] = Some(p.created);
+                self.last_arrival[p.flow as usize] = Some(AckInfo {
+                    sent: p.created,
+                    arrival: self.now,
+                    seq: p.ping_seq,
+                });
             }
         } else if link == self.down_srv() {
             // Bottleneck downstream → fan-out to the access downlink.
@@ -672,8 +712,24 @@ impl Network {
             if self.warm() {
                 self.downstream_delay
                     .record((self.now - p.created).as_secs());
-                if let Some(sent) = p.ack_of {
-                    self.ping_rtt.record((self.now - sent).as_secs());
+                if let Some(ack) = p.ack_of {
+                    self.ping_rtt.record((self.now - ack.sent).as_secs());
+                    if let Some(seq) = ack.seq {
+                        // Hold time: the tick-alignment wait the server
+                        // echoes so the client can subtract it — its
+                        // corrected RTT is pure network delay, the
+                        // model's quantity. `finite_guard` pins the tap
+                        // in debug; the estimator boundary additionally
+                        // counts-and-skips invalid values in release.
+                        let hold_ms = finite(
+                            "sim.estimator.hold_ms",
+                            (p.created - ack.arrival).as_millis(),
+                        );
+                        let now_ms = finite("sim.estimator.now_ms", self.now.as_millis());
+                        if let Some(bank) = &mut self.estimator {
+                            bank.on_pong(p.flow as usize, seq, now_ms, hold_ms);
+                        }
+                    }
                 }
             }
         }
@@ -816,6 +872,43 @@ mod tests {
             rep.ping_rtt.mean_s
         );
         assert!(rep.ping_rtt.mean_s < sum + 1.5 * 0.040);
+    }
+
+    #[test]
+    fn estimator_tracks_hold_corrected_rtt() {
+        // The client-side estimator subtracts the echoed tick-alignment
+        // hold, so its mean tracks upstream + downstream (the model's
+        // quantity) and sits well below the raw application ping.
+        let mut cfg = small_cfg(4, 125.0, 40.0, 4);
+        cfg.estimate = true;
+        let rep = cfg.run();
+        let est = rep.estimator.as_ref().expect("estimator was enabled");
+        assert!(
+            est.counters.matches > 1000,
+            "matches {}",
+            est.counters.matches
+        );
+        assert_eq!(est.counters.invalid_samples, 0);
+        assert_eq!(est.players_with_samples, 4);
+        let sum_ms = (rep.upstream_delay.mean_s + rep.downstream_delay.mean_s) * 1e3;
+        assert!(
+            (est.srtt_mean_ms - sum_ms).abs() < 0.2 * sum_ms,
+            "srtt {} vs upstream+downstream {sum_ms}",
+            est.srtt_mean_ms
+        );
+        // Raw ping carries ~T/2 of tick alignment the estimator removed.
+        assert!(
+            est.srtt_mean_ms < rep.ping_rtt.mean_s * 1e3 - 0.25 * 40.0,
+            "srtt {} vs raw ping {}",
+            est.srtt_mean_ms,
+            rep.ping_rtt.mean_s * 1e3
+        );
+    }
+
+    #[test]
+    fn estimator_off_is_default_and_absent_from_report() {
+        let rep = small_cfg(4, 125.0, 40.0, 4).run();
+        assert!(rep.estimator.is_none());
     }
 
     #[test]

@@ -13,6 +13,22 @@ pub enum TrafficClass {
     Elastic,
 }
 
+/// What a downstream packet acknowledges: the upstream ping it answers,
+/// echoed back like a real game ping protocol echoes its header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckInfo {
+    /// Client-side send time of the acknowledged upstream packet.
+    pub sent: SimTime,
+    /// When that packet reached the server — `created - arrival` of the
+    /// downstream packet is the server's *hold time* (tick-alignment
+    /// wait), which an estimating client subtracts to recover pure
+    /// network RTT.
+    pub arrival: SimTime,
+    /// The client's ping sequence number, echoed verbatim (None when the
+    /// client wasn't tracking that ping).
+    pub seq: Option<u16>,
+}
+
 /// A simulated packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
@@ -25,9 +41,13 @@ pub struct Packet {
     /// Creation time: when the client emitted it (upstream) or when the
     /// server tick emitted its burst (downstream).
     pub created: SimTime,
-    /// For downstream ping packets: the creation time of the upstream
-    /// packet this one acknowledges (None for plain state updates).
-    pub ack_of: Option<SimTime>,
+    /// For downstream ping packets: the upstream packet this one
+    /// acknowledges (None for plain state updates).
+    pub ack_of: Option<AckInfo>,
+    /// Upstream packets only: the RTT estimator's sequence number stamped
+    /// at emission (None when the estimator is off or the packet is
+    /// untracked).
+    pub ping_seq: Option<u16>,
     /// Position of the packet within its burst (0-based; upstream packets
     /// use 0).
     pub burst_position: u32,
@@ -45,6 +65,7 @@ impl Packet {
             flow,
             created,
             ack_of: None,
+            ping_seq: None,
             burst_position: 0,
             enqueued: created,
         }
@@ -58,6 +79,7 @@ impl Packet {
             flow: u32::MAX,
             created,
             ack_of: None,
+            ping_seq: None,
             burst_position: 0,
             enqueued: created,
         }

@@ -4,6 +4,11 @@
 
 use fpsping_num::p2::P2Quantile;
 use fpsping_num::stats::OnlineStats;
+use fpsping_obs::Counter;
+
+/// Summaries built from a truncated sample set (`skipped > 0`): the
+/// quantiles are estimates over the stored prefix, not the full stream.
+static TRUNCATED_REPORTS: Counter = Counter::new("sim.probe.truncated_reports");
 
 /// How a probe answers quantile queries.
 #[derive(Debug, Clone)]
@@ -267,7 +272,26 @@ pub struct ProbeSummary {
 impl DelayProbe {
     /// Produces the exportable summary with the given quantile levels
     /// (sorting the raw sample at most once for all of them).
+    ///
+    /// A summary built from a truncated sample set (`skipped > 0`: the
+    /// raw store overflowed `max_samples`) is announced via `warn_once`
+    /// and the `sim.probe.truncated_reports` counter — the quantiles are
+    /// then estimates over the stored prefix, while moments and tail
+    /// counters remain exact. Silence here previously let biased
+    /// quantiles masquerade as exact ones.
     pub fn summarize(&mut self, quantile_levels: &[f64]) -> ProbeSummary {
+        if self.skipped > 0 {
+            TRUNCATED_REPORTS.incr();
+            fpsping_obs::warn_once(
+                "sim.probe.truncated_report",
+                &format!(
+                    "probe summary built from a truncated sample set ({} overflow samples \
+                     skipped): quantiles are stored-prefix estimates; moments and tail \
+                     counters remain exact. Raise max_samples or use streaming quantiles.",
+                    self.skipped
+                ),
+            );
+        }
         let quantiles = if self.count() == 0 {
             Vec::new()
         } else {
@@ -444,6 +468,41 @@ mod tests {
             (a.quantile(0.9) - exact).abs() < 0.02,
             "merged {} vs exact {exact}",
             a.quantile(0.9)
+        );
+    }
+
+    #[test]
+    fn truncated_summary_warns_and_counts() {
+        // Regression: a report built from a truncated sample set used to
+        // be silent — `skipped` was tracked but nothing surfaced it.
+        let clean_before = TRUNCATED_REPORTS.get();
+        let mut clean = DelayProbe::new(100, &[]);
+        for i in 0..50 {
+            clean.record(i as f64);
+        }
+        let _ = clean.summarize(&[0.5]);
+        assert_eq!(
+            TRUNCATED_REPORTS.get(),
+            clean_before,
+            "untruncated summaries must not count"
+        );
+
+        let before = TRUNCATED_REPORTS.get();
+        let mut p = DelayProbe::new(10, &[]);
+        for i in 0..30 {
+            p.record(i as f64);
+        }
+        assert_eq!(p.skipped(), 20);
+        let _ = p.summarize(&[0.5]);
+        if cfg!(not(feature = "obs-off")) {
+            assert_eq!(TRUNCATED_REPORTS.get(), before + 1);
+        }
+        // warn_once stays active even under obs-off.
+        assert!(
+            fpsping_obs::warnings()
+                .iter()
+                .any(|w| w.contains("truncated sample set")),
+            "summarize must warn about truncation"
         );
     }
 

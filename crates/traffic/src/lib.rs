@@ -28,11 +28,16 @@
 //!   Table-3 statistics (and the §2.2 anomalies) by construction, so
 //!   Figure 1 and the Erlang-order fits exercise the same pipeline the
 //!   authors ran on the real capture.
+//! * [`estimator`] — the client's-eye view: online per-player RTT
+//!   tracking (RFC-6298 EWMA, sequence-matched pings over a fixed ring,
+//!   P² tail quantiles) that the simulator feeds at line rate, converging
+//!   to the analytic quantile.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod estimator;
 pub mod games;
 pub mod io;
 pub mod model;
@@ -40,6 +45,7 @@ pub mod synthetic;
 pub mod trace;
 
 pub use analysis::{detect_bursts, TraceStats};
+pub use estimator::{EstimatorBank, EstimatorCounters, EstimatorSummary, RttEstimator};
 pub use io::{read_trace, trace_from_csv, trace_to_csv, write_trace};
 pub use model::{ClientModel, GameModel, ServerModel};
 pub use synthetic::{LanPartyConfig, LanPartyTrace};

@@ -1,0 +1,284 @@
+//! Differential properties of the RTT estimator: random schedules of
+//! sends, deliveries, reorders, duplicates and garbage replies are run
+//! through both [`RttEstimator`] and an independent reference model (a
+//! `HashMap` of outstanding pings plus the same EWMA recurrences), which
+//! must agree bit-for-bit on every counter and statistic. Also: `u16`
+//! wraparound transparency and shard-merge determinism of
+//! [`EstimatorBank`].
+
+use fpsping_num::p2::P2Quantile;
+use fpsping_traffic::estimator::{seq_newer, RING_SLOTS};
+use fpsping_traffic::{EstimatorBank, RttEstimator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference implementation: same protocol semantics as `RttEstimator`,
+/// structured entirely differently — outstanding pings live in a map
+/// keyed by sequence number and slot eviction is a scan, so a structural
+/// bug in the ring (index mask, stale-slot handling, wrap comparison)
+/// cannot be mirrored here.
+struct RefModel {
+    outstanding: HashMap<u16, f64>,
+    next_seq: u16,
+    newest_match: u16,
+    srtt_ms: f64,
+    rttvar_ms: f64,
+    p99: P2Quantile,
+    matches: u64,
+    losses: u64,
+    reorders: u64,
+    late_replies: u64,
+    invalid_samples: u64,
+}
+
+impl RefModel {
+    fn new(initial_seq: u16) -> Self {
+        Self {
+            outstanding: HashMap::new(),
+            next_seq: initial_seq,
+            newest_match: 0,
+            srtt_ms: 0.0,
+            rttvar_ms: 0.0,
+            p99: P2Quantile::new(0.99),
+            matches: 0,
+            losses: 0,
+            reorders: 0,
+            late_replies: 0,
+            invalid_samples: 0,
+        }
+    }
+
+    fn on_ping_sent(&mut self, now_ms: f64) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        // The ring holds one outstanding ping per slot index: sending a
+        // ping evicts (as a loss) any unanswered ping sharing its slot.
+        let mask = (RING_SLOTS - 1) as u16;
+        let evict: Vec<u16> = self
+            .outstanding
+            .keys()
+            .copied()
+            .filter(|s| s & mask == seq & mask)
+            .collect();
+        for s in evict {
+            self.outstanding.remove(&s);
+            self.losses += 1;
+        }
+        self.outstanding.insert(seq, now_ms);
+        seq
+    }
+
+    fn on_pong(&mut self, seq: u16, now_ms: f64, hold_ms: f64) {
+        let Some(sent_ms) = self.outstanding.remove(&seq) else {
+            self.late_replies += 1;
+            return;
+        };
+        let rtt_ms = now_ms - sent_ms - hold_ms;
+        if self.matches == 0 || seq_newer(seq, self.newest_match) {
+            self.newest_match = seq;
+        } else {
+            self.reorders += 1;
+        }
+        if !rtt_ms.is_finite() || rtt_ms < 0.0 {
+            self.invalid_samples += 1;
+            return;
+        }
+        if self.matches == 0 {
+            self.srtt_ms = rtt_ms;
+            self.rttvar_ms = rtt_ms / 2.0;
+        } else {
+            self.rttvar_ms = 0.75 * self.rttvar_ms + 0.25 * (self.srtt_ms - rtt_ms).abs();
+            self.srtt_ms = 0.875 * self.srtt_ms + 0.125 * rtt_ms;
+        }
+        self.p99.record(rtt_ms);
+        self.matches += 1;
+    }
+}
+
+/// One step of a generated protocol schedule.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    /// Action selector (see the interpreter's ranges).
+    kind: u8,
+    /// Secondary selector: which in-flight pong to deliver, which past
+    /// reply to duplicate, or a raw garbage sequence number.
+    sel: u16,
+    /// Server hold time scale for this step's delivery.
+    hold_u: u16,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (0u8..=u8::MAX, 0u16..=u16::MAX, 0u16..=u16::MAX).prop_map(|(kind, sel, hold_u)| Step {
+        kind,
+        sel,
+        hold_u,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Estimator vs reference on random loss/reorder/duplicate/garbage
+    /// schedules from any starting sequence number (including across the
+    /// u16 wrap): every counter and both EWMA statistics agree
+    /// bit-for-bit, and the accepted-sample stream drives an identical
+    /// P² p99.
+    #[test]
+    fn estimator_matches_reference_model(
+        initial_seq in 0u16..=u16::MAX,
+        steps in proptest::collection::vec(step_strategy(), 1..400),
+    ) {
+        let mut est = RttEstimator::with_initial_seq(&[], initial_seq);
+        let mut reference = RefModel::new(initial_seq);
+        // Pongs in flight: (seq, hold_ms). Delivery order is chosen by
+        // the schedule, so reorders happen whenever sel skips ahead.
+        let mut in_flight: Vec<(u16, f64)> = Vec::new();
+        let mut answered: Vec<u16> = Vec::new();
+        let mut now_ms = 0.0;
+        for step in &steps {
+            now_ms += 7.0;
+            match step.kind {
+                // Send a ping; its reply (if ever delivered) carries
+                // this hold. Holds up to ~33 ms can exceed the elapsed
+                // time at delivery, driving the corrected RTT negative —
+                // the invalid-sample path.
+                0..=139 => {
+                    let a = est.on_ping_sent(now_ms);
+                    let b = reference.on_ping_sent(now_ms);
+                    prop_assert_eq!(a, b, "sequence counters diverged");
+                    in_flight.push((a, step.hold_u as f64 / 2000.0));
+                }
+                // Deliver some in-flight reply (any order).
+                140..=219 => {
+                    if in_flight.is_empty() {
+                        continue;
+                    }
+                    let (seq, hold) = in_flight.remove(step.sel as usize % in_flight.len());
+                    est.on_pong(seq, now_ms, hold);
+                    reference.on_pong(seq, now_ms, hold);
+                    answered.push(seq);
+                }
+                // Duplicate a reply that already arrived.
+                220..=239 => {
+                    if answered.is_empty() {
+                        continue;
+                    }
+                    let seq = answered[step.sel as usize % answered.len()];
+                    est.on_pong(seq, now_ms, 0.0);
+                    reference.on_pong(seq, now_ms, 0.0);
+                }
+                // A reply with an arbitrary sequence number — usually
+                // garbage, occasionally a real outstanding ping.
+                _ => {
+                    est.on_pong(step.sel, now_ms, 0.0);
+                    reference.on_pong(step.sel, now_ms, 0.0);
+                }
+            }
+        }
+        let c = est.counters();
+        prop_assert_eq!(c.matches, reference.matches);
+        prop_assert_eq!(c.losses, reference.losses);
+        prop_assert_eq!(c.reorders, reference.reorders);
+        prop_assert_eq!(c.late_replies, reference.late_replies);
+        prop_assert_eq!(c.invalid_samples, reference.invalid_samples);
+        prop_assert_eq!(est.srtt_ms().to_bits(), reference.srtt_ms.to_bits());
+        prop_assert_eq!(est.rttvar_ms().to_bits(), reference.rttvar_ms.to_bits());
+        if c.matches > 0 {
+            prop_assert_eq!(est.p99_ms().to_bits(), reference.p99.estimate().to_bits());
+        }
+    }
+
+    /// Wraparound transparency: the same schedule shifted to any
+    /// starting sequence number produces identical statistics — the wrap
+    /// boundary is invisible to every counter and estimate.
+    #[test]
+    fn statistics_are_invariant_to_initial_seq(
+        shift in 0u16..=u16::MAX,
+        rtts in proptest::collection::vec(0u16..40_000, 1..150),
+    ) {
+        let run = |initial: u16| {
+            let mut e = RttEstimator::with_initial_seq(&[50, 100], initial);
+            let mut now = 0.0;
+            for (i, &r) in rtts.iter().enumerate() {
+                now += 40.0;
+                let seq = e.on_ping_sent(now);
+                if i % 13 == 5 {
+                    continue; // drop it: recycled as a loss 64 sends later
+                }
+                e.on_pong(seq, now + r as f64 / 1000.0, 0.0);
+            }
+            e
+        };
+        let a = run(0);
+        let b = run(shift);
+        prop_assert_eq!(a.counters(), b.counters());
+        prop_assert_eq!(a.srtt_ms().to_bits(), b.srtt_ms().to_bits());
+        prop_assert_eq!(a.rttvar_ms().to_bits(), b.rttvar_ms().to_bits());
+        if a.samples() > 0 {
+            prop_assert_eq!(a.p99_ms().to_bits(), b.p99_ms().to_bits());
+        }
+        let cps_a: Vec<(u64, u64)> = a.p99_checkpoints().map(|(t, v)| (t, v.to_bits())).collect();
+        let cps_b: Vec<(u64, u64)> = b.p99_checkpoints().map(|(t, v)| (t, v.to_bits())).collect();
+        prop_assert_eq!(cps_a, cps_b);
+    }
+
+    /// Shard-merge determinism: partitioning players across two shard
+    /// banks and merging gives the bit-identical summary of the unsharded
+    /// bank, for any player count, any partition, and any per-player
+    /// traffic.
+    #[test]
+    fn bank_merge_is_bit_identical_for_any_partition(
+        n_players in 1usize..8,
+        partition_bits in 0u8..=u8::MAX,
+        seed in 0u64..u64::MAX,
+        pings_per_player in 1usize..120,
+    ) {
+        let checkpoints = [25u64, 75];
+        let mut whole = EstimatorBank::new(n_players, &checkpoints);
+        let mut shard_a = EstimatorBank::new(n_players, &checkpoints);
+        let mut shard_b = EstimatorBank::new(n_players, &checkpoints);
+        let mut lcg = seed | 1;
+        let mut next = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n_players {
+            let shard: &mut EstimatorBank = if partition_bits >> (i % 8) & 1 == 0 {
+                &mut shard_a
+            } else {
+                &mut shard_b
+            };
+            for k in 0..pings_per_player {
+                let now = k as f64 * 40.0;
+                let rtt = 10.0 + 30.0 * next();
+                let sw = whole.on_ping_sent(i, now);
+                let ss = shard.on_ping_sent(i, now);
+                prop_assert_eq!(sw, ss);
+                if k % 11 == 3 {
+                    continue; // dropped ping
+                }
+                whole.on_pong(i, sw, now + rtt, 1.5);
+                shard.on_pong(i, ss, now + rtt, 1.5);
+            }
+        }
+        shard_a.merge(&shard_b);
+        let merged = shard_a.into_summary();
+        let unsharded = whole.into_summary();
+        prop_assert_eq!(merged.players, unsharded.players);
+        prop_assert_eq!(merged.players_with_samples, unsharded.players_with_samples);
+        prop_assert_eq!(merged.counters, unsharded.counters);
+        prop_assert_eq!(merged.srtt_mean_ms.to_bits(), unsharded.srtt_mean_ms.to_bits());
+        prop_assert_eq!(merged.rttvar_mean_ms.to_bits(), unsharded.rttvar_mean_ms.to_bits());
+        if merged.players_with_samples > 0 {
+            prop_assert_eq!(merged.p99_ms().to_bits(), unsharded.p99_ms().to_bits());
+            prop_assert_eq!(merged.p999_ms().to_bits(), unsharded.p999_ms().to_bits());
+        }
+        prop_assert_eq!(merged.checkpoints.len(), unsharded.checkpoints.len());
+        for ((ta, va), (tb, vb)) in merged.checkpoints.iter().zip(&unsharded.checkpoints) {
+            prop_assert_eq!(ta, tb);
+            let va: Vec<u64> = va.iter().map(|v| v.to_bits()).collect();
+            let vb: Vec<u64> = vb.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(va, vb);
+        }
+    }
+}

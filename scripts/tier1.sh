@@ -157,6 +157,75 @@ else
     echo "tier-1: scale smoke OK (grep fallback)"
 fi
 
+# Estimator smoke: a 1 000-player run with the per-player RTT estimator
+# on must show live traffic.estimator.* counters in the metrics JSON and
+# a pooled p99 within the documented short-run tolerance of the analytic
+# quantile (±20% at ~150 pings/player — the convergence study in
+# BENCH_estimator.json shows the error collapsing with more pings).
+EST_METRICS="$(mktemp /tmp/fpsping-est-metrics.XXXXXX.json)"
+EST_OUT="$(mktemp /tmp/fpsping-est-out.XXXXXX)"
+trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2" \
+    "$EST_METRICS" "$EST_OUT"' EXIT
+./target/release/fpsping-cli sim --estimate --gamers 1000 --c-kbps 50000 \
+    --sim-seconds 8 --seed 42 --metrics-out "$EST_METRICS" > "$EST_OUT"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$EST_METRICS" "$EST_OUT" <<'PY'
+import json, re, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+matches = counters.get("traffic.estimator.matches", 0)
+assert matches > 0, "estimator run recorded no traffic.estimator.matches"
+assert counters.get("traffic.estimator.invalid_samples", 1) == 0, \
+    "estimator rejected samples in a clean run: %r" % counters
+out = open(sys.argv[2]).read()
+m = re.search(r"est p99\s*: .* err ([+-][0-9.]+)%", out)
+assert m, "no estimator p99 line in CLI output:\n%s" % out
+err = float(m.group(1))
+assert abs(err) <= 20.0, \
+    "estimator p99 off the analytic quantile by %.1f%% (tolerance 20%%)" % err
+print("tier-1: estimator smoke OK (%d matches, p99 err %+.2f%%)" % (matches, err))
+PY
+else
+    grep -q '"traffic\.estimator\.matches"' "$EST_METRICS"
+    grep -q 'est p99' "$EST_OUT"
+    echo "tier-1: estimator smoke OK (grep fallback)"
+fi
+
+# Estimator bench contract: the checked-in BENCH_estimator.json must show
+# the convergence curve settling under the trust threshold, the pooled
+# p99 within its acceptance bound, and the 1-core ingest floor.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_estimator.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for field in ("analytic_p99_ms", "pooled_p99_ms", "pooled_p99_err_pct",
+              "convergence", "trust_threshold", "pings_to_trustworthy",
+              "ingest_players", "ingest_packets_per_sec", "counters"):
+    assert field in b, "BENCH_estimator.json missing %r" % field
+assert abs(b["pooled_p99_err_pct"]) <= 10.0, b["pooled_p99_err_pct"]
+curve = b["convergence"]
+assert len(curve) >= 4, "convergence curve too short: %r" % curve
+pings = [pt["pings"] for pt in curve]
+assert pings == sorted(pings), "curve not checkpoint-ascending: %r" % pings
+assert curve[-1]["median_rel_err"] < curve[0]["median_rel_err"], \
+    "median error did not shrink along the curve"
+assert curve[-1]["median_rel_err"] <= b["trust_threshold"], \
+    "final median error %.4f above the trust threshold" % curve[-1]["median_rel_err"]
+assert b["pings_to_trustworthy"] <= 500, b["pings_to_trustworthy"]
+assert b["ingest_players"] >= 1000, b["ingest_players"]
+assert b["ingest_packets_per_sec"] >= 1_000_000, \
+    "ingest %.0f packets/s below the 1M floor" % b["ingest_packets_per_sec"]
+assert b["counters"]["invalid_samples"] == 0, b["counters"]
+print("tier-1: BENCH_estimator.json OK (trustworthy at %d pings, pooled p99 "
+      "err %+.2f%%, ingest %.1fM packets/s)"
+      % (b["pings_to_trustworthy"], b["pooled_p99_err_pct"],
+         b["ingest_packets_per_sec"] / 1e6))
+PY
+else
+    grep -q '"pings_to_trustworthy"' BENCH_estimator.json
+    grep -q '"ingest_packets_per_sec"' BENCH_estimator.json
+    echo "tier-1: BENCH_estimator.json OK (grep fallback)"
+fi
+
 # Serve smoke: boot the query server on an ephemeral port, replay a
 # bounded loadgen burst against it, and require real live throughput, a
 # warm cache, the eviction-parity gate at exactly zero, and a clean
@@ -165,7 +234,7 @@ fi
 SERVE_LOG="$(mktemp /tmp/fpsping-serve-log.XXXXXX)"
 SERVE_SMOKE="$(mktemp /tmp/fpsping-serve-smoke.XXXXXX.json)"
 trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2" \
-    "$SERVE_LOG" "$SERVE_SMOKE"' EXIT
+    "$EST_METRICS" "$EST_OUT" "$SERVE_LOG" "$SERVE_SMOKE"' EXIT
 ./target/release/fpsping-serve --addr 127.0.0.1:0 --workers 2 \
     --cache-entries 16384 > "$SERVE_LOG" &
 SERVE_PID=$!
@@ -262,8 +331,8 @@ LOCKDEP_LOG="$(mktemp /tmp/fpsping-lockdep-log.XXXXXX)"
 LOCKDEP_SMOKE="$(mktemp /tmp/fpsping-lockdep-smoke.XXXXXX.json)"
 LOCKDEP_METRICS="$(mktemp /tmp/fpsping-lockdep-metrics.XXXXXX.json)"
 trap 'rm -f "$METRICS_TMP" "$SCALE_METRICS" "$SCALE_OUT1" "$SCALE_OUT2" \
-    "$SERVE_LOG" "$SERVE_SMOKE" "$LOCKDEP_LOG" "$LOCKDEP_SMOKE" \
-    "$LOCKDEP_METRICS"' EXIT
+    "$EST_METRICS" "$EST_OUT" "$SERVE_LOG" "$SERVE_SMOKE" "$LOCKDEP_LOG" \
+    "$LOCKDEP_SMOKE" "$LOCKDEP_METRICS"' EXIT
 ./target/debug/fpsping-serve --addr 127.0.0.1:0 --workers 2 \
     --cache-entries 16384 > "$LOCKDEP_LOG" &
 LOCKDEP_PID=$!
